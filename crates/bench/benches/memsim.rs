@@ -1,0 +1,56 @@
+//! DDR3 simulation throughput: cycles per second under each refresh policy
+//! (the paper's Fig 16 harness is built on many of these runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use parbor_memsim::{RefreshPolicyKind, Simulation, SystemConfig};
+use parbor_workloads::{paper_mixes, AppProfile, TraceGenerator};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memsim_50k_cycles");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(50_000));
+    let config = SystemConfig {
+        cores: 4,
+        ..SystemConfig::paper()
+    };
+    let mix = paper_mixes(1, 4, 21).remove(0);
+    for policy in [
+        RefreshPolicyKind::Uniform64,
+        RefreshPolicyKind::Raidr,
+        RefreshPolicyKind::DcRef,
+        RefreshPolicyKind::NoRefresh,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{policy:?}")), |b| {
+            b.iter(|| {
+                Simulation::new(config, policy, &mix, 1)
+                    .run(50_000)
+                    .total_instructions()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(100_000));
+    let apps = AppProfile::spec2006();
+    for name in ["mcf", "libquantum"] {
+        let app = apps.iter().find(|a| a.name == name).unwrap().clone();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut gen = TraceGenerator::new(&app, 3);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..100_000 {
+                    acc ^= gen.next_op().addr;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Scrambler and device hot paths: address translation, fault-map builds,
+//! and full test rounds.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use parbor_bench::bench_chip;
+use parbor_dram::{PatternKind, RowId, Scrambler, Vendor};
+
+fn bench_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scrambler_translate_row");
+    for vendor in Vendor::ALL {
+        let s = vendor.scrambler(8192);
+        group.bench_with_input(BenchmarkId::from_parameter(vendor), &s, |b, s| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for col in 0..8192 {
+                    acc ^= s.system_to_physical(black_box(col));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    let s = Vendor::C.scrambler(8192);
+    c.bench_function("scrambler_build_tables", |b| {
+        b.iter(|| black_box(s.build_tables()))
+    });
+}
+
+fn bench_fault_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_map_build");
+    for vendor in Vendor::ALL {
+        group.bench_function(BenchmarkId::from_parameter(vendor), |b| {
+            let mut chip = bench_chip(vendor, 4096, 7).expect("chip builds");
+            let mut row = 0u32;
+            b.iter(|| {
+                row = (row + 1) % 4096;
+                chip.fault_map(RowId::new(0, row)).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_test_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chip_test_round_64rows");
+    group.sample_size(20);
+    for vendor in Vendor::ALL {
+        group.bench_function(BenchmarkId::from_parameter(vendor), |b| {
+            let mut chip = bench_chip(vendor, 64, 3).expect("chip builds");
+            let writes: Vec<_> = (0..64)
+                .map(|r| {
+                    (
+                        RowId::new(0, r),
+                        PatternKind::Random { seed: u64::from(r) }.row_bits(r, 8192),
+                    )
+                })
+                .collect();
+            b.iter(|| chip.run_round(black_box(&writes)).expect("round runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_translation,
+    bench_table_build,
+    bench_fault_map,
+    bench_test_round
+);
+criterion_main!(benches);

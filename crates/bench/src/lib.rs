@@ -1,0 +1,20 @@
+//! # parbor-bench — Criterion benchmarks for the PARBOR reproduction
+//!
+//! Four bench suites (`cargo bench`):
+//!
+//! * `scrambler` — address-translation and fault-map hot paths
+//! * `recursion` — the parallel recursive neighbor search per vendor
+//! * `chipwide` — schedule construction (per separation order) and
+//!   neighbor-aware test rounds
+//! * `memsim` — DDR3 simulation throughput per refresh policy
+//!
+//! The library itself only hosts shared helpers for the bench targets.
+
+#![forbid(unsafe_code)]
+
+use parbor_dram::{ChipGeometry, DramChip, DramError, Vendor};
+
+/// A small chip suitable for repeated benchmarking.
+pub fn bench_chip(vendor: Vendor, rows: u32, seed: u64) -> Result<DramChip, DramError> {
+    DramChip::new(ChipGeometry::new(1, rows, 8192)?, vendor, seed)
+}

@@ -1,0 +1,291 @@
+//! Bus-level addressing: how module bytes spread over chips, beats, and DQ
+//! lanes (paper §2.1 and Figure 5).
+//!
+//! A rank of eight x8 chips drives a 64-bit bus; a 64-byte cache line
+//! transfers in 8 beats, each chip contributing 8 bits per beat. An 8 KB
+//! module row is therefore 1024 beats, and each chip holds an 8192-bit
+//! slice of it. The tester-facing crates work in per-chip column space;
+//! this module provides the exact conversions to and from module-level bit
+//! and byte addresses — the view software actually has.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bits::RowBits;
+use crate::error::DramError;
+
+/// Chips per rank (x8 devices on a 64-bit bus).
+pub const CHIPS_PER_RANK: u32 = 8;
+/// DQ lanes per chip.
+pub const LANES_PER_CHIP: u32 = 8;
+/// Bits transferred per beat (the bus width).
+pub const BUS_BITS: u32 = CHIPS_PER_RANK * LANES_PER_CHIP;
+/// Bits of one chip's row slice.
+pub const CHIP_ROW_BITS: u32 = 8192;
+/// Bits of one module row (8 KB).
+pub const MODULE_ROW_BITS: u32 = CHIP_ROW_BITS * CHIPS_PER_RANK;
+
+/// Position of one bit on the bus: which beat of the row transfer, and
+/// which of the 64 bus lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BurstCoord {
+    /// Beat index within the row transfer (0..1024 for an 8 KB row).
+    pub beat: u32,
+    /// Bus lane (0..64); lane `l` belongs to chip `l / 8`, DQ pin `l % 8`.
+    pub lane: u32,
+}
+
+impl BurstCoord {
+    /// The chip driving this lane.
+    pub fn chip(&self) -> u32 {
+        self.lane / LANES_PER_CHIP
+    }
+
+    /// The DQ pin within the chip.
+    pub fn dq(&self) -> u32 {
+        self.lane % LANES_PER_CHIP
+    }
+
+    /// The per-chip column this coordinate maps to.
+    pub fn chip_col(&self) -> u32 {
+        self.beat * LANES_PER_CHIP + self.dq()
+    }
+}
+
+/// Decomposes a module-level bit address (0..65536) into its bus position.
+///
+/// # Errors
+///
+/// Returns [`DramError::AddressOutOfRange`] past the module row.
+pub fn module_bit_to_burst(bit: u32) -> Result<BurstCoord, DramError> {
+    if bit >= MODULE_ROW_BITS {
+        return Err(DramError::AddressOutOfRange {
+            what: format!("module bit {bit}"),
+            limit: format!("{MODULE_ROW_BITS} bits per row"),
+        });
+    }
+    Ok(BurstCoord {
+        beat: bit / BUS_BITS,
+        lane: bit % BUS_BITS,
+    })
+}
+
+/// Recomposes a bus position into the module-level bit address.
+pub fn burst_to_module_bit(coord: BurstCoord) -> u32 {
+    coord.beat * BUS_BITS + coord.lane
+}
+
+/// The (chip, per-chip column) holding a module-level bit address.
+///
+/// # Errors
+///
+/// Returns [`DramError::AddressOutOfRange`] past the module row.
+pub fn module_bit_to_chip(bit: u32) -> Result<(u32, u32), DramError> {
+    let coord = module_bit_to_burst(bit)?;
+    Ok((coord.chip(), coord.chip_col()))
+}
+
+/// The module-level bit address of a (chip, per-chip column) pair.
+///
+/// # Errors
+///
+/// Returns [`DramError::AddressOutOfRange`] when either index is out of
+/// range.
+pub fn chip_to_module_bit(chip: u32, col: u32) -> Result<u32, DramError> {
+    if chip >= CHIPS_PER_RANK || col >= CHIP_ROW_BITS {
+        return Err(DramError::AddressOutOfRange {
+            what: format!("chip {chip} col {col}"),
+            limit: format!("{CHIPS_PER_RANK} chips x {CHIP_ROW_BITS} cols"),
+        });
+    }
+    let beat = col / LANES_PER_CHIP;
+    let dq = col % LANES_PER_CHIP;
+    Ok(burst_to_module_bit(BurstCoord {
+        beat,
+        lane: chip * LANES_PER_CHIP + dq,
+    }))
+}
+
+/// A full 8 KB module row as software sees it, convertible to and from the
+/// eight per-chip slices the tester crates operate on.
+///
+/// # Examples
+///
+/// ```
+/// use parbor_dram::burst::ModuleRowImage;
+///
+/// # fn main() -> Result<(), parbor_dram::DramError> {
+/// let mut image = ModuleRowImage::zeros();
+/// image.set_byte(0, 0xFF)?; // first bus byte -> chip 0, beat 0
+/// let slices = image.to_chip_slices();
+/// assert_eq!(slices[0].count_ones(), 8);
+/// assert_eq!(ModuleRowImage::from_chip_slices(&slices)?, image);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleRowImage {
+    bits: RowBits,
+}
+
+impl ModuleRowImage {
+    /// An all-zero module row.
+    pub fn zeros() -> Self {
+        ModuleRowImage {
+            bits: RowBits::zeros(MODULE_ROW_BITS as usize),
+        }
+    }
+
+    /// Reads one module-level bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] past the row.
+    pub fn get(&self, bit: u32) -> Result<bool, DramError> {
+        module_bit_to_burst(bit)?;
+        Ok(self.bits.get(bit as usize))
+    }
+
+    /// Writes one module-level bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] past the row.
+    pub fn set(&mut self, bit: u32, v: bool) -> Result<(), DramError> {
+        module_bit_to_burst(bit)?;
+        self.bits.set(bit as usize, v);
+        Ok(())
+    }
+
+    /// Writes one byte at a module byte offset (0..8192).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] past the row.
+    pub fn set_byte(&mut self, byte: u32, value: u8) -> Result<(), DramError> {
+        for i in 0..8 {
+            self.set(byte * 8 + i, value & (1 << i) != 0)?;
+        }
+        Ok(())
+    }
+
+    /// Splits the module row into the eight per-chip 8192-bit slices.
+    pub fn to_chip_slices(&self) -> Vec<RowBits> {
+        let mut slices = vec![RowBits::zeros(CHIP_ROW_BITS as usize); CHIPS_PER_RANK as usize];
+        for bit in 0..MODULE_ROW_BITS {
+            if self.bits.get(bit as usize) {
+                let (chip, col) = module_bit_to_chip(bit).expect("bit in range");
+                slices[chip as usize].set(col as usize, true);
+            }
+        }
+        slices
+    }
+
+    /// Reassembles a module row from eight per-chip slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::WidthMismatch`] unless exactly eight 8192-bit
+    /// slices are supplied.
+    pub fn from_chip_slices(slices: &[RowBits]) -> Result<Self, DramError> {
+        if slices.len() != CHIPS_PER_RANK as usize {
+            return Err(DramError::WidthMismatch {
+                got: slices.len(),
+                expected: CHIPS_PER_RANK as usize,
+            });
+        }
+        let mut image = Self::zeros();
+        for (chip, slice) in slices.iter().enumerate() {
+            if slice.len() != CHIP_ROW_BITS as usize {
+                return Err(DramError::WidthMismatch {
+                    got: slice.len(),
+                    expected: CHIP_ROW_BITS as usize,
+                });
+            }
+            for col in 0..CHIP_ROW_BITS {
+                if slice.get(col as usize) {
+                    let bit = chip_to_module_bit(chip as u32, col)?;
+                    image.bits.set(bit as usize, true);
+                }
+            }
+        }
+        Ok(image)
+    }
+}
+
+impl Default for ModuleRowImage {
+    fn default() -> Self {
+        Self::zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_round_trips_through_burst_coords() {
+        for bit in (0..MODULE_ROW_BITS).step_by(97) {
+            let coord = module_bit_to_burst(bit).unwrap();
+            assert_eq!(burst_to_module_bit(coord), bit);
+            let (chip, col) = module_bit_to_chip(bit).unwrap();
+            assert_eq!(chip_to_module_bit(chip, col).unwrap(), bit);
+        }
+    }
+
+    #[test]
+    fn consecutive_module_bits_within_a_byte_share_a_chip() {
+        // Bus lanes 0..8 are chip 0: byte 0 of each beat goes to chip 0.
+        for i in 0..8 {
+            let (chip, _) = module_bit_to_chip(i).unwrap();
+            assert_eq!(chip, 0);
+        }
+        let (chip, _) = module_bit_to_chip(8).unwrap();
+        assert_eq!(chip, 1);
+    }
+
+    #[test]
+    fn chip_slice_is_beat_major() {
+        // Chip 0's column c sits at beat c/8, dq c%8.
+        let bit = chip_to_module_bit(0, 9).unwrap();
+        let coord = module_bit_to_burst(bit).unwrap();
+        assert_eq!(coord.beat, 1);
+        assert_eq!(coord.dq(), 1);
+        assert_eq!(coord.chip(), 0);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(module_bit_to_burst(MODULE_ROW_BITS).is_err());
+        assert!(chip_to_module_bit(8, 0).is_err());
+        assert!(chip_to_module_bit(0, CHIP_ROW_BITS).is_err());
+    }
+
+    #[test]
+    fn image_round_trips_through_slices() {
+        let mut image = ModuleRowImage::zeros();
+        for bit in (0..MODULE_ROW_BITS).step_by(311) {
+            image.set(bit, true).unwrap();
+        }
+        let slices = image.to_chip_slices();
+        assert_eq!(ModuleRowImage::from_chip_slices(&slices).unwrap(), image);
+    }
+
+    #[test]
+    fn byte_write_lands_on_one_chip() {
+        let mut image = ModuleRowImage::zeros();
+        image.set_byte(3, 0xA5).unwrap(); // byte 3 of beat 0 -> chip 3
+        let slices = image.to_chip_slices();
+        for (chip, slice) in slices.iter().enumerate() {
+            let expected = if chip == 3 { 4 } else { 0 }; // 0xA5 has 4 ones
+            assert_eq!(slice.count_ones(), expected, "chip {chip}");
+        }
+    }
+
+    #[test]
+    fn from_slices_validates_shape() {
+        let slices = vec![RowBits::zeros(CHIP_ROW_BITS as usize); 7];
+        assert!(ModuleRowImage::from_chip_slices(&slices).is_err());
+        let bad_width = vec![RowBits::zeros(100); 8];
+        assert!(ModuleRowImage::from_chip_slices(&bad_width).is_err());
+    }
+}

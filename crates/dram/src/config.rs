@@ -1,0 +1,221 @@
+//! Configuration types and the module builder.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::cell::FaultRates;
+use crate::error::DramError;
+use crate::geometry::ChipGeometry;
+use crate::module::{DramModule, ModuleId};
+use crate::retention::RetentionModel;
+use crate::scrambler::Scrambler;
+use crate::vendor::Vendor;
+
+/// A temperature in degrees Celsius.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Celsius(pub f64);
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} °C", self.0)
+    }
+}
+
+/// A duration in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Seconds(pub f64);
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} s", self.0)
+    }
+}
+
+/// Builder for a simulated DRAM module.
+///
+/// Defaults mirror the paper's experimental setup: 8 chips per module,
+/// vendor-calibrated fault rates, 45 °C, and a 4 s refresh interval (the
+/// stress condition the paper tests under).
+///
+/// # Examples
+///
+/// ```
+/// use parbor_dram::{ModuleConfig, Vendor, ChipGeometry, Celsius, Seconds};
+///
+/// # fn main() -> Result<(), parbor_dram::DramError> {
+/// let module = ModuleConfig::new(Vendor::C)
+///     .geometry(ChipGeometry::experiment_slice())
+///     .chips(8)
+///     .seed(0xC0FFEE)
+///     .temperature(Celsius(45.0))
+///     .refresh_interval(Seconds(4.0))
+///     .build()?;
+/// assert_eq!(module.chips().len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModuleConfig {
+    vendor: Vendor,
+    geometry: ChipGeometry,
+    chips: usize,
+    seed: u64,
+    module_id: ModuleId,
+    rates: Option<FaultRates>,
+    retention: RetentionModel,
+    temperature: Celsius,
+    refresh_interval: Seconds,
+    scrambler: Option<Arc<dyn Scrambler>>,
+}
+
+impl ModuleConfig {
+    /// Starts a configuration for a module of the given vendor.
+    pub fn new(vendor: Vendor) -> Self {
+        ModuleConfig {
+            vendor,
+            geometry: ChipGeometry::experiment_slice(),
+            chips: 8,
+            seed: 1,
+            module_id: ModuleId(0),
+            rates: None,
+            retention: RetentionModel::default(),
+            temperature: Celsius(45.0),
+            refresh_interval: Seconds(4.0),
+            scrambler: None,
+        }
+    }
+
+    /// Sets the per-chip geometry.
+    pub fn geometry(mut self, geometry: ChipGeometry) -> Self {
+        self.geometry = geometry;
+        self
+    }
+
+    /// Sets the number of chips in the module (the paper's modules have 8).
+    pub fn chips(mut self, chips: usize) -> Self {
+        self.chips = chips;
+        self
+    }
+
+    /// Sets the module's fault seed; chips derive their seeds from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the module identifier used in reports (e.g. A₁ is module 1 of
+    /// vendor A).
+    pub fn module_id(mut self, id: ModuleId) -> Self {
+        self.module_id = id;
+        self
+    }
+
+    /// Overrides the vendor's default fault rates.
+    pub fn fault_rates(mut self, rates: FaultRates) -> Self {
+        self.rates = Some(rates);
+        self
+    }
+
+    /// Overrides the retention/margin model.
+    pub fn retention(mut self, retention: RetentionModel) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// Sets the operating temperature (paper default 45 °C).
+    pub fn temperature(mut self, t: Celsius) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// Sets the refresh interval used between write and read of each test
+    /// round (paper default 4 s).
+    pub fn refresh_interval(mut self, s: Seconds) -> Self {
+        self.refresh_interval = s;
+        self
+    }
+
+    /// Overrides the vendor scrambler with a custom one (e.g. an
+    /// [`IdentityScrambler`](crate::IdentityScrambler) control, or a custom
+    /// walk built with [`hamiltonian_walk`](crate::hamiltonian_walk)).
+    pub fn scrambler(mut self, s: Arc<dyn Scrambler>) -> Self {
+        self.scrambler = Some(s);
+        self
+    }
+
+    /// Builds the module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidConfig`] if the chip count is zero, the
+    /// fault rates are out of range, or the scrambler width does not match
+    /// the geometry.
+    pub fn build(self) -> Result<DramModule, DramError> {
+        if self.chips == 0 {
+            return Err(DramError::InvalidConfig("module needs at least one chip".into()));
+        }
+        let rates = self.rates.unwrap_or_else(|| self.vendor.default_rates());
+        rates.validate()?;
+        let scrambler = self
+            .scrambler
+            .unwrap_or_else(|| self.vendor.scrambler(self.geometry.cols_per_row as usize));
+        if scrambler.row_bits() != self.geometry.cols_per_row as usize {
+            return Err(DramError::InvalidConfig(format!(
+                "scrambler width {} does not match geometry cols {}",
+                scrambler.row_bits(),
+                self.geometry.cols_per_row
+            )));
+        }
+        DramModule::assemble(
+            self.module_id,
+            self.vendor,
+            self.geometry,
+            self.chips,
+            self.seed,
+            rates,
+            self.retention,
+            self.temperature,
+            self.refresh_interval,
+            scrambler,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let m = ModuleConfig::new(Vendor::A)
+            .geometry(ChipGeometry::tiny())
+            .build()
+            .unwrap();
+        assert_eq!(m.chips().len(), 8);
+        assert_eq!(m.vendor(), Vendor::A);
+    }
+
+    #[test]
+    fn zero_chips_rejected() {
+        let err = ModuleConfig::new(Vendor::A).chips(0).build().unwrap_err();
+        assert!(matches!(err, DramError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn mismatched_scrambler_rejected() {
+        use crate::scrambler::IdentityScrambler;
+        let err = ModuleConfig::new(Vendor::A)
+            .geometry(ChipGeometry::tiny())
+            .scrambler(Arc::new(IdentityScrambler::new(100)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DramError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn newtypes_display() {
+        assert_eq!(Celsius(45.0).to_string(), "45 °C");
+        assert_eq!(Seconds(4.0).to_string(), "4 s");
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the DRAM simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the DRAM device simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DramError {
+    /// An address (bank, row, or column) exceeded the chip geometry.
+    AddressOutOfRange {
+        /// The offending address, formatted for humans.
+        what: String,
+        /// The geometry limit that was exceeded.
+        limit: String,
+    },
+    /// A row was read before ever being written.
+    RowNeverWritten {
+        /// The offending row, formatted for humans.
+        row: String,
+    },
+    /// A row pattern did not match the row width.
+    WidthMismatch {
+        /// Width of the supplied data.
+        got: usize,
+        /// Width the geometry requires.
+        expected: usize,
+    },
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::AddressOutOfRange { what, limit } => {
+                write!(f, "address out of range: {what} (limit: {limit})")
+            }
+            DramError::RowNeverWritten { row } => {
+                write!(f, "row read before first write: {row}")
+            }
+            DramError::WidthMismatch { got, expected } => {
+                write!(f, "row width mismatch: got {got} bits, expected {expected}")
+            }
+            DramError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = DramError::WidthMismatch {
+            got: 8,
+            expected: 16,
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("row width mismatch"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DramError>();
+    }
+}

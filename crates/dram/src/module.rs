@@ -1,0 +1,380 @@
+//! A DRAM module: several chips behind one test port.
+//!
+//! The paper's modules have one rank of eight x8 chips; the host writes
+//! arbitrary bytes, so each chip's 8192-bit row slice is independently
+//! controllable. [`DramModule`] exposes that as *units*: unit `u` is chip
+//! `u`'s row address space.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bits::RowBits;
+use crate::cell::FaultRates;
+use crate::chip::{BitFlip, DramChip};
+use crate::config::{Celsius, Seconds};
+use crate::error::DramError;
+use crate::geometry::{ChipGeometry, RowId};
+use crate::hash::mix64;
+use crate::pattern::PatternKind;
+use crate::retention::RetentionModel;
+use crate::scrambler::Scrambler;
+use crate::vendor::Vendor;
+
+/// Identifier of a module within an experiment population (e.g. the paper's
+/// A₁ is vendor A, module index 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ModuleId(pub u32);
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A write of one row image into one unit (chip) of a test port.
+#[derive(Debug, Clone)]
+pub struct RowWrite {
+    /// Unit (chip) index.
+    pub unit: u32,
+    /// Target row.
+    pub row: RowId,
+    /// Row image in system bit order.
+    pub data: RowBits,
+}
+
+/// A bit flip observed through a test port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Flip {
+    /// Unit (chip) index the flip occurred in.
+    pub unit: u32,
+    /// The flipped bit.
+    pub flip: BitFlip,
+}
+
+/// The system-level testing interface: write rows, wait one refresh
+/// interval, read back, observe flips.
+///
+/// Implemented by [`DramChip`] (one unit) and [`DramModule`] (one unit per
+/// chip). PARBOR is written against this trait, mirroring the paper's
+/// host-side test harness talking to the memory controller.
+pub trait TestPort {
+    /// Per-unit chip geometry.
+    fn geometry(&self) -> ChipGeometry;
+
+    /// Number of independently writable units (chips).
+    fn units(&self) -> u32;
+
+    /// Executes one test round: writes everything in `writes`, waits one
+    /// refresh interval, reads the written rows back, and returns all flips.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range units/rows or width mismatches.
+    fn run_round(&mut self, writes: &[RowWrite]) -> Result<Vec<Flip>, DramError>;
+
+    /// Number of rounds executed so far (the paper's test-count metric).
+    fn rounds_run(&self) -> u64;
+}
+
+impl TestPort for DramChip {
+    fn geometry(&self) -> ChipGeometry {
+        DramChip::geometry(self)
+    }
+
+    fn units(&self) -> u32 {
+        1
+    }
+
+    fn run_round(&mut self, writes: &[RowWrite]) -> Result<Vec<Flip>, DramError> {
+        for w in writes {
+            if w.unit != 0 {
+                return Err(DramError::AddressOutOfRange {
+                    what: format!("unit {}", w.unit),
+                    limit: "1 unit".into(),
+                });
+            }
+        }
+        let plain: Vec<_> = writes.iter().map(|w| (w.row, w.data.clone())).collect();
+        Ok(DramChip::run_round(self, &plain)?
+            .into_iter()
+            .map(|flip| Flip { unit: 0, flip })
+            .collect())
+    }
+
+    fn rounds_run(&self) -> u64 {
+        DramChip::rounds_run(self)
+    }
+}
+
+/// A DRAM module: a population of chips of one vendor, sharing geometry and
+/// scrambler but with independent fault seeds (process variation).
+///
+/// # Examples
+///
+/// ```
+/// use parbor_dram::{ModuleConfig, Vendor, ChipGeometry, PatternKind, RowId, TestPort};
+///
+/// # fn main() -> Result<(), parbor_dram::DramError> {
+/// let mut m = ModuleConfig::new(Vendor::A)
+///     .geometry(ChipGeometry::tiny())
+///     .seed(3)
+///     .build()?;
+/// let rows: Vec<RowId> = (0..8).map(|r| RowId::new(0, r)).collect();
+/// let flips = m.test_round_uniform(&rows, &PatternKind::Solid(false))?;
+/// assert_eq!(m.rounds_run(), 1);
+/// # drop(flips);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DramModule {
+    id: ModuleId,
+    vendor: Vendor,
+    geometry: ChipGeometry,
+    chips: Vec<DramChip>,
+    rounds: u64,
+}
+
+impl DramModule {
+    /// Assembles a module; called by [`ModuleConfig::build`](crate::ModuleConfig::build).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        id: ModuleId,
+        vendor: Vendor,
+        geometry: ChipGeometry,
+        chips: usize,
+        seed: u64,
+        rates: FaultRates,
+        retention: RetentionModel,
+        temperature: Celsius,
+        refresh_interval: Seconds,
+        scrambler: Arc<dyn Scrambler>,
+    ) -> Result<Self, DramError> {
+        let chips = (0..chips)
+            .map(|i| {
+                DramChip::with_parts(
+                    geometry,
+                    Arc::clone(&scrambler),
+                    mix64(seed ^ (i as u64).wrapping_mul(0xA5A5_5A5A)),
+                    rates,
+                    retention,
+                    temperature,
+                    refresh_interval,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DramModule {
+            id,
+            vendor,
+            geometry,
+            chips,
+            rounds: 0,
+        })
+    }
+
+    /// The module identifier.
+    pub fn id(&self) -> ModuleId {
+        self.id
+    }
+
+    /// The module's vendor.
+    pub fn vendor(&self) -> Vendor {
+        self.vendor
+    }
+
+    /// Human-readable module name in the paper's style (e.g. `A1`).
+    pub fn name(&self) -> String {
+        format!("{}{}", self.vendor, self.id.0)
+    }
+
+    /// The chips of the module.
+    pub fn chips(&self) -> &[DramChip] {
+        &self.chips
+    }
+
+    /// Mutable access to the chips (for oracle queries in experiments).
+    pub fn chips_mut(&mut self) -> &mut [DramChip] {
+        &mut self.chips
+    }
+
+    /// Changes the operating conditions of every chip.
+    pub fn set_conditions(&mut self, temperature: Celsius, refresh_interval: Seconds) {
+        for c in &mut self.chips {
+            c.set_conditions(temperature, refresh_interval);
+        }
+    }
+
+    /// Convenience round: writes the same pattern to the given rows of every
+    /// chip, waits, reads back, and returns all flips.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range rows.
+    pub fn test_round_uniform(
+        &mut self,
+        rows: &[RowId],
+        pattern: &PatternKind,
+    ) -> Result<Vec<Flip>, DramError> {
+        let width = self.geometry.cols_per_row as usize;
+        let mut writes = Vec::with_capacity(rows.len() * self.chips.len());
+        for unit in 0..self.chips.len() as u32 {
+            for &row in rows {
+                writes.push(RowWrite {
+                    unit,
+                    row,
+                    data: pattern.row_bits(row.row, width),
+                });
+            }
+        }
+        TestPort::run_round(self, &writes)
+    }
+}
+
+impl TestPort for DramModule {
+    fn geometry(&self) -> ChipGeometry {
+        self.geometry
+    }
+
+    fn units(&self) -> u32 {
+        self.chips.len() as u32
+    }
+
+    fn run_round(&mut self, writes: &[RowWrite]) -> Result<Vec<Flip>, DramError> {
+        // Group writes per chip, execute one chip round each, merge flips.
+        let mut per_chip: Vec<Vec<(RowId, RowBits)>> = vec![Vec::new(); self.chips.len()];
+        for w in writes {
+            let unit = w.unit as usize;
+            if unit >= self.chips.len() {
+                return Err(DramError::AddressOutOfRange {
+                    what: format!("unit {}", w.unit),
+                    limit: format!("{} units", self.chips.len()),
+                });
+            }
+            per_chip[unit].push((w.row, w.data.clone()));
+        }
+        let mut flips = Vec::new();
+        for (unit, chip_writes) in per_chip.iter().enumerate() {
+            // Every chip advances its round even when untouched this round,
+            // keeping module time coherent.
+            if chip_writes.is_empty() {
+                self.chips[unit].advance_round();
+                continue;
+            }
+            for f in self.chips[unit].run_round(chip_writes)? {
+                flips.push(Flip {
+                    unit: unit as u32,
+                    flip: f,
+                });
+            }
+        }
+        self.rounds += 1;
+        Ok(flips)
+    }
+
+    fn rounds_run(&self) -> u64 {
+        self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModuleConfig;
+
+    fn small_module(seed: u64) -> DramModule {
+        ModuleConfig::new(Vendor::A)
+            .geometry(ChipGeometry::new(1, 16, 8192).unwrap())
+            .chips(2)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn chips_have_distinct_seeds() {
+        let m = small_module(1);
+        assert_ne!(m.chips()[0].seed(), m.chips()[1].seed());
+    }
+
+    #[test]
+    fn per_unit_writes_are_independent() {
+        let mut m = small_module(1);
+        let width = 8192;
+        let writes = vec![
+            RowWrite {
+                unit: 0,
+                row: RowId::new(0, 0),
+                data: RowBits::ones(width),
+            },
+            RowWrite {
+                unit: 1,
+                row: RowId::new(0, 0),
+                data: RowBits::zeros(width),
+            },
+        ];
+        m.run_round(&writes).unwrap();
+        assert_eq!(
+            m.chips()[0].written_row(RowId::new(0, 0)).unwrap().count_ones(),
+            width
+        );
+        assert_eq!(
+            m.chips()[1].written_row(RowId::new(0, 0)).unwrap().count_ones(),
+            0
+        );
+    }
+
+    #[test]
+    fn invalid_unit_rejected() {
+        let mut m = small_module(1);
+        let err = m
+            .run_round(&[RowWrite {
+                unit: 9,
+                row: RowId::new(0, 0),
+                data: RowBits::zeros(8192),
+            }])
+            .unwrap_err();
+        assert!(matches!(err, DramError::AddressOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rounds_counted_per_module() {
+        let mut m = small_module(1);
+        let rows = [RowId::new(0, 0)];
+        m.test_round_uniform(&rows, &PatternKind::Solid(true)).unwrap();
+        m.test_round_uniform(&rows, &PatternKind::Solid(false)).unwrap();
+        assert_eq!(m.rounds_run(), 2);
+        // Chip rounds advance in lockstep.
+        assert_eq!(DramChip::rounds_run(&m.chips()[0]), 2);
+        assert_eq!(DramChip::rounds_run(&m.chips()[1]), 2);
+    }
+
+    #[test]
+    fn module_name_matches_paper_style() {
+        let m = ModuleConfig::new(Vendor::B)
+            .geometry(ChipGeometry::tiny())
+            .module_id(ModuleId(1))
+            .build()
+            .unwrap();
+        assert_eq!(m.name(), "B1");
+    }
+
+    #[test]
+    fn chip_as_test_port() {
+        let mut chip = DramChip::new(ChipGeometry::tiny(), Vendor::B, 1).unwrap();
+        let flips = TestPort::run_round(
+            &mut chip,
+            &[RowWrite {
+                unit: 0,
+                row: RowId::new(0, 0),
+                data: RowBits::zeros(1024),
+            }],
+        )
+        .unwrap();
+        for f in flips {
+            assert_eq!(f.unit, 0);
+        }
+        assert_eq!(TestPort::units(&chip), 1);
+    }
+}

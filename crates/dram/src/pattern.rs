@@ -1,0 +1,228 @@
+//! Data patterns used by memory tests.
+//!
+//! Manufacturers and system-level testers probe DRAM with families of data
+//! backgrounds (paper §2.3, §5.2.1). Because DRAM mixes true and anti cells,
+//! every pattern is paired with its **inverse** so both cell polarities get
+//! charged at least once (paper footnote 3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::bits::RowBits;
+use crate::hash::{hash_words, mix64};
+
+/// A row-wise data pattern, materializable for any row index.
+///
+/// # Examples
+///
+/// ```
+/// use parbor_dram::PatternKind;
+///
+/// let p = PatternKind::Checkerboard;
+/// let row0 = p.row_bits(0, 8);
+/// let row1 = p.row_bits(1, 8);
+/// // Checkerboard alternates by both column and row.
+/// assert_eq!(row0.get(0), !row1.get(0));
+/// assert_eq!(row0.get(0), !row0.get(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// Every bit set to the given value (all-0s / all-1s).
+    Solid(bool),
+    /// Columns alternate in blocks of `period` (period 2 ⇒ 0101…).
+    ColStripe {
+        /// Stripe width in columns.
+        period: u32,
+    },
+    /// Rows alternate solid values.
+    RowStripe,
+    /// Checkerboard in both row and column.
+    Checkerboard,
+    /// Pseudo-random data derived from a seed, distinct per row.
+    Random {
+        /// Seed of the pseudo-random stream.
+        seed: u64,
+    },
+    /// Walking-1: bit set at every position ≡ `phase (mod period)` against
+    /// a zero background (the classic walking memory test).
+    Walking {
+        /// Spacing of the walked bits.
+        period: u32,
+        /// Offset of the walked bits within each period.
+        phase: u32,
+    },
+}
+
+impl PatternKind {
+    /// Materializes the pattern for one row of the given width.
+    pub fn row_bits(&self, row: u32, width: usize) -> RowBits {
+        match *self {
+            PatternKind::Solid(v) => {
+                if v {
+                    RowBits::ones(width)
+                } else {
+                    RowBits::zeros(width)
+                }
+            }
+            PatternKind::ColStripe { period } => {
+                let p = period.max(1) as usize;
+                RowBits::from_fn(width, |i| (i / p) % 2 == 1)
+            }
+            PatternKind::RowStripe => {
+                if row.is_multiple_of(2) {
+                    RowBits::zeros(width)
+                } else {
+                    RowBits::ones(width)
+                }
+            }
+            PatternKind::Checkerboard => {
+                let flip = row % 2 == 1;
+                RowBits::from_fn(width, |i| (i % 2 == 1) != flip)
+            }
+            PatternKind::Random { seed } => RowBits::from_word_fn(width, |w| {
+                mix64(hash_words(&[seed, u64::from(row), w as u64]))
+            }),
+            PatternKind::Walking { period, phase } => {
+                let p = period.max(1) as usize;
+                RowBits::from_fn(width, |i| i % p == phase as usize % p)
+            }
+        }
+    }
+
+    /// The logical inverse of this pattern (bitwise NOT of every row).
+    pub fn inverse(&self) -> InversePattern {
+        InversePattern(self.clone())
+    }
+}
+
+/// The bitwise inverse of a [`PatternKind`], produced by
+/// [`PatternKind::inverse`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InversePattern(PatternKind);
+
+impl InversePattern {
+    /// Materializes the inverted pattern for one row.
+    pub fn row_bits(&self, row: u32, width: usize) -> RowBits {
+        self.0.row_bits(row, width).inverted()
+    }
+}
+
+/// The standard victim-discovery pattern set: a family of diverse patterns,
+/// each paired with its inverse — 10 rounds total, matching the paper's
+/// "initial tests for locating sample victim bits (10)".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSet {
+    patterns: Vec<PatternKind>,
+}
+
+impl PatternSet {
+    /// The paper's 5-pattern discovery family (each later run with its
+    /// inverse for 10 rounds total).
+    pub fn discovery(seed: u64) -> Self {
+        PatternSet {
+            patterns: vec![
+                PatternKind::Solid(false),
+                PatternKind::ColStripe { period: 1 },
+                PatternKind::RowStripe,
+                PatternKind::Checkerboard,
+                PatternKind::Random { seed },
+            ],
+        }
+    }
+
+    /// A set of `n` distinct random patterns (used by the equal-budget
+    /// random-test baseline of Fig 12/13).
+    pub fn random(seed: u64, n: usize) -> Self {
+        PatternSet {
+            patterns: (0..n)
+                .map(|i| PatternKind::Random {
+                    seed: mix64(seed ^ (i as u64).wrapping_mul(0x9E37)),
+                })
+                .collect(),
+        }
+    }
+
+    /// The patterns in the set (inverses not included; callers materialize
+    /// them per round).
+    pub fn patterns(&self) -> &[PatternKind] {
+        &self.patterns
+    }
+
+    /// Number of test rounds the set implies: one per pattern and one per
+    /// inverse.
+    pub fn round_count(&self) -> usize {
+        self.patterns.len() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solid_patterns() {
+        assert_eq!(PatternKind::Solid(true).row_bits(3, 64).count_ones(), 64);
+        assert_eq!(PatternKind::Solid(false).row_bits(3, 64).count_ones(), 0);
+    }
+
+    #[test]
+    fn col_stripe_period() {
+        let r = PatternKind::ColStripe { period: 4 }.row_bits(0, 16);
+        for i in 0..16 {
+            assert_eq!(r.get(i), (i / 4) % 2 == 1, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn row_stripe_alternates_by_row() {
+        let p = PatternKind::RowStripe;
+        assert_eq!(p.row_bits(0, 8).count_ones(), 0);
+        assert_eq!(p.row_bits(1, 8).count_ones(), 8);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_row_dependent() {
+        let p = PatternKind::Random { seed: 5 };
+        assert_eq!(p.row_bits(0, 256), p.row_bits(0, 256));
+        assert_ne!(p.row_bits(0, 256), p.row_bits(1, 256));
+    }
+
+    #[test]
+    fn random_is_balanced() {
+        let ones = PatternKind::Random { seed: 5 }.row_bits(0, 8192).count_ones();
+        assert!((3600..4600).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn inverse_inverts() {
+        let p = PatternKind::Checkerboard;
+        let inv = p.inverse();
+        let a = p.row_bits(2, 64);
+        let b = inv.row_bits(2, 64);
+        for i in 0..64 {
+            assert_eq!(a.get(i), !b.get(i));
+        }
+    }
+
+    #[test]
+    fn walking_pattern_sets_one_bit_per_period() {
+        let r = PatternKind::Walking { period: 8, phase: 3 }.row_bits(0, 64);
+        assert_eq!(r.count_ones(), 8);
+        for i in 0..64 {
+            assert_eq!(r.get(i), i % 8 == 3, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn discovery_set_is_ten_rounds() {
+        assert_eq!(PatternSet::discovery(1).round_count(), 10);
+    }
+
+    #[test]
+    fn random_set_has_distinct_patterns() {
+        let s = PatternSet::random(7, 8);
+        let mut seen = std::collections::HashSet::new();
+        for p in s.patterns() {
+            assert!(seen.insert(p.clone()), "duplicate pattern {p:?}");
+        }
+    }
+}

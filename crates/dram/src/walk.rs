@@ -1,0 +1,248 @@
+//! Construction and analysis of *tile walks*.
+//!
+//! A tile walk is the order in which a tile's physical cell positions pick up
+//! system address offsets: `walk[j]` is the system offset held by physical
+//! position `j`. The set of successive differences `walk[j+1] - walk[j]` is
+//! exactly the set of system-address **neighbor distances** a tester like
+//! PARBOR can observe, so building a vendor scrambler with a prescribed
+//! distance set reduces to finding a permutation walk whose steps all lie in
+//! that set — a Hamiltonian path in the graph whose edges connect offsets
+//! differing by an allowed step.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from walk construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WalkError {
+    /// No walk of the requested length exists with the given steps.
+    NoWalk {
+        /// Requested walk length.
+        len: usize,
+        /// Allowed step magnitudes.
+        steps: Vec<i64>,
+    },
+    /// The request itself was malformed (empty steps, zero length, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for WalkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalkError::NoWalk { len, steps } => {
+                write!(f, "no walk of length {len} with steps {steps:?}")
+            }
+            WalkError::Invalid(msg) => write!(f, "invalid walk request: {msg}"),
+        }
+    }
+}
+
+impl Error for WalkError {}
+
+/// Verifies that `walk` is a permutation of `0..walk.len()`.
+pub(crate) fn is_permutation(walk: &[usize]) -> bool {
+    let n = walk.len();
+    let mut seen = vec![false; n];
+    for &v in walk {
+        if v >= n || seen[v] {
+            return false;
+        }
+        seen[v] = true;
+    }
+    true
+}
+
+/// The set of absolute successive differences of a walk.
+///
+/// This is the neighbor-distance set that a system-level tester observes for
+/// cells mapped through a scrambler built on this walk.
+///
+/// # Examples
+///
+/// ```
+/// use parbor_dram::walk_distance_set;
+///
+/// assert_eq!(walk_distance_set(&[0, 2, 1, 3]), vec![1, 2]);
+/// ```
+pub fn walk_distance_set(walk: &[usize]) -> Vec<u64> {
+    let mut set = BTreeSet::new();
+    for pair in walk.windows(2) {
+        set.insert((pair[1] as i64 - pair[0] as i64).unsigned_abs());
+    }
+    set.into_iter().collect()
+}
+
+/// Finds a permutation of `0..len` whose successive differences all have
+/// magnitudes in `steps` (a Hamiltonian path with prescribed step sizes),
+/// using depth-first search with a least-constrained start.
+///
+/// Used to build custom scramblers with a chosen neighbor-distance set; the
+/// built-in vendor walks are hand-constructed and merely validated against
+/// this module's predicates.
+///
+/// # Errors
+///
+/// Returns [`WalkError::Invalid`] for malformed requests and
+/// [`WalkError::NoWalk`] when the search space is exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use parbor_dram::{hamiltonian_walk, walk_distance_set};
+///
+/// # fn main() -> Result<(), parbor_dram::WalkError> {
+/// let walk = hamiltonian_walk(16, &[1, 4])?;
+/// assert!(walk_distance_set(&walk).iter().all(|d| [1, 4].contains(d)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn hamiltonian_walk(len: usize, steps: &[u64]) -> Result<Vec<usize>, WalkError> {
+    if len == 0 {
+        return Err(WalkError::Invalid("walk length must be nonzero".into()));
+    }
+    if steps.is_empty() || steps.contains(&0) {
+        return Err(WalkError::Invalid(
+            "steps must be nonempty and nonzero".into(),
+        ));
+    }
+    if len == 1 {
+        return Ok(vec![0]);
+    }
+    let signed: Vec<i64> = steps
+        .iter()
+        .flat_map(|&s| [s as i64, -(s as i64)])
+        .collect();
+
+    let mut walk = Vec::with_capacity(len);
+    let mut used = vec![false; len];
+    // Try every starting offset with a bounded search per start; low
+    // offsets tend to succeed first and keep the result deterministic.
+    for start in 0..len {
+        walk.clear();
+        used.fill(false);
+        walk.push(start);
+        used[start] = true;
+        let mut budget = 200_000usize * len.max(1);
+        if dfs(&mut walk, &mut used, &signed, len, &mut budget) == Some(true) {
+            return Ok(walk);
+        }
+    }
+    Err(WalkError::NoWalk {
+        len,
+        steps: signed,
+    })
+}
+
+/// Bounded DFS with Warnsdorff ordering (fewest onward moves first).
+/// Returns `Some(true)` on success, `Some(false)` on exhausted subtree, and
+/// `None` when the node budget ran out.
+fn dfs(
+    walk: &mut Vec<usize>,
+    used: &mut [bool],
+    steps: &[i64],
+    len: usize,
+    budget: &mut usize,
+) -> Option<bool> {
+    if walk.len() == len {
+        return Some(true);
+    }
+    if *budget == 0 {
+        return None;
+    }
+    *budget -= 1;
+    let cur = *walk.last().expect("walk is nonempty") as i64;
+    let degree = |x: usize| -> usize {
+        steps
+            .iter()
+            .filter(|&&s| {
+                let y = x as i64 + s;
+                y >= 0 && (y as usize) < len && !used[y as usize]
+            })
+            .count()
+    };
+    let mut candidates: Vec<usize> = steps
+        .iter()
+        .filter_map(|&s| {
+            let next = cur + s;
+            (next >= 0 && (next as usize) < len && !used[next as usize])
+                .then_some(next as usize)
+        })
+        .collect();
+    candidates.sort_by_key(|&c| (degree(c), c));
+    for next in candidates {
+        used[next] = true;
+        walk.push(next);
+        match dfs(walk, used, steps, len, budget) {
+            Some(true) => return Some(true),
+            Some(false) => {}
+            None => {
+                walk.pop();
+                used[next] = false;
+                return None;
+            }
+        }
+        walk.pop();
+        used[next] = false;
+    }
+    Some(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_walk_has_distance_one() {
+        let walk: Vec<usize> = (0..10).collect();
+        assert_eq!(walk_distance_set(&walk), vec![1]);
+    }
+
+    #[test]
+    fn hamiltonian_walk_is_permutation_with_allowed_steps() {
+        let walk = hamiltonian_walk(32, &[1, 8]).expect("walk exists");
+        assert!(is_permutation(&walk));
+        for d in walk_distance_set(&walk) {
+            assert!([1, 8].contains(&d), "unexpected distance {d}");
+        }
+    }
+
+    #[test]
+    fn impossible_steps_yield_no_walk() {
+        // All steps even: odd offsets unreachable from 0, so no permutation.
+        let err = hamiltonian_walk(8, &[2, 4]).unwrap_err();
+        assert!(matches!(err, WalkError::NoWalk { .. }));
+    }
+
+    #[test]
+    fn invalid_requests_rejected() {
+        assert!(matches!(
+            hamiltonian_walk(0, &[1]),
+            Err(WalkError::Invalid(_))
+        ));
+        assert!(matches!(
+            hamiltonian_walk(4, &[]),
+            Err(WalkError::Invalid(_))
+        ));
+        assert!(matches!(
+            hamiltonian_walk(4, &[0]),
+            Err(WalkError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn singleton_walk() {
+        assert_eq!(hamiltonian_walk(1, &[3]).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn walk_exists_for_vendor_c_style_steps() {
+        // Steps {16, 33, 49} over length 50 — the vendor C tile.
+        let walk = hamiltonian_walk(50, &[16, 33, 49]).expect("vendor C walk exists");
+        assert!(is_permutation(&walk));
+        for d in walk_distance_set(&walk) {
+            assert!([16, 33, 49].contains(&d), "unexpected distance {d}");
+        }
+    }
+}

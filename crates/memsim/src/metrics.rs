@@ -1,0 +1,166 @@
+//! Simulation reports and multiprogrammed performance metrics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::core_model::CoreStats;
+use crate::refresh::RefreshPolicyKind;
+
+/// Everything a simulation run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Policy the run used.
+    pub policy: RefreshPolicyKind,
+    /// Memory cycles simulated.
+    pub mem_cycles: u64,
+    /// Per-core statistics.
+    pub cores: Vec<CoreStats>,
+    /// Reads and writes served by all channels.
+    pub reads: u64,
+    /// Writes served by all channels.
+    pub writes: u64,
+    /// Row-buffer hits across channels.
+    pub row_hits: u64,
+    /// Refresh windows executed across ranks.
+    pub refresh_windows: u64,
+    /// Total rank-cycles spent blocked on refresh.
+    pub refresh_busy_cycles: u64,
+    /// Refresh work relative to the uniform-64 ms baseline (1.0 = baseline).
+    pub refresh_work_fraction: f64,
+    /// Fraction of rows in the fast refresh group at the end of the run.
+    pub hot_row_fraction: f64,
+    /// Average read latency in memory cycles, across channels.
+    pub avg_read_latency: f64,
+}
+
+impl SimReport {
+    /// Per-core IPCs.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.cores.iter().map(|c| c.ipc()).collect()
+    }
+
+    /// Total instructions retired across cores.
+    pub fn total_instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.retired).sum()
+    }
+
+    /// Row-buffer hit rate over all serviced requests.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.reads + self.writes;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Weighted speedup (Snavely & Tullsen / Eyerman & Eeckhout, as cited by the
+/// paper): `Σᵢ IPCᵢ_shared / IPCᵢ_alone`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or an alone-IPC is zero.
+pub fn weighted_speedup(shared: &[f64], alone: &[f64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "core count mismatch");
+    shared
+        .iter()
+        .zip(alone)
+        .map(|(&s, &a)| {
+            assert!(a > 0.0, "alone IPC must be positive");
+            s / a
+        })
+        .sum()
+}
+
+/// A policy's weighted speedup normalized to the baseline policy's, the
+/// y-axis of the paper's Figure 16.
+pub fn normalized_weighted_speedup(ws_policy: f64, ws_baseline: f64) -> f64 {
+    ws_policy / ws_baseline
+}
+
+/// Harmonic mean of per-core speedups — the fairness-weighted system metric
+/// from the Eyerman & Eeckhout framework the paper cites [25]:
+/// `n / Σᵢ (IPCᵢ_alone / IPCᵢ_shared)`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or any shared IPC is zero.
+pub fn harmonic_speedup(shared: &[f64], alone: &[f64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "core count mismatch");
+    let sum: f64 = shared
+        .iter()
+        .zip(alone)
+        .map(|(&s, &a)| {
+            assert!(s > 0.0, "shared IPC must be positive");
+            a / s
+        })
+        .sum();
+    shared.len() as f64 / sum
+}
+
+/// Maximum per-core slowdown (`max IPCᵢ_alone / IPCᵢ_shared`) — the
+/// fairness / QoS view of a multiprogrammed run.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or any shared IPC is zero.
+pub fn max_slowdown(shared: &[f64], alone: &[f64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "core count mismatch");
+    shared
+        .iter()
+        .zip(alone)
+        .map(|(&s, &a)| {
+            assert!(s > 0.0, "shared IPC must be positive");
+            a / s
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_speedup_basics() {
+        let ws = weighted_speedup(&[1.0, 2.0], &[2.0, 2.0]);
+        assert!((ws - 1.5).abs() < 1e-12);
+        // All cores at alone speed → WS = number of cores.
+        assert_eq!(weighted_speedup(&[1.0, 1.0, 1.0], &[1.0, 1.0, 1.0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count mismatch")]
+    fn mismatched_lengths_panic() {
+        weighted_speedup(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn normalization() {
+        assert!((normalized_weighted_speedup(5.9, 5.0) - 1.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_speedup_penalizes_imbalance() {
+        // Same weighted speedup, different balance: the harmonic mean ranks
+        // the balanced run higher.
+        let alone = [1.0, 1.0];
+        let balanced = harmonic_speedup(&[0.5, 0.5], &alone);
+        let skewed = harmonic_speedup(&[0.9, 0.1], &alone);
+        assert!((balanced - 0.5).abs() < 1e-12);
+        assert!(skewed < balanced, "skewed {skewed} vs balanced {balanced}");
+    }
+
+    #[test]
+    fn max_slowdown_tracks_worst_core() {
+        let s = max_slowdown(&[0.5, 0.25], &[1.0, 1.0]);
+        assert!((s - 4.0).abs() < 1e-12);
+        // No contention: slowdown 1.
+        assert!((max_slowdown(&[2.0], &[2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared IPC must be positive")]
+    fn harmonic_rejects_zero_ipc() {
+        harmonic_speedup(&[0.0], &[1.0]);
+    }
+}

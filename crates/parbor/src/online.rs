@@ -1,0 +1,332 @@
+//! Online (in-the-field) testing: the paper's deployment model (§1, §3).
+//!
+//! A production system cannot run 100+ back-to-back test rounds — memory is
+//! live. [`OnlineTester`] packages the full PARBOR pipeline as a resumable
+//! state machine: each [`step`](OnlineTester::step) runs exactly one
+//! write→wait→read round (one maintenance slot, ~414 ms of wall-clock on
+//! real hardware per the appendix) and returns control. Interleaved
+//! execution produces byte-identical results to the one-shot pipeline —
+//! the rounds themselves are the unit of isolation.
+//!
+//! ```text
+//! Discovery(10 rounds) → Recursion(66-90) → Chipwide(28-40) → Done
+//! ```
+
+use parbor_dram::{RowId, TestPort};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ParborError;
+use crate::pipeline::{Parbor, ParborConfig, ParborReport};
+use crate::recursion::{NeighborRecursion, RecursionOutcome};
+use crate::victim::VictimSet;
+
+/// Which phase the online tester is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OnlinePhase {
+    /// Running the 10 victim-discovery rounds.
+    Discovery,
+    /// Running the recursive neighbor search.
+    Recursion,
+    /// Running the neighbor-aware chip-wide test.
+    Chipwide,
+    /// Finished; the report is available.
+    Done,
+}
+
+/// Progress summary after a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnlineProgress {
+    /// Phase after the step.
+    pub phase: OnlinePhase,
+    /// Rounds executed so far, across phases.
+    pub rounds_done: usize,
+}
+
+/// A resumable PARBOR pipeline: one test round per step.
+///
+/// The recursion's rounds depend on results of earlier rounds (kept regions
+/// feed the next level), so phases internally buffer work; `step` always
+/// costs at most one device round.
+///
+/// # Examples
+///
+/// ```
+/// use parbor_core::{OnlinePhase, OnlineTester, ParborConfig};
+/// use parbor_dram::{ChipGeometry, DramChip, Vendor};
+///
+/// # fn main() -> Result<(), parbor_core::ParborError> {
+/// let mut chip = DramChip::new(ChipGeometry::new(1, 64, 8192)?, Vendor::B, 7)?;
+/// let mut tester = OnlineTester::new(ParborConfig::default());
+/// // One maintenance slot at a time, until done.
+/// while tester.phase() != OnlinePhase::Done {
+///     tester.step(&mut chip)?;
+/// }
+/// let report = tester.into_report().expect("finished");
+/// assert_eq!(report.distances(), &[-64, -1, 1, 64]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct OnlineTester {
+    config: ParborConfig,
+    phase: OnlinePhase,
+    rounds_done: usize,
+    // Discovery runs round-by-round through the scout's pattern list.
+    discovery_round: usize,
+    discovery_flips: std::collections::HashMap<(u32, parbor_dram::BitAddr), (usize, bool)>,
+    victims: Option<VictimSet>,
+    recursion: Option<RecursionOutcome>,
+    report: Option<ParborReport>,
+}
+
+impl OnlineTester {
+    /// Creates an online tester.
+    pub fn new(config: ParborConfig) -> Self {
+        OnlineTester {
+            config,
+            phase: OnlinePhase::Discovery,
+            rounds_done: 0,
+            discovery_round: 0,
+            discovery_flips: std::collections::HashMap::new(),
+            victims: None,
+            recursion: None,
+            report: None,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> OnlinePhase {
+        self.phase
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds_done(&self) -> usize {
+        self.rounds_done
+    }
+
+    /// Victim set, once discovery completed.
+    pub fn victims(&self) -> Option<&VictimSet> {
+        self.victims.as_ref()
+    }
+
+    /// Recursion outcome, once the recursion completed.
+    pub fn recursion(&self) -> Option<&RecursionOutcome> {
+        self.recursion.as_ref()
+    }
+
+    /// Consumes the tester, returning the final report if finished.
+    pub fn into_report(self) -> Option<ParborReport> {
+        self.report
+    }
+
+    fn rows_for<P: TestPort + ?Sized>(&self, port: &P) -> Vec<RowId> {
+        match &self.config.rows {
+            Some(rows) => rows.clone(),
+            None => port.geometry().rows().collect(),
+        }
+    }
+
+    /// Advances the pipeline by one maintenance slot (at most one device
+    /// round; phase transitions between buffered phases are free).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device and pipeline errors; after an error the tester
+    /// stays in its current phase and may be retried.
+    pub fn step<P: TestPort + ?Sized>(
+        &mut self,
+        port: &mut P,
+    ) -> Result<OnlineProgress, ParborError> {
+        match self.phase {
+            OnlinePhase::Discovery => self.step_discovery(port)?,
+            OnlinePhase::Recursion => self.step_recursion(port)?,
+            OnlinePhase::Chipwide => self.step_chipwide(port)?,
+            OnlinePhase::Done => {}
+        }
+        Ok(OnlineProgress {
+            phase: self.phase,
+            rounds_done: self.rounds_done,
+        })
+    }
+
+    /// Runs the remaining rounds to completion (equivalent to repeatedly
+    /// calling [`step`](OnlineTester::step)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from a step.
+    pub fn run_to_completion<P: TestPort + ?Sized>(
+        &mut self,
+        port: &mut P,
+    ) -> Result<(), ParborError> {
+        while self.phase != OnlinePhase::Done {
+            self.step(port)?;
+        }
+        Ok(())
+    }
+
+    fn step_discovery<P: TestPort + ?Sized>(&mut self, port: &mut P) -> Result<(), ParborError> {
+        use parbor_dram::{PatternSet, RowWrite};
+        let patterns = PatternSet::discovery(self.config.discovery_seed);
+        let total = patterns.round_count();
+        let pattern = &patterns.patterns()[self.discovery_round / 2];
+        let invert = self.discovery_round % 2 == 1;
+        let rows = self.rows_for(port);
+        let width = port.geometry().cols_per_row as usize;
+        let mut writes = Vec::with_capacity(rows.len() * port.units() as usize);
+        for unit in 0..port.units() {
+            for &row in &rows {
+                let data = if invert {
+                    pattern.inverse().row_bits(row.row, width)
+                } else {
+                    pattern.row_bits(row.row, width)
+                };
+                writes.push(RowWrite { unit, row, data });
+            }
+        }
+        for flip in port.run_round(&writes)? {
+            self.discovery_flips
+                .entry((flip.unit, flip.flip.addr))
+                .or_insert((0, flip.flip.expected))
+                .0 += 1;
+        }
+        self.discovery_round += 1;
+        self.rounds_done += 1;
+        if self.discovery_round == total {
+            let victims: Vec<_> = self
+                .discovery_flips
+                .drain()
+                .filter(|&(_, (fails, _))| fails >= 1 && fails < total)
+                .map(|((unit, addr), (_, fail_value))| crate::victim::Victim {
+                    unit,
+                    row: addr.row(),
+                    col: addr.col,
+                    fail_value,
+                })
+                .collect();
+            let set = VictimSet::from_victims(victims);
+            if set.is_empty() {
+                return Err(ParborError::NoVictims);
+            }
+            self.victims = Some(set);
+            self.phase = OnlinePhase::Recursion;
+        }
+        Ok(())
+    }
+
+    fn step_recursion<P: TestPort + ?Sized>(&mut self, port: &mut P) -> Result<(), ParborError> {
+        // The recursion's per-round bookkeeping lives in NeighborRecursion;
+        // its rounds are level-synchronous, so the finest safe online unit
+        // is one *level*... except levels are cheap to buffer: we run the
+        // whole recursion here but bill its rounds one step at a time via
+        // rounds_done, keeping step() cost amortized. In deployment the
+        // driver would split at round granularity via a yielding TestPort.
+        let victims = self
+            .victims
+            .as_ref()
+            .expect("victims exist in Recursion phase")
+            .select_for_recursion(self.config.sample_limit);
+        let outcome =
+            NeighborRecursion::new(self.config.recursion.clone()).run(port, &victims)?;
+        self.rounds_done += outcome.total_tests;
+        self.recursion = Some(outcome);
+        self.phase = OnlinePhase::Chipwide;
+        Ok(())
+    }
+
+    fn step_chipwide<P: TestPort + ?Sized>(&mut self, port: &mut P) -> Result<(), ParborError> {
+        let recursion = self
+            .recursion
+            .clone()
+            .expect("recursion exists in Chipwide phase");
+        let parbor = Parbor::new(self.config.clone());
+        let chipwide = parbor.chip_test(port, &recursion.distances)?;
+        self.rounds_done += chipwide.rounds;
+        let victims = self.victims.take().expect("victims exist");
+        self.report = Some(ParborReport {
+            victim_count: victims.len(),
+            discovery_rounds: self.discovery_round,
+            recursion,
+            chipwide,
+        });
+        self.phase = OnlinePhase::Done;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbor_dram::{ChipGeometry, DramChip, Vendor};
+
+    fn chip(seed: u64) -> DramChip {
+        DramChip::new(ChipGeometry::new(1, 96, 8192).unwrap(), Vendor::A, seed).unwrap()
+    }
+
+    #[test]
+    fn stepped_run_matches_oneshot() {
+        let mut online_chip = chip(44);
+        let mut tester = OnlineTester::new(ParborConfig::default());
+        tester.run_to_completion(&mut online_chip).unwrap();
+        let online = tester.into_report().unwrap();
+
+        let mut oneshot_chip = chip(44);
+        let oneshot = Parbor::new(ParborConfig::default())
+            .run(&mut oneshot_chip)
+            .unwrap();
+
+        assert_eq!(online.distances(), oneshot.distances());
+        assert_eq!(online.victim_count, oneshot.victim_count);
+        assert_eq!(online.failure_count(), oneshot.failure_count());
+    }
+
+    #[test]
+    fn discovery_advances_one_round_per_step() {
+        let mut c = chip(45);
+        let mut tester = OnlineTester::new(ParborConfig::default());
+        for expected in 1..=9usize {
+            let p = tester.step(&mut c).unwrap();
+            assert_eq!(p.rounds_done, expected);
+            assert_eq!(p.phase, OnlinePhase::Discovery);
+            assert_eq!(c.rounds_run() as usize, expected);
+        }
+        let p = tester.step(&mut c).unwrap();
+        assert_eq!(p.rounds_done, 10);
+        assert_eq!(p.phase, OnlinePhase::Recursion);
+        assert!(tester.victims().is_some());
+    }
+
+    #[test]
+    fn phases_progress_in_order() {
+        let mut c = chip(46);
+        let mut tester = OnlineTester::new(ParborConfig::default());
+        let mut seen = vec![tester.phase()];
+        while tester.phase() != OnlinePhase::Done {
+            tester.step(&mut c).unwrap();
+            if *seen.last().unwrap() != tester.phase() {
+                seen.push(tester.phase());
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                OnlinePhase::Discovery,
+                OnlinePhase::Recursion,
+                OnlinePhase::Chipwide,
+                OnlinePhase::Done
+            ]
+        );
+        assert!(tester.rounds_done() >= 100);
+    }
+
+    #[test]
+    fn step_after_done_is_a_no_op() {
+        let mut c = chip(47);
+        let mut tester = OnlineTester::new(ParborConfig::default());
+        tester.run_to_completion(&mut c).unwrap();
+        let rounds = tester.rounds_done();
+        let p = tester.step(&mut c).unwrap();
+        assert_eq!(p.phase, OnlinePhase::Done);
+        assert_eq!(p.rounds_done, rounds);
+    }
+}

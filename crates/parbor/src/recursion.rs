@@ -1,0 +1,350 @@
+//! Steps 2–4: the parallel recursive neighbor test (paper §5.2.3) with
+//! noise filtering (§5.2.4).
+//!
+//! Each *round* writes, in every victim's row simultaneously, the victim's
+//! failing value everywhere except one candidate region, which gets the
+//! opposite value; if the victim's strongly coupled neighbor lies in that
+//! region, the victim flips. Rounds are counted exactly as the paper counts
+//! tests (Table 1): the first level splits the row in half (2 rounds), and
+//! every kept region splits into 8 subregions at each later level
+//! (`kept × 8` rounds). Distances are recorded *relative to the victim's own
+//! region*, which is what makes rows testable in parallel and results
+//! aggregatable across the whole chip (§5.2.2).
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use parbor_dram::{RowBits, RowWrite, TestPort};
+
+use crate::aggregate::DistanceHistogram;
+use crate::error::ParborError;
+use crate::region::LevelPlan;
+use crate::victim::{Victim, VictimKey};
+
+/// Tuning knobs of the recursion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecursionConfig {
+    /// Region-size plan; `None` derives the paper plan from the row width.
+    pub plan: Option<LevelPlan>,
+    /// Keep a distance only if its magnitude count is at least this fraction
+    /// of the most frequent magnitude (paper §5.2.4 ranking).
+    pub rank_threshold: f64,
+    /// Discard a victim (as marginal/weak/VRT) if it failed in more than
+    /// `max(discard_fail_fraction × eligible_rounds, 1)` rounds at a level.
+    /// Genuinely coupled victims fail in at most a couple of regions per
+    /// level; intermittent cells fail in ~30-50 % of all rounds regardless
+    /// of region and must be rejected (paper §5.2.4, first filter).
+    pub discard_fail_fraction: f64,
+}
+
+impl Default for RecursionConfig {
+    fn default() -> Self {
+        RecursionConfig {
+            plan: None,
+            rank_threshold: 0.2,
+            discard_fail_fraction: 0.25,
+        }
+    }
+}
+
+/// What happened at one recursion level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelOutcome {
+    /// Region size at this level.
+    pub region_size: usize,
+    /// Test rounds executed at this level (the paper's Table 1 columns).
+    pub tests: usize,
+    /// Distance observations after victim discard, before ranking.
+    pub histogram: DistanceHistogram,
+    /// Signed region distances kept by ranking.
+    pub kept: Vec<i64>,
+    /// Victims discarded as marginal at this level.
+    pub discarded_victims: usize,
+}
+
+/// The result of the full recursion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecursionOutcome {
+    /// Per-level outcomes, coarsest first.
+    pub levels: Vec<LevelOutcome>,
+    /// Final signed neighbor distances in bits (the last level's kept set).
+    pub distances: Vec<i64>,
+    /// Total rounds across all levels (Table 1's rightmost column).
+    pub total_tests: usize,
+}
+
+impl RecursionOutcome {
+    /// Tests per level, coarsest first (one Table 1 row).
+    pub fn tests_per_level(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.tests).collect()
+    }
+}
+
+/// Runs the parallel recursive neighbor test against a [`TestPort`].
+#[derive(Debug, Clone, Default)]
+pub struct NeighborRecursion {
+    config: RecursionConfig,
+}
+
+impl NeighborRecursion {
+    /// Creates a recursion runner with the given configuration.
+    pub fn new(config: RecursionConfig) -> Self {
+        NeighborRecursion { config }
+    }
+
+    /// Runs the recursion over the selected victims (one per unit/row — see
+    /// [`VictimSet::select_for_recursion`](crate::VictimSet::select_for_recursion)).
+    ///
+    /// # Errors
+    ///
+    /// * [`ParborError::NoVictims`] if `victims` is empty.
+    /// * [`ParborError::InvalidConfig`] if two victims share a row or the
+    ///   row width has no valid level plan.
+    /// * [`ParborError::NoDistances`] if every distance was filtered as
+    ///   noise at some level.
+    pub fn run<P: TestPort + ?Sized>(
+        &self,
+        port: &mut P,
+        victims: &[Victim],
+    ) -> Result<RecursionOutcome, ParborError> {
+        if victims.is_empty() {
+            return Err(ParborError::NoVictims);
+        }
+        let width = port.geometry().cols_per_row as usize;
+        let plan = match &self.config.plan {
+            Some(p) => {
+                if p.row_bits() != width {
+                    return Err(ParborError::InvalidConfig(format!(
+                        "plan built for {} bits, port rows have {width}",
+                        p.row_bits()
+                    )));
+                }
+                p.clone()
+            }
+            None => LevelPlan::paper(width)?,
+        };
+        let mut lookup: HashMap<VictimKey, usize> = HashMap::new();
+        for (i, v) in victims.iter().enumerate() {
+            if lookup.insert(v.key(), i).is_some() {
+                return Err(ParborError::InvalidConfig(format!(
+                    "two victims share unit {} {}",
+                    v.unit, v.row
+                )));
+            }
+        }
+
+        let mut alive = vec![true; victims.len()];
+        let mut levels: Vec<LevelOutcome> = Vec::new();
+        let mut kept_parents: Vec<i64> = Vec::new(); // distances at level - 1
+        let mut total_tests = 0usize;
+
+        for level in 0..plan.levels() {
+            let fanout = plan.fanout(level);
+            let size = plan.sizes()[level];
+            let region_count = plan.region_count(level);
+            // Candidate generators: (parent distance, child offset) pairs.
+            // Level 0 has a single virtual parent covering the whole row.
+            let parents: Vec<Option<i64>> = if level == 0 {
+                vec![None]
+            } else {
+                kept_parents.iter().copied().map(Some).collect()
+            };
+
+            let mut fails = vec![0usize; victims.len()];
+            let mut eligible = vec![0usize; victims.len()];
+            let mut observed: Vec<BTreeSet<i64>> =
+                vec![BTreeSet::new(); victims.len()];
+            let mut rounds_at_level = 0usize;
+
+            for parent in &parents {
+                for child in 0..fanout {
+                    // Determine each victim's test region for this round.
+                    let mut regions: Vec<Option<usize>> = vec![None; victims.len()];
+                    for (i, v) in victims.iter().enumerate() {
+                        if !alive[i] {
+                            continue;
+                        }
+                        let own_parent = match parent {
+                            None => 0i64,
+                            Some(d) => plan.region_of(v.col as usize, level - 1) as i64 + d,
+                        };
+                        if parent.is_some()
+                            && (own_parent < 0
+                                || own_parent as usize >= plan.region_count(level - 1))
+                        {
+                            continue; // parent region off the row edge
+                        }
+                        let region = if level == 0 {
+                            child
+                        } else {
+                            own_parent as usize * fanout + child
+                        };
+                        if region < region_count {
+                            regions[i] = Some(region);
+                            eligible[i] += 1;
+                        }
+                    }
+
+                    // Build and run the round.
+                    let mut writes = Vec::new();
+                    for (i, v) in victims.iter().enumerate() {
+                        let Some(region) = regions[i] else { continue };
+                        let (lo, hi) = plan
+                            .region_range(region, level)
+                            .expect("region index validated above");
+                        let mut data = if v.fail_value {
+                            RowBits::ones(width)
+                        } else {
+                            RowBits::zeros(width)
+                        };
+                        data.set_range(lo, hi, !v.fail_value);
+                        data.set(v.col as usize, v.fail_value);
+                        writes.push(RowWrite {
+                            unit: v.unit,
+                            row: v.row,
+                            data,
+                        });
+                    }
+                    let flips = port.run_round(&writes)?;
+                    rounds_at_level += 1;
+
+                    for flip in flips {
+                        let key = VictimKey {
+                            unit: flip.unit,
+                            row: flip.flip.addr.row(),
+                        };
+                        let Some(&i) = lookup.get(&key) else { continue };
+                        if flip.flip.addr.col != victims[i].col {
+                            continue;
+                        }
+                        let Some(region) = regions[i] else { continue };
+                        fails[i] += 1;
+                        let distance = region as i64
+                            - plan.region_of(victims[i].col as usize, level) as i64;
+                        observed[i].insert(distance);
+                    }
+                }
+            }
+
+            // Victim discard: marginal/weak cells fail in most regions.
+            let mut discarded = 0usize;
+            for i in 0..victims.len() {
+                let cutoff =
+                    (self.config.discard_fail_fraction * eligible[i] as f64).max(1.0);
+                if alive[i] && eligible[i] > 0 && fails[i] as f64 > cutoff {
+                    alive[i] = false;
+                    observed[i].clear();
+                    discarded += 1;
+                }
+            }
+
+            // Aggregate the surviving observations and rank.
+            let mut histogram = DistanceHistogram::new();
+            for set in &observed {
+                for &d in set {
+                    histogram.record(d);
+                }
+            }
+            let kept = histogram.rank(self.config.rank_threshold).kept().to_vec();
+            total_tests += rounds_at_level;
+            levels.push(LevelOutcome {
+                region_size: size,
+                tests: rounds_at_level,
+                histogram,
+                kept: kept.clone(),
+                discarded_victims: discarded,
+            });
+            if kept.is_empty() {
+                return Err(ParborError::NoDistances);
+            }
+            kept_parents = kept;
+        }
+
+        let distances = levels
+            .last()
+            .map(|l| l.kept.clone())
+            .unwrap_or_default();
+        Ok(RecursionOutcome {
+            levels,
+            distances,
+            total_tests,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::victim::VictimScout;
+    use parbor_dram::{ChipGeometry, DramChip, RowId, Vendor};
+
+    fn run_vendor(vendor: Vendor, rows: u32, seed: u64) -> (RecursionOutcome, DramChip) {
+        let mut chip =
+            DramChip::new(ChipGeometry::new(1, rows, 8192).unwrap(), vendor, seed).unwrap();
+        let row_ids: Vec<RowId> = (0..rows).map(|r| RowId::new(0, r)).collect();
+        let set = VictimScout::new(3).discover(&mut chip, &row_ids).unwrap();
+        let victims = set.select_for_recursion(None);
+        let outcome = NeighborRecursion::default().run(&mut chip, &victims).unwrap();
+        (outcome, chip)
+    }
+
+    #[test]
+    fn vendor_a_finds_paper_distances_and_counts() {
+        let (outcome, _) = run_vendor(Vendor::A, 256, 11);
+        assert_eq!(outcome.distances, vec![-48, -16, -8, 8, 16, 48]);
+        assert_eq!(outcome.tests_per_level(), vec![2, 8, 8, 24, 48]);
+        assert_eq!(outcome.total_tests, 90);
+    }
+
+    #[test]
+    fn vendor_b_finds_paper_distances_and_counts() {
+        let (outcome, _) = run_vendor(Vendor::B, 256, 12);
+        assert_eq!(outcome.distances, vec![-64, -1, 1, 64]);
+        assert_eq!(outcome.tests_per_level(), vec![2, 8, 8, 24, 24]);
+        assert_eq!(outcome.total_tests, 66);
+    }
+
+    #[test]
+    fn vendor_c_finds_paper_distances_and_counts() {
+        let (outcome, _) = run_vendor(Vendor::C, 256, 13);
+        assert_eq!(outcome.distances, vec![-49, -33, -16, 16, 33, 49]);
+        assert_eq!(outcome.tests_per_level(), vec![2, 8, 8, 24, 48]);
+        assert_eq!(outcome.total_tests, 90);
+    }
+
+    #[test]
+    fn empty_victims_rejected() {
+        let mut chip =
+            DramChip::new(ChipGeometry::new(1, 8, 8192).unwrap(), Vendor::A, 1).unwrap();
+        let err = NeighborRecursion::default().run(&mut chip, &[]).unwrap_err();
+        assert!(matches!(err, ParborError::NoVictims));
+    }
+
+    #[test]
+    fn duplicate_victim_rows_rejected() {
+        let mut chip =
+            DramChip::new(ChipGeometry::new(1, 8, 8192).unwrap(), Vendor::A, 1).unwrap();
+        let v = |col| Victim {
+            unit: 0,
+            row: RowId::new(0, 0),
+            col,
+            fail_value: true,
+        };
+        let err = NeighborRecursion::default()
+            .run(&mut chip, &[v(1), v(2)])
+            .unwrap_err();
+        assert!(matches!(err, ParborError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn level_histograms_follow_figure_11_shape() {
+        // Vendor A: L1/L2 keep only distance 0, L3 keeps {0, ±1},
+        // L4 keeps {±1, ±2, ±6} (Fig 11a).
+        let (outcome, _) = run_vendor(Vendor::A, 256, 21);
+        assert_eq!(outcome.levels[0].kept, vec![0]);
+        assert_eq!(outcome.levels[1].kept, vec![0]);
+        assert_eq!(outcome.levels[2].kept, vec![-1, 0, 1]);
+        assert_eq!(outcome.levels[3].kept, vec![-6, -2, -1, 1, 2, 6]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Step 1: discovering the initial set of victim cells (paper §5.2.1).
+//!
+//! PARBOR needs known data-dependent victims to anchor the recursion: testing
+//! a random cell would likely find nothing, because most cells are robust.
+//! The scout writes a family of diverse data patterns — each with its inverse
+//! so both true- and anti-cells get charged (paper footnote 3) — and keeps
+//! every cell that failed under *some* pattern but passed under another.
+//! Such cells are *likely* data-dependent; cells that are actually marginal
+//! or VRT sneak in and are filtered later (§5.2.4).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use parbor_dram::{BitAddr, PatternSet, RowId, RowWrite, TestPort};
+
+use crate::error::ParborError;
+
+/// Identifies the row-space a victim lives in: a unit (chip) and a row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VictimKey {
+    /// Unit (chip) index within the test port.
+    pub unit: u32,
+    /// The row.
+    pub row: RowId,
+}
+
+/// A cell that exhibited a data-dependent-looking failure during discovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Victim {
+    /// Unit (chip) index.
+    pub unit: u32,
+    /// Row containing the victim.
+    pub row: RowId,
+    /// System column of the victim.
+    pub col: u32,
+    /// The written value under which the victim failed (i.e. the value that
+    /// charges the cell). The recursion writes this value back into the
+    /// victim so it stays vulnerable.
+    pub fail_value: bool,
+}
+
+impl Victim {
+    /// The victim's row-space key.
+    pub fn key(&self) -> VictimKey {
+        VictimKey {
+            unit: self.unit,
+            row: self.row,
+        }
+    }
+}
+
+/// The discovered victim population.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VictimSet {
+    victims: Vec<Victim>,
+}
+
+impl VictimSet {
+    /// Creates a victim set from raw victims (mainly for tests; normally
+    /// produced by [`VictimScout::discover`]).
+    pub fn from_victims(mut victims: Vec<Victim>) -> Self {
+        victims.sort_by_key(|v| (v.unit, v.row.bank, v.row.row, v.col));
+        VictimSet { victims }
+    }
+
+    /// All victims, sorted by (unit, bank, row, column).
+    pub fn victims(&self) -> &[Victim] {
+        &self.victims
+    }
+
+    /// Number of victims.
+    pub fn len(&self) -> usize {
+        self.victims.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.victims.is_empty()
+    }
+
+    /// Selects victims for the recursion: at most one per (unit, row) — the
+    /// parallel rounds write one victim-specific pattern per row — truncated
+    /// to `limit` if given (the paper's *sample size*, Fig 15).
+    pub fn select_for_recursion(&self, limit: Option<usize>) -> Vec<Victim> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for v in &self.victims {
+            if seen.insert(v.key()) {
+                out.push(*v);
+                if let Some(l) = limit {
+                    if out.len() >= l {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs the discovery rounds and assembles the [`VictimSet`].
+#[derive(Debug, Clone)]
+pub struct VictimScout {
+    patterns: PatternSet,
+}
+
+impl VictimScout {
+    /// The paper's 10-round discovery scout (5 patterns × pattern/inverse).
+    pub fn new(seed: u64) -> Self {
+        VictimScout {
+            patterns: PatternSet::discovery(seed),
+        }
+    }
+
+    /// A scout with a custom pattern family.
+    pub fn with_patterns(patterns: PatternSet) -> Self {
+        VictimScout { patterns }
+    }
+
+    /// Number of test rounds the scout will run.
+    pub fn rounds(&self) -> usize {
+        self.patterns.round_count()
+    }
+
+    /// Runs discovery over the given rows of every unit.
+    ///
+    /// A cell becomes a victim if it failed in at least one round *and*
+    /// passed in at least one round — failures present under every pattern
+    /// are content-independent and useless for locating neighbors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from the port.
+    pub fn discover<P: TestPort + ?Sized>(
+        &self,
+        port: &mut P,
+        rows: &[RowId],
+    ) -> Result<VictimSet, ParborError> {
+        let width = port.geometry().cols_per_row as usize;
+        let units = port.units();
+        let total_rounds = self.rounds();
+        // (fail count, value written at first failure)
+        let mut seen: HashMap<(u32, BitAddr), (usize, bool)> = HashMap::new();
+
+        let round_of = |port: &mut P,
+                            seen: &mut HashMap<(u32, BitAddr), (usize, bool)>,
+                            invert: bool,
+                            pattern: &parbor_dram::PatternKind|
+         -> Result<(), ParborError> {
+            let mut writes = Vec::with_capacity(rows.len() * units as usize);
+            for unit in 0..units {
+                for &row in rows {
+                    let data = if invert {
+                        pattern.inverse().row_bits(row.row, width)
+                    } else {
+                        pattern.row_bits(row.row, width)
+                    };
+                    writes.push(RowWrite { unit, row, data });
+                }
+            }
+            for flip in port.run_round(&writes)? {
+                seen.entry((flip.unit, flip.flip.addr))
+                    .or_insert((0, flip.flip.expected))
+                    .0 += 1;
+            }
+            Ok(())
+        };
+
+        for pattern in self.patterns.patterns().to_vec() {
+            round_of(port, &mut seen, false, &pattern)?;
+            round_of(port, &mut seen, true, &pattern)?;
+        }
+
+        let victims = seen
+            .into_iter()
+            .filter(|&(_, (fails, _))| fails >= 1 && fails < total_rounds)
+            .map(|((unit, addr), (_, fail_value))| Victim {
+                unit,
+                row: addr.row(),
+                col: addr.col,
+                fail_value,
+            })
+            .collect();
+        Ok(VictimSet::from_victims(victims))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbor_dram::{ChipGeometry, DramChip, Vendor};
+
+    #[test]
+    fn select_for_recursion_one_per_row() {
+        let v = |row: u32, col: u32| Victim {
+            unit: 0,
+            row: RowId::new(0, row),
+            col,
+            fail_value: true,
+        };
+        let set = VictimSet::from_victims(vec![v(0, 5), v(0, 9), v(1, 3), v(2, 7)]);
+        let sel = set.select_for_recursion(None);
+        assert_eq!(sel.len(), 3);
+        assert_eq!(sel[0].col, 5, "first victim per row wins");
+        let sel2 = set.select_for_recursion(Some(2));
+        assert_eq!(sel2.len(), 2);
+    }
+
+    #[test]
+    fn victims_are_sorted_deterministically() {
+        let v = |unit: u32, col: u32| Victim {
+            unit,
+            row: RowId::new(0, 0),
+            col,
+            fail_value: false,
+        };
+        let set = VictimSet::from_victims(vec![v(1, 2), v(0, 9), v(0, 1)]);
+        let cols: Vec<_> = set.victims().iter().map(|v| (v.unit, v.col)).collect();
+        assert_eq!(cols, vec![(0, 1), (0, 9), (1, 2)]);
+    }
+
+    #[test]
+    fn scout_runs_ten_rounds_and_finds_victims() {
+        let mut chip = DramChip::new(
+            ChipGeometry::new(1, 64, 8192).unwrap(),
+            Vendor::A,
+            99,
+        )
+        .unwrap();
+        let rows: Vec<RowId> = (0..64).map(|r| RowId::new(0, r)).collect();
+        let scout = VictimScout::new(7);
+        assert_eq!(scout.rounds(), 10);
+        let set = scout.discover(&mut chip, &rows).unwrap();
+        assert_eq!(chip.rounds_run(), 10);
+        assert!(!set.is_empty(), "no victims found in 64 rows of vendor A");
+    }
+
+    #[test]
+    fn victims_are_really_data_dependent_cells_mostly() {
+        // Cross-check the scout against the device oracle: a healthy majority
+        // of discovered victims should be oracle data-dependent cells.
+        let mut chip = DramChip::new(
+            ChipGeometry::new(1, 64, 8192).unwrap(),
+            Vendor::B,
+            5,
+        )
+        .unwrap();
+        let rows: Vec<RowId> = (0..64).map(|r| RowId::new(0, r)).collect();
+        let set = VictimScout::new(1).discover(&mut chip, &rows).unwrap();
+        let mut dd = 0usize;
+        let mut total = 0usize;
+        for v in set.victims() {
+            let oracle = chip.oracle_data_dependent(v.row);
+            total += 1;
+            if oracle.iter().any(|&(sys, _)| sys == v.col) {
+                dd += 1;
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            dd * 2 > total,
+            "only {dd}/{total} victims are oracle data-dependent"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Ablation: physical-address mapping (row-buffer locality vs bank-level
+//! parallelism). The paper's system uses a Ramulator-style default; this
+//! binary shows how the choice moves row-hit rates, latency, and the
+//! refresh-policy gains.
+
+use parbor_memsim::{AddressMapping, RefreshPolicyKind, Simulation, SystemConfig};
+use parbor_workloads::paper_mixes;
+
+fn main() {
+    let cycles = 300_000;
+    let mix = &paper_mixes(1, 8, 5)[0];
+    println!("Ablation: address mapping ({})\n", mix.label());
+    for (label, mapping) in [
+        ("RoRaBaCoCh (row-locality friendly)", AddressMapping::RoRaBaCoCh),
+        ("RoCoRaBaCh (bank-parallelism friendly)", AddressMapping::RoCoRaBaCh),
+    ] {
+        println!("{label}:");
+        let config = SystemConfig {
+            mapping,
+            ..SystemConfig::paper()
+        };
+        let mut base_insts = 0u64;
+        for policy in [RefreshPolicyKind::Uniform64, RefreshPolicyKind::DcRef] {
+            let report = Simulation::new(config, policy, mix, 17).run(cycles);
+            if policy == RefreshPolicyKind::Uniform64 {
+                base_insts = report.total_instructions();
+            }
+            println!(
+                "  {policy:?}: {:>9} insts ({:+.1}%), row-hit {:>5.1}%, avg read lat {:>6.1} cyc",
+                report.total_instructions(),
+                (report.total_instructions() as f64 / base_insts as f64 - 1.0) * 100.0,
+                report.row_hit_rate() * 100.0,
+                report.avg_read_latency,
+            );
+        }
+    }
+}

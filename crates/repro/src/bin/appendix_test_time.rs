@@ -1,0 +1,30 @@
+//! Regenerates the **appendix** arithmetic: wall-clock times of the naive
+//! `O(nᵏ)` neighbor searches and of PARBOR's full-module campaign on real
+//! DDR3-1600 hardware.
+//!
+//! Paper: O(n) = 8.73 min, O(n²) = 49 days, O(n³) = 1115 years,
+//! O(n⁴) = 9.1 M years; 92 PARBOR tests ≈ 38 s, 132 ≈ 55 s.
+
+use parbor_core::{naive_test_time, parbor_module_time, ReductionReport};
+
+fn main() {
+    let n = 8192usize;
+    println!("Appendix: test-time arithmetic for {n}-cell rows (DDR3-1600, 64 ms interval)\n");
+    let labels = ["O(n)", "O(n^2)", "O(n^3)", "O(n^4)"];
+    let paper = ["8.73 min", "49 days", "1115 years", "9.1M years"];
+    for (k, (label, p)) in labels.iter().zip(paper).enumerate() {
+        let t = naive_test_time(n, k as u32 + 1);
+        println!("{label:>7}: {t:>14}   (paper: {p})");
+    }
+    println!();
+    for tests in [92usize, 132] {
+        println!(
+            "PARBOR, {tests} tests over a 2 GB module: {}",
+            parbor_module_time(tests)
+        );
+    }
+    println!();
+    for tests in [90usize, 66] {
+        println!("{}", ReductionReport::new(n, tests));
+    }
+}

@@ -1,0 +1,43 @@
+//! Demonstrates the PARBOR → DC-REF bridge end to end on a simulated
+//! module: run PARBOR, build the content monitor from its findings, and
+//! measure which fraction of vulnerable rows would actually need the fast
+//! refresh rate under different application data (paper §8: 2.7 % on
+//! average vs RAIDR's unconditional 16.4 %).
+
+use parbor_core::{DcRefMonitor, Parbor, ParborConfig};
+use parbor_dram::{ChipGeometry, PatternKind, Vendor};
+use parbor_repro::build_module;
+
+fn main() {
+    let geometry = ChipGeometry::new(1, 256, 8192).expect("valid geometry");
+    let mut module = build_module(Vendor::A, 1, geometry).expect("module builds");
+    let parbor = Parbor::new(ParborConfig::default());
+    let report = parbor.run(&mut module).expect("pipeline runs");
+
+    let monitor = DcRefMonitor::from_chipwide(&report.chipwide, report.distances())
+        .expect("monitor builds");
+    println!(
+        "PARBOR found {} vulnerable cells across {} rows (RAIDR would fast-refresh all {} rows)\n",
+        monitor.cell_count(),
+        monitor.vulnerable_row_count(),
+        monitor.vulnerable_row_count(),
+    );
+
+    let contents: [(&str, PatternKind); 4] = [
+        ("all zeros", PatternKind::Solid(false)),
+        ("all ones", PatternKind::Solid(true)),
+        ("checkerboard", PatternKind::Checkerboard),
+        ("random data", PatternKind::Random { seed: 11 }),
+    ];
+    for (label, pattern) in contents {
+        let frac = monitor.hot_fraction(|_, row| pattern.row_bits(row.row, 8192));
+        println!(
+            "{label:>13}: {:>5.1}% of vulnerable rows need the fast rate",
+            frac * 100.0
+        );
+    }
+    println!(
+        "\nDC-REF refreshes fast only while content matches the worst case; \
+         benign application data lets almost every weak row drop to 256 ms."
+    );
+}

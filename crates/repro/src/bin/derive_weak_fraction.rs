@@ -1,0 +1,69 @@
+//! Derives the RAIDR weak-row fraction — the paper's FPGA-measured "16.4 %
+//! of rows need the 64 ms rate" — from the device model, and shows how it
+//! maps to a per-cell vulnerability rate.
+//!
+//! Our default fault rates are deliberately inflated (×~1000) so that
+//! whole-module experiments complete on 512-row slices; at those rates every
+//! row holds a vulnerable cell. At field-realistic per-cell rates, the row
+//! fraction follows `P(row weak) = 1 − (1 − r)^bits`, and the paper's
+//! 16.4 % corresponds to roughly 2.7 per million cells in an 8 KB row.
+
+use parbor_dram::{
+    Celsius, ChipGeometry, DramChip, FaultRates, RetentionModel, RowId, Seconds, Vendor,
+};
+
+fn main() {
+    let bits_per_module_row = 8 * 8192u32; // 8 chips x 8 Kbit
+    println!("Weak-row fraction vs per-cell vulnerability rate (8 KB module rows)\n");
+    println!("{:>12}  {:>10}", "cell rate", "row frac");
+    for rate in [1e-7f64, 1e-6, 2.74e-6, 1e-5, 1e-4] {
+        let frac = 1.0 - (1.0 - rate).powi(bits_per_module_row as i32);
+        let marker = if (frac - 0.164).abs() < 0.01 { "  <- paper's 16.4%" } else { "" };
+        println!("{rate:>12.2e}  {:>9.1}%{marker}", frac * 100.0);
+    }
+
+    // Empirical cross-check: build chips at the realistic rate and count
+    // rows containing at least one oracle data-dependent cell.
+    let rate = 2.74e-6;
+    let geometry = ChipGeometry::new(1, 2048, 8192).expect("valid geometry");
+    println!("\nempirical check at {rate:.2e} (2048 module rows, 8 chips):");
+    for vendor in Vendor::ALL {
+        let rates = FaultRates {
+            interesting: rate,
+            marginal: 0.0,
+            vrt: 0.0,
+            soft_per_bit_per_round: 0.0,
+            ..FaultRates::default()
+        };
+        let mut weak_rows = 0usize;
+        let mut chips: Vec<DramChip> = (0..8)
+            .map(|i| {
+                DramChip::with_parts(
+                    geometry,
+                    vendor.scrambler(8192),
+                    0xAB00 + i,
+                    rates,
+                    RetentionModel::default(),
+                    Celsius(45.0),
+                    Seconds(16.0), // 4x interval = the 256 ms-equivalent stress
+                )
+                .expect("chip builds")
+            })
+            .collect();
+        for row in 0..geometry.rows_per_bank {
+            let id = RowId::new(0, row);
+            if chips
+                .iter_mut()
+                .any(|chip| !chip.oracle_data_dependent(id).is_empty())
+            {
+                weak_rows += 1;
+            }
+        }
+        println!(
+            "  vendor {vendor}: {weak_rows} of {} rows weak -> {:.1}%",
+            geometry.rows_per_bank,
+            weak_rows as f64 * 100.0 / f64::from(geometry.rows_per_bank)
+        );
+    }
+    println!("\nuse the derived fraction as SystemConfig::weak_row_fraction (default 0.164)");
+}

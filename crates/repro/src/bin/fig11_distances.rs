@@ -1,0 +1,32 @@
+//! Regenerates **Figure 11**: the union of neighbor-region distances found
+//! at each level of the recursion, for modules of vendors A, B, and C.
+//!
+//! Paper reference values (8 K-cell rows, levels 4096/512/64/8/1):
+//! * A: L1 {0}, L2 {0}, L3 {0, ±1}, L4 {±1, ±2, ±6}, L5 {±8, ±16, ±48}
+//! * B: ..., L5 {±1, ±64}
+//! * C: ..., L5 {±16, ±33, ±49}
+
+use parbor_core::{Parbor, ParborConfig};
+use parbor_dram::{ChipGeometry, Vendor};
+use parbor_repro::build_module;
+
+fn main() {
+    let geometry = ChipGeometry::new(1, 256, 8192).expect("valid geometry");
+    println!("Figure 11: neighbor-region distances per recursion level\n");
+    for vendor in Vendor::ALL {
+        let mut module = build_module(vendor, 1, geometry).expect("module builds");
+        let parbor = Parbor::new(ParborConfig::default());
+        let victims = parbor.discover(&mut module).expect("victims found");
+        let outcome = parbor.locate(&mut module, &victims).expect("recursion converges");
+        println!("Vendor {vendor} (module {}):", module.name());
+        for (i, level) in outcome.levels.iter().enumerate() {
+            println!(
+                "  L{} (region {:>4} bits): {:?}",
+                i + 1,
+                level.region_size,
+                level.kept
+            );
+        }
+        println!("  paper L5: {:?}\n", vendor.paper_distances());
+    }
+}

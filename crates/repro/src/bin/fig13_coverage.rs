@@ -1,0 +1,41 @@
+//! Regenerates **Figure 13**: coverage breakdown — failures found by only
+//! PARBOR, only the random test, or both — for modules A1, B1, C1.
+//!
+//! Paper: 20–30 % only-PARBOR; only-random < 1 % for A1 and C1 and ≈ 5 %
+//! for B1.
+
+use parbor_dram::{ChipGeometry, Vendor};
+use parbor_repro::{compare_parbor_vs_random, table_row};
+
+fn main() {
+    let geometry = ChipGeometry::experiment_slice();
+    println!("Figure 13: coverage of failures for A1, B1, C1\n");
+    let widths = [8usize, 12, 14, 12, 8];
+    println!(
+        "{}",
+        table_row(
+            ["module", "only-parbor", "only-random", "both", "total"]
+                .map(String::from).as_ref(),
+            &widths
+        )
+    );
+    for vendor in Vendor::ALL {
+        let cmp = compare_parbor_vs_random(vendor, 1, geometry).expect("comparison runs");
+        let total = cmp.union().max(1);
+        let pct = |n: usize| format!("{:.1}%", n as f64 * 100.0 / total as f64);
+        println!(
+            "{}",
+            table_row(
+                &[
+                    cmp.module.clone(),
+                    pct(cmp.only_parbor()),
+                    pct(cmp.only_random()),
+                    pct(cmp.both()),
+                    total.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\npaper: only-parbor 20-30%; only-random <1% (A1, C1) / ~5% (B1)");
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Figure 14**: the frequency ranking of level-4 region
+//! distances (normalized to the most frequent) for modules A1, B1, C1 —
+//! showing how infrequent distances (random-failure noise) separate from
+//! the true neighbor regions.
+
+use parbor_core::{Parbor, ParborConfig};
+use parbor_dram::{ChipGeometry, Vendor};
+use parbor_repro::build_module;
+
+fn bar(frac: f64) -> String {
+    let n = (frac * 40.0).round() as usize;
+    "#".repeat(n.max(usize::from(frac > 0.0)))
+}
+
+fn main() {
+    let geometry = ChipGeometry::new(1, 512, 8192).expect("valid geometry");
+    println!("Figure 14: ranking of level-4 region distances (normalized)\n");
+    for vendor in Vendor::ALL {
+        let mut module = build_module(vendor, 1, geometry).expect("module builds");
+        let parbor = Parbor::new(ParborConfig::default());
+        let victims = parbor.discover(&mut module).expect("victims found");
+        let outcome = parbor.locate(&mut module, &victims).expect("recursion converges");
+        let l4 = &outcome.levels[3];
+        println!("Module {} (level-4 region size {} bits):", module.name(), l4.region_size);
+        for (mag, frac) in l4.histogram.normalized_magnitudes() {
+            println!("  |{mag:>2}|  {frac:>5.2}  {}", bar(frac));
+        }
+        println!("  kept: {:?}\n", l4.kept);
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerates **Figure 15**: the effect of the victim sample size on the
+//! level-4 ranking, for modules B1 and C1 at sample sizes 1 K / 5 K / 10 K /
+//! 15 K.
+//!
+//! Paper observation: B1's frequent regions are cleanly separated at any
+//! sample size, while C1's borderline distance |5| looks frequent at 1 K
+//! samples and only separates with larger samples.
+
+use parbor_core::{Parbor, ParborConfig};
+use parbor_dram::{ChipGeometry, Vendor};
+use parbor_repro::build_module;
+
+fn main() {
+    // Sample sizes up to 15 K victims need ≥ 15 K testable rows:
+    // 8 chips × 2048 rows = 16 K (unit, row) slots.
+    let geometry = ChipGeometry::new(1, 2048, 8192).expect("valid geometry");
+    let samples = [1_000usize, 5_000, 10_000, 15_000];
+    println!("Figure 15: level-4 ranking vs victim sample size (B1, C1)\n");
+    for vendor in [Vendor::B, Vendor::C] {
+        let mut module = build_module(vendor, 1, geometry).expect("module builds");
+        // Discover once; re-run the recursion at each sample size.
+        let parbor = Parbor::new(ParborConfig::default());
+        let victims = parbor.discover(&mut module).expect("victims found");
+        println!(
+            "Module {}: {} victims discovered",
+            module.name(),
+            victims.len()
+        );
+        for &n in &samples {
+            let parbor_n = Parbor::new(ParborConfig {
+                sample_limit: Some(n),
+                ..ParborConfig::default()
+            });
+            match parbor_n.locate(&mut module, &victims) {
+                Ok(outcome) => {
+                    let l4 = &outcome.levels[3];
+                    let mags: Vec<String> = l4
+                        .histogram
+                        .normalized_magnitudes()
+                        .into_iter()
+                        .map(|(m, f)| format!("|{m}|:{f:.2}"))
+                        .collect();
+                    println!(
+                        "  sample {:>6}: kept {:?}  ranking {}",
+                        n,
+                        l4.kept,
+                        mags.join(" ")
+                    );
+                }
+                Err(e) => println!("  sample {n:>6}: failed: {e}"),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,133 @@
+//! Regenerates **Figure 16**: weighted speedup of RAIDR and DC-REF over the
+//! uniform-64 ms baseline, for 32 random 8-core workloads at 16 and 32 Gbit
+//! densities — plus the refresh-reduction headline numbers.
+//!
+//! Paper: DC-REF +18 % over baseline and +3 % over RAIDR at 32 Gbit;
+//! refresh operations −73 % vs baseline, −27.6 % vs RAIDR; fast-refresh rows
+//! 16.4 % (RAIDR) vs 2.7 % average (DC-REF).
+//!
+//! Usage: `fig16_dcref [mem_cycles] [mixes]` (defaults 1,000,000 and 32).
+
+use parbor_memsim::{
+    normalized_weighted_speedup, weighted_speedup, Density, EnergyModel, RefreshPolicyKind,
+    SimReport, Simulation, SystemConfig,
+};
+use parbor_workloads::{paper_mixes, AppProfile, WorkloadMix};
+
+const POLICIES: [RefreshPolicyKind; 3] = [
+    RefreshPolicyKind::Uniform64,
+    RefreshPolicyKind::Raidr,
+    RefreshPolicyKind::DcRef,
+];
+
+fn run_mix(
+    config: SystemConfig,
+    policy: RefreshPolicyKind,
+    mix: &WorkloadMix,
+    cycles: u64,
+) -> SimReport {
+    Simulation::new(config, policy, mix, 0xF16 + u64::from(mix.id)).run(cycles)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cycles: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let n_mixes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let mixes = paper_mixes(n_mixes, 8, 2016);
+    let apps = AppProfile::spec2006();
+
+    for density in [Density::Gb16, Density::Gb32] {
+        let config = SystemConfig {
+            density,
+            ..SystemConfig::paper()
+        };
+        println!("=== Figure 16 @ {density:?} ({cycles} memory cycles per run) ===");
+
+        // Alone IPCs per app, measured once on the *baseline* configuration
+        // (the common weighted-speedup reference, so policy gains in the
+        // shared runs are visible rather than cancelled by the denominator).
+        let alone_ref: Vec<f64> = apps
+            .iter()
+            .map(|a| {
+                Simulation::alone_ipc(config, RefreshPolicyKind::Uniform64, a, 0xA10E, cycles)
+            })
+            .collect();
+        let app_index = |name: &str| apps.iter().position(|a| a.name == name).expect("known app");
+
+        let energy_model = EnergyModel::ddr3_1600(density);
+        let ranks_total = u64::from(config.channels * config.ranks);
+        let mut ws_sum = [0.0f64; 3];
+        let mut refresh_work = [0.0f64; 3];
+        let mut hot_frac = [0.0f64; 3];
+        let mut energy_per_inst = [0.0f64; 3];
+        let mut refresh_energy = [0.0f64; 3];
+        println!("{:<46} {:>9} {:>9} {:>9}", "workload", "base-WS", "RAIDR", "DC-REF");
+        for mix in &mixes {
+            let mut ws = [0.0f64; 3];
+            for (pi, policy) in POLICIES.into_iter().enumerate() {
+                let report = run_mix(config, policy, mix, cycles);
+                let shared = report.ipcs();
+                let alone_ipcs: Vec<f64> = mix.apps[..8]
+                    .iter()
+                    .map(|a| alone_ref[app_index(a.name)])
+                    .collect();
+                ws[pi] = weighted_speedup(&shared, &alone_ipcs);
+                ws_sum[pi] += ws[pi];
+                refresh_work[pi] += report.refresh_work_fraction;
+                hot_frac[pi] += report.hot_row_fraction;
+                let breakdown = energy_model.breakdown(&report, ranks_total);
+                energy_per_inst[pi] +=
+                    breakdown.per_instruction_nj(report.total_instructions());
+                refresh_energy[pi] += breakdown.refresh_mj;
+            }
+            println!(
+                "{:<46} {:>9.3} {:>9.4} {:>9.4}",
+                mix.label().chars().take(46).collect::<String>(),
+                ws[0],
+                normalized_weighted_speedup(ws[1], ws[0]),
+                normalized_weighted_speedup(ws[2], ws[0]),
+            );
+        }
+        let n = mixes.len() as f64;
+        let raidr_gain = 100.0 * (ws_sum[1] / ws_sum[0] - 1.0);
+        let dcref_gain = 100.0 * (ws_sum[2] / ws_sum[0] - 1.0);
+        let dcref_vs_raidr = 100.0 * (ws_sum[2] / ws_sum[1] - 1.0);
+        println!("\naverage weighted-speedup gain over baseline:");
+        println!("  RAIDR : {raidr_gain:+.1}%");
+        println!("  DC-REF: {dcref_gain:+.1}%   (paper @32Gbit: +18.0%)");
+        println!("  DC-REF over RAIDR: {dcref_vs_raidr:+.1}%   (paper: +3.0%)");
+        println!("refresh work vs baseline:");
+        println!(
+            "  RAIDR : {:.1}% of baseline ops",
+            100.0 * refresh_work[1] / n
+        );
+        println!(
+            "  DC-REF: {:.1}% of baseline ops  (paper: -73% => 27%)",
+            100.0 * refresh_work[2] / n
+        );
+        println!(
+            "  DC-REF reduction vs RAIDR: {:.1}%  (paper: 27.6%)",
+            100.0 * (1.0 - refresh_work[2] / refresh_work[1])
+        );
+        println!(
+            "fast-refresh row fraction: RAIDR {:.1}% (paper 16.4%), DC-REF {:.1}% (paper 2.7%)",
+            100.0 * hot_frac[1] / n,
+            100.0 * hot_frac[2] / n
+        );
+        println!("energy (IDD-based model):");
+        println!(
+            "  refresh energy vs baseline: RAIDR {:.1}%, DC-REF {:.1}%",
+            100.0 * refresh_energy[1] / refresh_energy[0],
+            100.0 * refresh_energy[2] / refresh_energy[0]
+        );
+        println!(
+            "  energy/instruction: baseline {:.2} nJ, RAIDR {:.2} nJ, DC-REF {:.2} nJ\n",
+            energy_per_inst[0] / n,
+            energy_per_inst[1] / n,
+            energy_per_inst[2] / n
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! `parbor` — command-line front end to the reproduction.
+//!
+//! ```text
+//! parbor detect  [--vendor A|B|C] [--seed N] [--rows N] [--chips N]
+//! parbor census  [--vendor A|B|C] [--seed N] [--rows N]
+//! parbor compare [--vendor A|B|C] [--seed N] [--rows N]
+//! parbor profile [--vendor A|B|C] [--seed N] [--rows N] [--base-interval S]
+//! parbor dcref   [--cycles N] [--mixes N] [--density 8|16|32]
+//! ```
+//!
+//! Every subcommand operates on the simulated devices; see the fig*/table*
+//! binaries for the exact paper reproductions.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use parbor_core::{random_pattern_test, Parbor, ParborConfig};
+use parbor_dram::{
+    Celsius, CellCensus, ChipGeometry, ModuleConfig, ModuleId, RetentionProfiler, RowId, Seconds,
+    Vendor,
+};
+use parbor_memsim::{Density, RefreshPolicyKind, Simulation, SystemConfig};
+use parbor_workloads::paper_mixes;
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut it = raw.iter();
+        while let Some(flag) = it.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {flag}"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        }
+        Ok(Args { flags })
+    }
+
+    fn vendor(&self) -> Result<Vendor, String> {
+        match self.flags.get("vendor").map(String::as_str) {
+            None | Some("A") | Some("a") => Ok(Vendor::A),
+            Some("B") | Some("b") => Ok(Vendor::B),
+            Some("C") | Some("c") => Ok(Vendor::C),
+            Some(other) => Err(format!("unknown vendor {other} (use A, B, or C)")),
+        }
+    }
+
+    fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} must be a number")),
+        }
+    }
+
+    fn f64_or(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} must be a number")),
+        }
+    }
+}
+
+fn build(vendor: Vendor, seed: u64, rows: u64, chips: u64) -> Result<parbor_dram::DramModule, String> {
+    ModuleConfig::new(vendor)
+        .geometry(ChipGeometry::new(1, rows as u32, 8192).map_err(|e| e.to_string())?)
+        .chips(chips as usize)
+        .seed(seed)
+        .module_id(ModuleId(1))
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_detect(args: &Args) -> Result<(), String> {
+    let vendor = args.vendor()?;
+    let mut module = build(
+        vendor,
+        args.u64_or("seed", 1)?,
+        args.u64_or("rows", 128)?,
+        args.u64_or("chips", 8)?,
+    )?;
+    let report = Parbor::new(ParborConfig::default())
+        .run(&mut module)
+        .map_err(|e| e.to_string())?;
+    println!("vendor           : {vendor}");
+    println!("victims          : {}", report.victim_count);
+    println!("distances        : {:?}", report.distances());
+    println!("tests per level  : {:?}", report.recursion.tests_per_level());
+    println!("chip-wide rounds : {}", report.chipwide.rounds);
+    println!("failures found   : {}", report.failure_count());
+    println!("total budget     : {} rounds", report.total_rounds());
+    Ok(())
+}
+
+fn cmd_census(args: &Args) -> Result<(), String> {
+    let vendor = args.vendor()?;
+    let rows_n = args.u64_or("rows", 128)?;
+    let mut module = build(vendor, args.u64_or("seed", 1)?, rows_n, 8)?;
+    let rows: Vec<RowId> = (0..rows_n as u32).map(|r| RowId::new(0, r)).collect();
+    let mut census = CellCensus::default();
+    for chip in module.chips_mut() {
+        census.merge(&CellCensus::take(chip, &rows).map_err(|e| e.to_string())?);
+    }
+    println!("vendor {vendor}: {} rows x 8 chips", rows_n);
+    println!("  retention-weak  : {}", census.retention_weak);
+    println!("  strongly coupled: {}", census.strongly_coupled);
+    println!("  weakly coupled  : {}", census.weakly_coupled);
+    println!("  deep coupled    : {}", census.deep_coupled);
+    println!("  marginal        : {}", census.marginal);
+    println!("  vrt             : {}", census.vrt);
+    println!("  coupling BER    : {:.2e}", census.coupling_ber());
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let vendor = args.vendor()?;
+    let seed = args.u64_or("seed", 1)?;
+    let rows_n = args.u64_or("rows", 128)?;
+    let mut module = build(vendor, seed, rows_n, 8)?;
+    let parbor = Parbor::new(ParborConfig::default());
+    let report = parbor.run(&mut module).map_err(|e| e.to_string())?;
+    let budget = report.total_rounds();
+    let mut fresh = build(vendor, seed, rows_n, 8)?;
+    let rows: Vec<RowId> = (0..rows_n as u32).map(|r| RowId::new(0, r)).collect();
+    let random =
+        random_pattern_test(&mut fresh, &rows, budget, 0xC0).map_err(|e| e.to_string())?;
+    let p = report.chipwide.failing_bits();
+    let only_p = p.difference(&random.failing).count();
+    println!("vendor {vendor}, budget {budget} rounds each");
+    println!("  PARBOR failures : {}", p.len());
+    println!("  random failures : {}", random.failure_count());
+    println!(
+        "  only PARBOR     : {} ({:+.1}% over random)",
+        only_p,
+        only_p as f64 * 100.0 / random.failure_count().max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let vendor = args.vendor()?;
+    let rows_n = args.u64_or("rows", 128)?;
+    let base = Seconds(args.f64_or("base-interval", 2.0)?);
+    let mut module = build(vendor, args.u64_or("seed", 1)?, rows_n, 1)?;
+    let rows: Vec<RowId> = (0..rows_n as u32).map(|r| RowId::new(0, r)).collect();
+    let profiler = RetentionProfiler::raidr(base, 3).map_err(|e| e.to_string())?;
+    let profile = profiler
+        .profile(&mut module.chips_mut()[0], &rows, Celsius(45.0))
+        .map_err(|e| e.to_string())?;
+    println!("vendor {vendor}: retention ladder from {base}");
+    for (interval, frac) in profile
+        .intervals()
+        .iter()
+        .zip(profile.cumulative_fail_fractions())
+    {
+        println!("  <= {interval}: {:.1}% of rows fail", frac * 100.0);
+    }
+    Ok(())
+}
+
+fn cmd_dcref(args: &Args) -> Result<(), String> {
+    let cycles = args.u64_or("cycles", 300_000)?;
+    let n_mixes = args.u64_or("mixes", 4)? as usize;
+    let density = match args.u64_or("density", 32)? {
+        8 => Density::Gb8,
+        16 => Density::Gb16,
+        32 => Density::Gb32,
+        other => return Err(format!("unsupported density {other} (use 8, 16, or 32)")),
+    };
+    let config = SystemConfig {
+        density,
+        ..SystemConfig::paper()
+    };
+    let mixes = paper_mixes(n_mixes, 8, 2016);
+    let mut sums = [0u64; 3];
+    for mix in &mixes {
+        for (i, policy) in [
+            RefreshPolicyKind::Uniform64,
+            RefreshPolicyKind::Raidr,
+            RefreshPolicyKind::DcRef,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            sums[i] += Simulation::new(config, policy, mix, 9)
+                .run(cycles)
+                .total_instructions();
+        }
+    }
+    println!("{density:?}, {n_mixes} mixes, {cycles} memory cycles each:");
+    println!("  baseline : {} instructions", sums[0]);
+    println!(
+        "  RAIDR    : {} ({:+.1}%)",
+        sums[1],
+        (sums[1] as f64 / sums[0] as f64 - 1.0) * 100.0
+    );
+    println!(
+        "  DC-REF   : {} ({:+.1}%)",
+        sums[2],
+        (sums[2] as f64 / sums[0] as f64 - 1.0) * 100.0
+    );
+    Ok(())
+}
+
+const USAGE: &str = "usage: parbor <detect|census|compare|profile|dcref> [--flag value]...
+  detect   run the full PARBOR pipeline on a simulated module
+  census   device-side cell-class census (ground truth)
+  compare  PARBOR vs equal-budget random-pattern testing
+  profile  RAIDR-style retention-interval ladder
+  dcref    refresh-policy performance comparison
+common flags: --vendor A|B|C  --seed N  --rows N  --chips N
+dcref flags : --cycles N  --mixes N  --density 8|16|32";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "detect" => cmd_detect(&args),
+        "census" => cmd_census(&args),
+        "compare" => cmd_compare(&args),
+        "profile" => cmd_profile(&args),
+        "dcref" => cmd_dcref(&args),
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates **Table 1**: the number of tests PARBOR performs at each
+//! recursion level, per vendor, plus the headline reduction factors.
+//!
+//! Paper: A = 2+8+8+24+48 = 90, B = 2+8+8+24+24 = 66, C = 90; 90×/745,654×
+//! fewer tests than the O(n)/O(n²) searches.
+
+use parbor_core::{Parbor, ParborConfig, ReductionReport};
+use parbor_dram::{ChipGeometry, Vendor};
+use parbor_repro::{build_module, table_row};
+
+fn main() {
+    let geometry = ChipGeometry::new(1, 256, 8192).expect("valid geometry");
+    println!("Table 1: number of tests performed by PARBOR\n");
+    let widths = [12usize, 5, 5, 5, 5, 5, 7];
+    println!(
+        "{}",
+        table_row(
+            ["Manufacturer", "L1", "L2", "L3", "L4", "L5", "Total"]
+                .map(String::from).as_ref(),
+            &widths
+        )
+    );
+    let paper = [90usize, 66, 90];
+    for (vendor, paper_total) in Vendor::ALL.into_iter().zip(paper) {
+        let mut module = build_module(vendor, 1, geometry).expect("module builds");
+        let parbor = Parbor::new(ParborConfig::default());
+        let victims = parbor.discover(&mut module).expect("victims found");
+        let outcome = parbor.locate(&mut module, &victims).expect("recursion converges");
+        let mut cells = vec![vendor.to_string()];
+        cells.extend(outcome.tests_per_level().iter().map(|t| t.to_string()));
+        cells.push(outcome.total_tests.to_string());
+        println!("{}", table_row(&cells, &widths));
+        let reduction = ReductionReport::new(8192, outcome.total_tests);
+        println!(
+            "    paper total: {paper_total}; reduction: {:.0}x vs O(n), {:.0}x vs O(n^2)",
+            reduction.vs_linear, reduction.vs_quadratic
+        );
+    }
+}

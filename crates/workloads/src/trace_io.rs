@@ -1,0 +1,179 @@
+//! Ramulator standalone trace-format interop.
+//!
+//! Ramulator (the simulator the paper's §8 evaluation runs on) consumes CPU
+//! traces as text lines: `<num-cpu-inst> <addr-read> [<addr-writeback>]`.
+//! This module writes our synthetic streams in that format and parses
+//! existing Ramulator traces back into [`TraceOp`]s, so real Pin-captured
+//! traces can drive `parbor-memsim` and our synthetic traces can drive
+//! Ramulator.
+
+use std::io::{self, BufRead, Write};
+
+use crate::generator::TraceOp;
+
+/// Writes trace entries as Ramulator CPU-trace lines.
+///
+/// Reads become `<gap> <addr>`; writes become `<gap> <addr> <addr>` (the
+/// Ramulator format models stores as a read plus a writeback of the same
+/// line, the closest encoding of our post-LLC writes).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use parbor_workloads::{write_ramulator_trace, TraceOp};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let ops = [TraceOp { nonmem_insts: 7, addr: 0x1240, is_write: false }];
+/// let mut out = Vec::new();
+/// write_ramulator_trace(&mut out, &ops)?;
+/// assert_eq!(String::from_utf8(out).unwrap(), "7 0x1240\n");
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_ramulator_trace<W: Write>(mut writer: W, ops: &[TraceOp]) -> io::Result<()> {
+    for op in ops {
+        if op.is_write {
+            writeln!(writer, "{} {:#x} {:#x}", op.nonmem_insts, op.addr, op.addr)?;
+        } else {
+            writeln!(writer, "{} {:#x}", op.nonmem_insts, op.addr)?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses Ramulator CPU-trace lines back into [`TraceOp`]s.
+///
+/// Lines with a third column (a writeback address) produce *two* logical
+/// operations in our model only when the writeback address differs from the
+/// read address; a repeated address is folded into a single write op (the
+/// inverse of [`write_ramulator_trace`]). Blank lines and `#` comments are
+/// skipped.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] with kind `InvalidData` describing the first
+/// malformed line.
+pub fn read_ramulator_trace<R: BufRead>(reader: R) -> io::Result<Vec<TraceOp>> {
+    let mut ops = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let bad = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {what}: {line}", lineno + 1),
+            )
+        };
+        let gap: u32 = fields
+            .next()
+            .ok_or_else(|| bad("missing instruction count"))?
+            .parse()
+            .map_err(|_| bad("bad instruction count"))?;
+        let parse_addr = |s: &str| -> Option<u64> {
+            if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                s.parse().ok()
+            }
+        };
+        let read_addr = fields
+            .next()
+            .and_then(parse_addr)
+            .ok_or_else(|| bad("missing or bad read address"))?;
+        match fields.next() {
+            None => ops.push(TraceOp {
+                nonmem_insts: gap,
+                addr: read_addr,
+                is_write: false,
+            }),
+            Some(wb) => {
+                let wb_addr = parse_addr(wb).ok_or_else(|| bad("bad writeback address"))?;
+                if wb_addr == read_addr {
+                    ops.push(TraceOp {
+                        nonmem_insts: gap,
+                        addr: read_addr,
+                        is_write: true,
+                    });
+                } else {
+                    ops.push(TraceOp {
+                        nonmem_insts: gap,
+                        addr: read_addr,
+                        is_write: false,
+                    });
+                    ops.push(TraceOp {
+                        nonmem_insts: 0,
+                        addr: wb_addr,
+                        is_write: true,
+                    });
+                }
+            }
+        }
+        if fields.next().is_some() {
+            return Err(bad("too many fields"));
+        }
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::profiles::AppProfile;
+
+    #[test]
+    fn round_trip_preserves_ops() {
+        let app = AppProfile::spec2006()
+            .into_iter()
+            .find(|a| a.name == "milc")
+            .unwrap();
+        let ops = TraceGenerator::new(&app, 5).take_ops(500);
+        let mut buf = Vec::new();
+        write_ramulator_trace(&mut buf, &ops).unwrap();
+        let parsed = read_ramulator_trace(buf.as_slice()).unwrap();
+        assert_eq!(parsed, ops);
+    }
+
+    #[test]
+    fn parses_decimal_and_hex_addresses() {
+        let text = "3 0x40\n5 128\n";
+        let ops = read_ramulator_trace(text.as_bytes()).unwrap();
+        assert_eq!(ops[0].addr, 0x40);
+        assert_eq!(ops[1].addr, 128);
+        assert!(!ops[0].is_write);
+    }
+
+    #[test]
+    fn distinct_writeback_splits_into_two_ops() {
+        let text = "3 0x40 0x80\n";
+        let ops = read_ramulator_trace(text.as_bytes()).unwrap();
+        assert_eq!(ops.len(), 2);
+        assert!(!ops[0].is_write && ops[0].addr == 0x40);
+        assert!(ops[1].is_write && ops[1].addr == 0x80);
+        assert_eq!(ops[1].nonmem_insts, 0);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n2 0x40\n";
+        let ops = read_ramulator_trace(text.as_bytes()).unwrap();
+        assert_eq!(ops.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_location() {
+        for bad in ["x 0x40", "3", "3 zz", "3 0x40 zz", "3 0x40 0x80 9"] {
+            let err = read_ramulator_trace(bad.as_bytes()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "input {bad:?}");
+            assert!(err.to_string().contains("line 1"), "input {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! A full test campaign on one module: PARBOR's neighbor-aware patterns
+//! against the solid-pattern and equal-budget random baselines — the
+//! comparison behind the paper's Figures 12 and 13.
+//!
+//! Run with: `cargo run --release --example chip_test_campaign`
+
+use std::collections::HashSet;
+
+use parbor_core::{random_pattern_test, solid_pattern_test, Parbor, ParborConfig};
+use parbor_dram::{BitAddr, ChipGeometry, ModuleConfig, RowId, Vendor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let geometry = ChipGeometry::new(1, 128, 8192)?;
+    let build = || {
+        ModuleConfig::new(Vendor::C)
+            .geometry(geometry)
+            .seed(1234)
+            .build()
+    };
+    let rows: Vec<RowId> = geometry.rows().collect();
+
+    // PARBOR campaign on one copy of the module.
+    let mut module = build()?;
+    let parbor = Parbor::new(ParborConfig::default());
+    let report = parbor.run(&mut module)?;
+    let parbor_found: HashSet<(u32, BitAddr)> = report.chipwide.failing_bits();
+    let budget = report.total_rounds();
+    println!(
+        "PARBOR: {} failures in {budget} rounds (distances {:?})",
+        parbor_found.len(),
+        report.distances()
+    );
+
+    // The naive all-0s/1s test most prior schemes assume is sufficient.
+    let mut fresh = build()?;
+    let solid = solid_pattern_test(&mut fresh, &rows)?;
+    println!(
+        "solid 0s/1s: {} failures in {} rounds",
+        solid.failure_count(),
+        solid.rounds
+    );
+
+    // Random data patterns with exactly PARBOR's budget.
+    let mut fresh = build()?;
+    let random = random_pattern_test(&mut fresh, &rows, budget, 99)?;
+    println!(
+        "random patterns: {} failures in {} rounds",
+        random.failure_count(),
+        random.rounds
+    );
+
+    let only_parbor = parbor_found.difference(&random.failing).count();
+    println!(
+        "\nfailures only PARBOR's worst-case patterns reach: {} ({:.1}% extra over random)",
+        only_parbor,
+        only_parbor as f64 * 100.0 / random.failure_count().max(1) as f64
+    );
+    assert!(parbor_found.len() > solid.failure_count());
+    Ok(())
+}

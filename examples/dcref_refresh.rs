@@ -1,0 +1,41 @@
+//! DC-REF in action: simulate a multiprogrammed system under the uniform
+//! 64 ms baseline, RAIDR, and DC-REF, and watch refresh work and
+//! performance respond (the paper's §8).
+//!
+//! Run with: `cargo run --release --example dcref_refresh`
+
+use parbor_memsim::{RefreshPolicyKind, Simulation, SystemConfig};
+use parbor_workloads::paper_mixes;
+
+fn main() {
+    let mix = &paper_mixes(1, 8, 99)[0];
+    let config = SystemConfig::paper();
+    let cycles = 400_000;
+
+    println!("workload: {}", mix.label());
+    println!("system  : {:?} chips, {} cores\n", config.density, config.cores);
+
+    let mut baseline_insts = 0u64;
+    for policy in [
+        RefreshPolicyKind::Uniform64,
+        RefreshPolicyKind::Raidr,
+        RefreshPolicyKind::DcRef,
+        RefreshPolicyKind::NoRefresh,
+    ] {
+        let report = Simulation::new(config, policy, mix, 5).run(cycles);
+        if policy == RefreshPolicyKind::Uniform64 {
+            baseline_insts = report.total_instructions();
+        }
+        println!(
+            "{policy:?}: {:>9} instructions ({:+.1}% vs baseline), refresh work {:>5.1}%, fast rows {:>5.1}%",
+            report.total_instructions(),
+            (report.total_instructions() as f64 / baseline_insts as f64 - 1.0) * 100.0,
+            report.refresh_work_fraction * 100.0,
+            report.hot_row_fraction * 100.0,
+        );
+    }
+    println!(
+        "\nDC-REF refreshes only weak rows whose *content* matches the worst-case \
+         pattern PARBOR identified — the rest safely drop to the 256 ms rate."
+    );
+}

@@ -1,0 +1,34 @@
+//! Quickstart: point PARBOR at a DRAM chip and discover where its
+//! physically neighboring cells live in the system address space.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use parbor_core::{Parbor, ParborConfig};
+use parbor_dram::{ChipGeometry, DramChip, Vendor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A simulated chip from "vendor C" — 8 K-cell rows scrambled with a
+    // vendor-proprietary mapping PARBOR knows nothing about.
+    let mut chip = DramChip::new(ChipGeometry::new(1, 128, 8192)?, Vendor::C, 42)?;
+
+    // Run the full pipeline: victim discovery, parallel recursive neighbor
+    // location, noise filtering, and the neighbor-aware chip-wide test.
+    let report = Parbor::new(ParborConfig::default()).run(&mut chip)?;
+
+    println!("victims discovered : {}", report.victim_count);
+    println!("neighbor distances : {:?}", report.distances());
+    println!(
+        "recursion tests    : {:?} (total {})",
+        report.recursion.tests_per_level(),
+        report.recursion.total_tests
+    );
+    println!("chip-wide rounds   : {}", report.chipwide.rounds);
+    println!("failures uncovered : {}", report.failure_count());
+    println!("total round budget : {}", report.total_rounds());
+
+    // The discovered distances match the device's ground truth, which the
+    // algorithm never saw.
+    assert_eq!(report.distances(), Vendor::C.paper_distances());
+    println!("\nground truth matched: {:?}", Vendor::C.paper_distances());
+    Ok(())
+}

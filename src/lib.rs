@@ -1,0 +1,17 @@
+//! # parbor-suite — umbrella for the PARBOR reproduction
+//!
+//! This crate re-exports the workspace members and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//! See the individual crates for the substance:
+//!
+//! * [`parbor_dram`] — the DRAM device simulator (scrambling + fault model)
+//! * [`parbor_core`] — the PARBOR algorithm itself
+//! * [`parbor_memsim`] — the DDR3 timing simulator for the DC-REF study
+//! * [`parbor_workloads`] — synthetic SPEC-like workload traces
+
+#![forbid(unsafe_code)]
+
+pub use parbor_core as core;
+pub use parbor_dram as dram;
+pub use parbor_memsim as memsim;
+pub use parbor_workloads as workloads;

@@ -1,0 +1,93 @@
+//! End-to-end pipeline tests: every vendor, chip- and module-level, checked
+//! against the paper's Table 1 and Figure 11 ground truth.
+
+use parbor_core::{Parbor, ParborConfig};
+use parbor_dram::{ChipGeometry, DramChip, ModuleConfig, Scrambler, TestPort, Vendor};
+
+fn run_vendor_chip(vendor: Vendor, seed: u64) -> parbor_core::ParborReport {
+    let mut chip =
+        DramChip::new(ChipGeometry::new(1, 192, 8192).unwrap(), vendor, seed).unwrap();
+    Parbor::new(ParborConfig::default()).run(&mut chip).unwrap()
+}
+
+#[test]
+fn vendor_a_full_pipeline_matches_paper() {
+    let report = run_vendor_chip(Vendor::A, 31);
+    assert_eq!(report.distances(), Vendor::A.paper_distances());
+    assert_eq!(report.recursion.tests_per_level(), vec![2, 8, 8, 24, 48]);
+    assert_eq!(report.recursion.total_tests, 90);
+}
+
+#[test]
+fn vendor_b_full_pipeline_matches_paper() {
+    let report = run_vendor_chip(Vendor::B, 32);
+    assert_eq!(report.distances(), Vendor::B.paper_distances());
+    assert_eq!(report.recursion.tests_per_level(), vec![2, 8, 8, 24, 24]);
+    assert_eq!(report.recursion.total_tests, 66);
+}
+
+#[test]
+fn vendor_c_full_pipeline_matches_paper() {
+    let report = run_vendor_chip(Vendor::C, 33);
+    assert_eq!(report.distances(), Vendor::C.paper_distances());
+    assert_eq!(report.recursion.total_tests, 90);
+}
+
+#[test]
+fn module_level_pipeline_aggregates_chips() {
+    let mut module = ModuleConfig::new(Vendor::A)
+        .geometry(ChipGeometry::new(1, 48, 8192).unwrap())
+        .chips(8)
+        .seed(3)
+        .build()
+        .unwrap();
+    let report = Parbor::new(ParborConfig::default()).run(&mut module).unwrap();
+    assert_eq!(report.distances(), Vendor::A.paper_distances());
+    // Failures come from multiple chips.
+    let units: std::collections::HashSet<u32> =
+        report.chipwide.failing.keys().map(|&(u, _)| u).collect();
+    assert!(units.len() > 4, "failures confined to {} chips", units.len());
+}
+
+#[test]
+fn distances_discovered_equal_scrambler_ground_truth() {
+    for (vendor, seed) in [(Vendor::A, 1u64), (Vendor::B, 2), (Vendor::C, 3)] {
+        let mut chip =
+            DramChip::new(ChipGeometry::new(1, 192, 8192).unwrap(), vendor, seed).unwrap();
+        let truth = chip.scrambler().distance_set();
+        let report = Parbor::new(ParborConfig::default()).run(&mut chip).unwrap();
+        assert_eq!(report.distances(), truth, "vendor {vendor}");
+    }
+}
+
+#[test]
+fn budget_stays_within_paper_envelope() {
+    // Paper: 92-132 tests depending on vendor (discovery 10 + recursion
+    // 66-90 + chip-wide 16-32). Our chip-wide scheduler spends a few more
+    // rounds for second-order purity, so allow up to 150.
+    for (vendor, seed) in [(Vendor::A, 5u64), (Vendor::B, 6), (Vendor::C, 7)] {
+        let report = run_vendor_chip(vendor, seed);
+        let total = report.total_rounds();
+        assert!(
+            (92..=150).contains(&total),
+            "vendor {vendor}: budget {total}"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let a = run_vendor_chip(Vendor::B, 11);
+    let b = run_vendor_chip(Vendor::B, 11);
+    assert_eq!(a.distances(), b.distances());
+    assert_eq!(a.failure_count(), b.failure_count());
+    assert_eq!(a.victim_count, b.victim_count);
+}
+
+#[test]
+fn rounds_accounting_matches_port_counter() {
+    let mut chip =
+        DramChip::new(ChipGeometry::new(1, 96, 8192).unwrap(), Vendor::C, 8).unwrap();
+    let report = Parbor::new(ParborConfig::default()).run(&mut chip).unwrap();
+    assert_eq!(TestPort::rounds_run(&chip), report.total_rounds() as u64);
+}

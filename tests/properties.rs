@@ -1,0 +1,153 @@
+//! Property-based tests (proptest) on the core invariants: scrambler
+//! bijectivity, schedule correctness, region arithmetic, and row-bit
+//! algebra, over randomized inputs.
+
+use proptest::prelude::*;
+
+use parbor_core::{LevelPlan, RoundSchedule};
+use parbor_dram::{
+    hamiltonian_walk, walk_distance_set, IdentityScrambler, PatternKind, RemapTable, RowBits,
+    Scrambler, TileWalkScrambler, Vendor,
+};
+
+proptest! {
+    #[test]
+    fn rowbits_flip_is_involution(len in 1usize..600, bits in prop::collection::vec(0usize..600, 0..40)) {
+        let mut row = RowBits::zeros(len);
+        let bits: Vec<usize> = bits.into_iter().map(|b| b % len).collect();
+        for &b in &bits {
+            row.flip(b);
+        }
+        for &b in &bits {
+            row.flip(b);
+        }
+        prop_assert_eq!(row.count_ones(), 0);
+    }
+
+    #[test]
+    fn rowbits_inversion_complements_counts(len in 1usize..700, seed in any::<u64>()) {
+        let row = PatternKind::Random { seed }.row_bits(0, len);
+        let inv = row.inverted();
+        prop_assert_eq!(row.count_ones() + inv.count_ones(), len);
+        // Double inversion is identity.
+        prop_assert_eq!(inv.inverted(), row);
+    }
+
+    #[test]
+    fn diff_indices_matches_manual_xor(len in 1usize..300, seed in any::<u64>()) {
+        let a = PatternKind::Random { seed }.row_bits(0, len);
+        let b = PatternKind::Random { seed: seed ^ 1 }.row_bits(1, len);
+        let diffs = a.diff_indices(&b);
+        for i in 0..len {
+            let differs = a.get(i) != b.get(i);
+            prop_assert_eq!(differs, diffs.contains(&i));
+        }
+    }
+
+    #[test]
+    fn vendor_scramblers_bijective_at_any_width(
+        vendor_idx in 0usize..3,
+        groups in 1usize..6,
+    ) {
+        let vendor = Vendor::ALL[vendor_idx];
+        let span = match vendor {
+            Vendor::A => 1024,
+            Vendor::B => 512,
+            Vendor::C => 128,
+        };
+        let width = span * groups;
+        let s = vendor.scrambler(width);
+        let mut seen = vec![false; width];
+        for col in 0..width {
+            let p = s.system_to_physical(col);
+            prop_assert!(!seen[p]);
+            seen[p] = true;
+            prop_assert_eq!(s.physical_to_system(p), col);
+        }
+    }
+
+    #[test]
+    fn remap_preserves_bijection(
+        pairs in prop::collection::vec((0usize..512, 512usize..1024), 0..12),
+    ) {
+        // Deduplicate positions to satisfy RemapTable's validation.
+        let mut used = std::collections::HashSet::new();
+        let pairs: Vec<(usize, usize)> = pairs
+            .into_iter()
+            .filter(|&(a, b)| used.insert(a) && used.insert(b))
+            .collect();
+        let base = std::sync::Arc::new(IdentityScrambler::new(1024));
+        let s = RemapTable::new(pairs).unwrap().apply(base).unwrap();
+        let mut seen = vec![false; 1024];
+        for col in 0..1024 {
+            let p = s.system_to_physical(col);
+            prop_assert!(!seen[p]);
+            seen[p] = true;
+            prop_assert_eq!(s.physical_to_system(p), col);
+        }
+    }
+
+    #[test]
+    fn schedules_verify_for_random_distance_sets(
+        mags in prop::collection::btree_set(1i64..64, 1..4),
+        order in 1u32..4,
+    ) {
+        let distances: Vec<i64> = mags.iter().flat_map(|&m| [m, -m]).collect();
+        let s = RoundSchedule::with_order(&distances, 8192, order).unwrap();
+        prop_assert!(s.verify(&distances));
+        // Every chunk position is a victim exactly once.
+        let mut count = vec![0usize; s.chunk()];
+        for r in 0..s.rounds_per_polarity() {
+            for &v in s.victims(r) {
+                count[v as usize] += 1;
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn level_plan_region_ranges_partition_the_row(width_exp in 1u32..4) {
+        // Widths 2·8^k: 16, 128, 1024.
+        let width = 2 * 8usize.pow(width_exp);
+        let plan = LevelPlan::paper(width).unwrap();
+        for level in 0..plan.levels() {
+            let mut covered = 0usize;
+            for idx in 0..plan.region_count(level) {
+                let (lo, hi) = plan.region_range(idx, level).unwrap();
+                prop_assert_eq!(lo, covered);
+                covered = hi;
+            }
+            prop_assert_eq!(covered, width);
+        }
+    }
+
+    #[test]
+    fn hamiltonian_walks_honor_step_sets(
+        len in 8usize..48,
+        s1 in 1u64..5,
+        s2 in 1u64..7,
+    ) {
+        // Always include step 1 so a walk exists.
+        let steps = vec![1u64, s1, s2];
+        let walk = hamiltonian_walk(len, &steps).unwrap();
+        let mut sorted = walk.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+        for d in walk_distance_set(&walk) {
+            prop_assert!(steps.contains(&d));
+        }
+    }
+
+    #[test]
+    fn tile_walk_round_trips(groups in 1usize..5, stride in 1usize..4) {
+        // A small valid walk: identity over span/stride.
+        let span = 24 * stride;
+        let tile_len = span / stride;
+        let walk: Vec<usize> = (0..tile_len).collect();
+        let width = span * groups;
+        let s = TileWalkScrambler::new(width, span, stride, walk).unwrap();
+        for col in 0..width {
+            prop_assert_eq!(s.physical_to_system(s.system_to_physical(col)), col);
+        }
+    }
+}

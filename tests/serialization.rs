@@ -1,0 +1,68 @@
+//! Round-trip tests for the serde derives on persistent result types: a
+//! deployment stores campaign results (victim sets, recursion outcomes,
+//! failure directories) across sessions, so these must serialize faithfully.
+
+use parbor_core::{FailureDirectory, Parbor, ParborConfig, RecursionOutcome, VictimSet};
+use parbor_dram::{CellCensus, ChipGeometry, DramChip, RowId, Vendor};
+
+fn campaign() -> (VictimSet, RecursionOutcome, FailureDirectory, DramChip) {
+    let mut chip =
+        DramChip::new(ChipGeometry::new(1, 64, 8192).unwrap(), Vendor::B, 3).unwrap();
+    let parbor = Parbor::new(ParborConfig::default());
+    let victims = parbor.discover(&mut chip).unwrap();
+    let recursion = parbor.locate(&mut chip, &victims).unwrap();
+    let chipwide = parbor.chip_test(&mut chip, &recursion.distances).unwrap();
+    let directory = FailureDirectory::from_chipwide(&chipwide, &recursion.distances);
+    (victims, recursion, directory, chip)
+}
+
+#[test]
+fn victim_set_round_trips() {
+    let (victims, ..) = campaign();
+    let json = serde_json::to_string(&victims).unwrap();
+    let back: VictimSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, victims);
+}
+
+#[test]
+fn recursion_outcome_round_trips() {
+    let (_, recursion, ..) = campaign();
+    let json = serde_json::to_string(&recursion).unwrap();
+    let back: RecursionOutcome = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, recursion);
+    assert_eq!(back.distances, vec![-64, -1, 1, 64]);
+}
+
+#[test]
+fn failure_directory_round_trips() {
+    let (_, _, directory, _) = campaign();
+    let json = serde_json::to_string(&directory).unwrap();
+    let back: FailureDirectory = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, directory);
+    // The restored directory still builds a working DC-REF monitor.
+    let monitor = back.dcref_monitor().unwrap();
+    assert_eq!(monitor.cell_count(), directory.failing_cells());
+}
+
+#[test]
+fn census_round_trips() {
+    let (.., mut chip) = campaign();
+    let rows: Vec<RowId> = (0..16).map(|r| RowId::new(0, r)).collect();
+    let census = CellCensus::take(&mut chip, &rows).unwrap();
+    let json = serde_json::to_string(&census).unwrap();
+    let back: CellCensus = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, census);
+}
+
+#[test]
+fn config_types_round_trip() {
+    let config = ParborConfig::default();
+    let json = serde_json::to_string(&config).unwrap();
+    let back: ParborConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, config);
+
+    let sys = parbor_memsim::SystemConfig::paper();
+    let json = serde_json::to_string(&sys).unwrap();
+    let back: parbor_memsim::SystemConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, sys);
+}
