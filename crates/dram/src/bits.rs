@@ -85,7 +85,11 @@ impl RowBits {
     /// Panics if `i >= len()`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -96,7 +100,11 @@ impl RowBits {
     /// Panics if `i >= len()`.
     #[inline]
     pub fn set(&mut self, i: usize, v: bool) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let mask = 1u64 << (i % 64);
         if v {
             self.words[i / 64] |= mask;
@@ -112,7 +120,11 @@ impl RowBits {
     /// Panics if `i >= len()`.
     #[inline]
     pub fn flip(&mut self, i: usize) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         self.words[i / 64] ^= 1u64 << (i % 64);
     }
 

@@ -121,7 +121,9 @@ impl FaultRates {
             }
         }
         if self.anti_block == 0 {
-            return Err(DramError::InvalidConfig("anti_block must be nonzero".into()));
+            return Err(DramError::InvalidConfig(
+                "anti_block must be nonzero".into(),
+            ));
         }
         if self.window_radius < 2 {
             return Err(DramError::InvalidConfig(
@@ -189,8 +191,16 @@ impl CellProfile {
     /// Classifies the cell at an effective margin `θ = theta_ref − shift`.
     pub fn classify(&self, theta_shift: f64) -> CellClass {
         let theta = self.theta_ref - theta_shift;
-        let wl = if self.left.is_some() { self.w_left } else { 0.0 };
-        let wr = if self.right.is_some() { self.w_right } else { 0.0 };
+        let wl = if self.left.is_some() {
+            self.w_left
+        } else {
+            0.0
+        };
+        let wr = if self.right.is_some() {
+            self.w_right
+        } else {
+            0.0
+        };
         if theta <= 0.0 {
             CellClass::RetentionWeak
         } else if theta <= wl && theta <= wr {
@@ -292,8 +302,7 @@ impl RowFaultMap {
         let mut entries = Vec::new();
         for phys in 0..n {
             let p = phys as u64;
-            let interesting =
-                cell_hash01(seed, bank, r, p, TAG_INTERESTING) < rates.interesting;
+            let interesting = cell_hash01(seed, bank, r, p, TAG_INTERESTING) < rates.interesting;
             let marginal = cell_hash01(seed, bank, r, p, TAG_MARGINAL) < rates.marginal;
             let vrt = cell_hash01(seed, bank, r, p, TAG_VRT) < rates.vrt;
             if !(interesting || marginal || vrt) {
@@ -333,15 +342,18 @@ impl RowFaultMap {
                 // Margin draw: retention-weak cells fail unaided; the rest
                 // sit between 0 and their worst-case interference maximum,
                 // concentrated near the maximum (steep retention tail).
-                profile.theta_ref =
-                    if cell_hash01(seed, bank, r, p, TAG_WEAK) < rates.weak_share {
-                        -0.1
+                profile.theta_ref = if cell_hash01(seed, bank, r, p, TAG_WEAK) < rates.weak_share {
+                    -0.1
+                } else {
+                    let wl = if profile.left.is_some() { w_left } else { 0.0 };
+                    let wr = if profile.right.is_some() {
+                        w_right
                     } else {
-                        let wl = if profile.left.is_some() { w_left } else { 0.0 };
-                        let wr = if profile.right.is_some() { w_right } else { 0.0 };
-                        let i_max = wl + wr + profile.max_window_interference();
-                        retention.theta_ref(cell_hash01(seed, bank, r, p, TAG_THETA), i_max)
+                        0.0
                     };
+                    let i_max = wl + wr + profile.max_window_interference();
+                    retention.theta_ref(cell_hash01(seed, bank, r, p, TAG_THETA), i_max)
+                };
                 entries.push(CellFault {
                     sys,
                     anti,
@@ -418,13 +430,7 @@ pub(crate) fn vrt_leaky(seed: u64, row: RowId, sys: u32, round: u64, epoch_round
 }
 
 /// Per-round marginal draw: `true` if a marginal cell fails this round.
-pub(crate) fn marginal_fails(
-    seed: u64,
-    row: RowId,
-    sys: u32,
-    round: u64,
-    fail_prob: f64,
-) -> bool {
+pub(crate) fn marginal_fails(seed: u64, row: RowId, sys: u32, round: u64, fail_prob: f64) -> bool {
     cell_hash01(
         seed,
         u64::from(row.bank),
@@ -473,13 +479,22 @@ mod tests {
 
     #[test]
     fn classification_thresholds() {
-        let wref = CellRef { sys: 9, anti: false };
+        let wref = CellRef {
+            sys: 9,
+            anti: false,
+        };
         let profile = CellProfile {
             theta_ref: 0.9,
             w_left: 1.0,
             w_right: 0.7,
-            left: Some(CellRef { sys: 0, anti: false }),
-            right: Some(CellRef { sys: 2, anti: false }),
+            left: Some(CellRef {
+                sys: 0,
+                anti: false,
+            }),
+            right: Some(CellRef {
+                sys: 2,
+                anti: false,
+            }),
             window: vec![wref; 10],
             window_weight: 0.6,
             window_full: 10,
@@ -552,7 +567,9 @@ mod tests {
         );
         let relaxed = map.class_counts(-0.5);
         assert!(
-            relaxed.iter().any(|&(c, n)| c == CellClass::Robust && n > 0),
+            relaxed
+                .iter()
+                .any(|&(c, n)| c == CellClass::Robust && n > 0),
             "no Robust cells even at relaxed stress"
         );
     }

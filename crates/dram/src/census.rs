@@ -178,8 +178,7 @@ mod tests {
 
     #[test]
     fn out_of_range_row_errors() {
-        let mut chip =
-            DramChip::new(ChipGeometry::new(1, 4, 8192).unwrap(), Vendor::A, 1).unwrap();
+        let mut chip = DramChip::new(ChipGeometry::new(1, 4, 8192).unwrap(), Vendor::A, 1).unwrap();
         assert!(CellCensus::take(&mut chip, &[RowId::new(0, 99)]).is_err());
     }
 }

@@ -3,8 +3,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use parbor_obs::RecorderHandle;
+
 use crate::bits::RowBits;
-use crate::cell::{marginal_fails, vrt_leaky, CellClass, CellRef, FaultKind, FaultRates, RowFaultMap};
+use crate::cell::{
+    marginal_fails, vrt_leaky, CellClass, CellRef, FaultKind, FaultRates, RowFaultMap,
+};
 use crate::config::{Celsius, Seconds};
 use crate::error::DramError;
 use crate::geometry::{BitAddr, ChipGeometry, RowId};
@@ -62,6 +66,7 @@ pub struct DramChip {
     rows: HashMap<RowId, RowBits>,
     fault_maps: HashMap<RowId, RowFaultMap>,
     round: u64,
+    rec: RecorderHandle,
 }
 
 impl DramChip {
@@ -113,8 +118,10 @@ impl DramChip {
             )));
         }
         rates.validate()?;
-        let theta_shift =
-            retention.kappa * retention.stress_factor(refresh_interval, temperature).log2();
+        let theta_shift = retention.kappa
+            * retention
+                .stress_factor(refresh_interval, temperature)
+                .log2();
         let noise = NoiseModel::new(rates.soft_per_bit_per_round);
         Ok(DramChip {
             geometry,
@@ -129,7 +136,25 @@ impl DramChip {
             rows: HashMap::new(),
             fault_maps: HashMap::new(),
             round: 0,
+            rec: RecorderHandle::null(),
         })
+    }
+
+    /// Attaches a metrics recorder (`dram.*` counters). The default is the
+    /// null recorder, which observes nothing.
+    pub fn with_recorder(mut self, rec: RecorderHandle) -> Self {
+        self.rec = rec;
+        self
+    }
+
+    /// Replaces the metrics recorder in place.
+    pub fn set_recorder(&mut self, rec: RecorderHandle) {
+        self.rec = rec;
+    }
+
+    /// The attached metrics recorder.
+    pub fn recorder(&self) -> &RecorderHandle {
+        &self.rec
     }
 
     /// The chip geometry.
@@ -184,6 +209,7 @@ impl DramChip {
             });
         }
         self.rows.insert(row, data);
+        self.rec.incr("dram.row_writes", 1);
         Ok(())
     }
 
@@ -191,6 +217,7 @@ impl DramChip {
     /// read of a test round).
     pub fn advance_round(&mut self) {
         self.round += 1;
+        self.rec.incr("dram.rounds", 1);
     }
 
     /// The last data written to a row, without fault effects.
@@ -199,9 +226,11 @@ impl DramChip {
     ///
     /// Returns [`DramError::RowNeverWritten`] if the row has no content.
     pub fn written_row(&self, row: RowId) -> Result<&RowBits, DramError> {
-        self.rows.get(&row).ok_or_else(|| DramError::RowNeverWritten {
-            row: row.to_string(),
-        })
+        self.rows
+            .get(&row)
+            .ok_or_else(|| DramError::RowNeverWritten {
+                row: row.to_string(),
+            })
     }
 
     /// Reads a row after the waits executed so far, applying the fault model
@@ -244,9 +273,13 @@ impl DramChip {
     fn row_flips(&mut self, row: RowId) -> Result<Vec<BitFlip>, DramError> {
         self.geometry.check_row(row)?;
         self.ensure_fault_map(row);
-        let data = self.rows.get(&row).ok_or_else(|| DramError::RowNeverWritten {
-            row: row.to_string(),
-        })?;
+        self.rec.incr("dram.row_reads", 1);
+        let data = self
+            .rows
+            .get(&row)
+            .ok_or_else(|| DramError::RowNeverWritten {
+                row: row.to_string(),
+            })?;
         let map = self.fault_maps.get(&row).expect("just built");
         let mut flips = Vec::new();
         let charged = |r: &CellRef| (data.get(r.sys as usize)) != r.anti;
@@ -284,9 +317,13 @@ impl DramChip {
                 FaultKind::Marginal { fail_prob } => {
                     marginal_fails(self.seed, row, e.sys, self.round, *fail_prob)
                 }
-                FaultKind::Vrt => {
-                    vrt_leaky(self.seed, row, e.sys, self.round, self.rates.vrt_epoch_rounds)
-                }
+                FaultKind::Vrt => vrt_leaky(
+                    self.seed,
+                    row,
+                    e.sys,
+                    self.round,
+                    self.rates.vrt_epoch_rounds,
+                ),
             };
             if fails {
                 flips.push(BitFlip {
@@ -295,10 +332,12 @@ impl DramChip {
                 });
             }
         }
-        if let Some(col) =
-            self.noise
-                .soft_flip(self.seed, row, self.round, self.geometry.cols_per_row as usize)
-        {
+        if let Some(col) = self.noise.soft_flip(
+            self.seed,
+            row,
+            self.round,
+            self.geometry.cols_per_row as usize,
+        ) {
             let addr = BitAddr::new(row.bank, row.row, col as u32);
             if !flips.iter().any(|f| f.addr == addr) {
                 flips.push(BitFlip {
@@ -343,6 +382,13 @@ impl DramChip {
                 &self.rates,
                 &self.retention,
             );
+            // Building a fault map translates every system column through
+            // the scrambler once.
+            self.rec.incr(
+                "dram.scrambler_translations",
+                u64::from(self.geometry.cols_per_row),
+            );
+            self.rec.incr("dram.fault_maps_built", 1);
             self.fault_maps.insert(row, map);
         }
     }
@@ -355,12 +401,7 @@ mod tests {
     use crate::vendor::Vendor;
 
     fn test_chip(seed: u64) -> DramChip {
-        DramChip::new(
-            ChipGeometry::new(1, 16, 8192).unwrap(),
-            Vendor::A,
-            seed,
-        )
-        .unwrap()
+        DramChip::new(ChipGeometry::new(1, 16, 8192).unwrap(), Vendor::A, seed).unwrap()
     }
 
     #[test]
@@ -375,7 +416,9 @@ mod tests {
     #[test]
     fn width_mismatch_rejected() {
         let mut chip = test_chip(1);
-        let err = chip.write_row(RowId::new(0, 0), RowBits::zeros(100)).unwrap_err();
+        let err = chip
+            .write_row(RowId::new(0, 0), RowBits::zeros(100))
+            .unwrap_err();
         assert!(matches!(err, DramError::WidthMismatch { .. }));
     }
 
@@ -411,7 +454,12 @@ mod tests {
         let rows: Vec<RowId> = (0..32).map(|r| RowId::new(0, r)).collect();
         let stripe: Vec<_> = rows
             .iter()
-            .map(|&r| (r, PatternKind::ColStripe { period: 1 }.row_bits(r.row, 8192)))
+            .map(|&r| {
+                (
+                    r,
+                    PatternKind::ColStripe { period: 1 }.row_bits(r.row, 8192),
+                )
+            })
             .collect();
         let solid: Vec<_> = rows
             .iter()
@@ -421,8 +469,7 @@ mod tests {
         let f_solid = chip.run_round(&solid).unwrap();
         assert!(!f_stripe.is_empty(), "stripe pattern found no failures");
         // Same cells should not all fail under both patterns: data dependence.
-        let set_a: std::collections::HashSet<_> =
-            f_stripe.iter().map(|f| f.addr).collect();
+        let set_a: std::collections::HashSet<_> = f_stripe.iter().map(|f| f.addr).collect();
         let set_b: std::collections::HashSet<_> = f_solid.iter().map(|f| f.addr).collect();
         assert_ne!(set_a, set_b, "failure sets identical across patterns");
     }

@@ -153,7 +153,9 @@ impl ModuleConfig {
     /// the geometry.
     pub fn build(self) -> Result<DramModule, DramError> {
         if self.chips == 0 {
-            return Err(DramError::InvalidConfig("module needs at least one chip".into()));
+            return Err(DramError::InvalidConfig(
+                "module needs at least one chip".into(),
+            ));
         }
         let rates = self.rates.unwrap_or_else(|| self.vendor.default_rates());
         rates.validate()?;

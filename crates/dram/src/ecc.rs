@@ -104,8 +104,7 @@ pub fn decode(word: Codeword) -> Decoded {
     let expected = encode(word.data);
     let syndrome = (word.check ^ expected.check) & 0x7F;
     let parity_mismatch = {
-        let overall =
-            (word.data.count_ones() + u32::from(word.check & 0x7F).count_ones()) % 2;
+        let overall = (word.data.count_ones() + u32::from(word.check & 0x7F).count_ones()) % 2;
         (word.check >> 7) != overall as u8
     };
     match (syndrome, parity_mismatch) {

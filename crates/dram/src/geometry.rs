@@ -153,6 +153,23 @@ impl fmt::Display for RowId {
     }
 }
 
+// Lets `RowId` key serialized maps (JSON object keys must be strings).
+impl serde::MapKey for RowId {
+    fn to_key(&self) -> String {
+        format!("{}:{}", self.bank, self.row)
+    }
+
+    fn from_key(s: &str) -> Result<Self, serde::Error> {
+        let (bank, row) = s
+            .split_once(':')
+            .ok_or_else(|| serde::Error::msg(format!("invalid RowId map key {s:?}")))?;
+        match (bank.parse(), row.parse()) {
+            (Ok(bank), Ok(row)) => Ok(RowId { bank, row }),
+            _ => Err(serde::Error::msg(format!("invalid RowId map key {s:?}"))),
+        }
+    }
+}
+
 /// Address of a single bit (cell) in the *system* address space of one chip:
 /// bank, row, and system column index within the row.
 ///

@@ -49,8 +49,8 @@ pub mod burst;
 mod cell;
 mod census;
 mod chip;
-pub mod ecc;
 mod config;
+pub mod ecc;
 mod error;
 mod geometry;
 mod hash;

@@ -8,6 +8,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use parbor_obs::RecorderHandle;
 use serde::{Deserialize, Serialize};
 
 use crate::bits::RowBits;
@@ -97,10 +98,15 @@ impl TestPort for DramChip {
             }
         }
         let plain: Vec<_> = writes.iter().map(|w| (w.row, w.data.clone())).collect();
-        Ok(DramChip::run_round(self, &plain)?
+        let flips: Vec<Flip> = DramChip::run_round(self, &plain)?
             .into_iter()
             .map(|flip| Flip { unit: 0, flip })
-            .collect())
+            .collect();
+        let rec = self.recorder();
+        rec.incr("dram.port_rounds", 1);
+        rec.observe("dram.port_round_writes", writes.len() as u64);
+        rec.observe("dram.port_round_flips", flips.len() as u64);
+        Ok(flips)
     }
 
     fn rounds_run(&self) -> u64 {
@@ -135,6 +141,7 @@ pub struct DramModule {
     geometry: ChipGeometry,
     chips: Vec<DramChip>,
     rounds: u64,
+    rec: RecorderHandle,
 }
 
 impl DramModule {
@@ -171,7 +178,22 @@ impl DramModule {
             geometry,
             chips,
             rounds: 0,
+            rec: RecorderHandle::null(),
         })
+    }
+
+    /// Attaches a metrics recorder to the module and all its chips.
+    pub fn with_recorder(mut self, rec: RecorderHandle) -> Self {
+        self.set_recorder(rec);
+        self
+    }
+
+    /// Replaces the metrics recorder of the module and all its chips.
+    pub fn set_recorder(&mut self, rec: RecorderHandle) {
+        for chip in &mut self.chips {
+            chip.set_recorder(rec.clone());
+        }
+        self.rec = rec;
     }
 
     /// The module identifier.
@@ -270,6 +292,11 @@ impl TestPort for DramModule {
             }
         }
         self.rounds += 1;
+        self.rec.incr("dram.port_rounds", 1);
+        self.rec
+            .observe("dram.port_round_writes", writes.len() as u64);
+        self.rec
+            .observe("dram.port_round_flips", flips.len() as u64);
         Ok(flips)
     }
 
@@ -316,11 +343,17 @@ mod tests {
         ];
         m.run_round(&writes).unwrap();
         assert_eq!(
-            m.chips()[0].written_row(RowId::new(0, 0)).unwrap().count_ones(),
+            m.chips()[0]
+                .written_row(RowId::new(0, 0))
+                .unwrap()
+                .count_ones(),
             width
         );
         assert_eq!(
-            m.chips()[1].written_row(RowId::new(0, 0)).unwrap().count_ones(),
+            m.chips()[1]
+                .written_row(RowId::new(0, 0))
+                .unwrap()
+                .count_ones(),
             0
         );
     }
@@ -342,8 +375,10 @@ mod tests {
     fn rounds_counted_per_module() {
         let mut m = small_module(1);
         let rows = [RowId::new(0, 0)];
-        m.test_round_uniform(&rows, &PatternKind::Solid(true)).unwrap();
-        m.test_round_uniform(&rows, &PatternKind::Solid(false)).unwrap();
+        m.test_round_uniform(&rows, &PatternKind::Solid(true))
+            .unwrap();
+        m.test_round_uniform(&rows, &PatternKind::Solid(false))
+            .unwrap();
         assert_eq!(m.rounds_run(), 2);
         // Chip rounds advance in lockstep.
         assert_eq!(DramChip::rounds_run(&m.chips()[0]), 2);

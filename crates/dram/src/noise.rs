@@ -44,13 +44,7 @@ impl NoiseModel {
     /// round, if any.
     pub fn soft_flip(&self, seed: u64, row: RowId, round: u64, row_bits: usize) -> Option<usize> {
         let p_row = self.per_bit_rate * row_bits as f64;
-        let u = cell_hash01(
-            seed,
-            u64::from(row.bank),
-            u64::from(row.row),
-            round,
-            0x50F7,
-        );
+        let u = cell_hash01(seed, u64::from(row.bank), u64::from(row.row), round, 0x50F7);
         if u < p_row {
             let h = hash_words(&[seed, u64::from(row.bank), u64::from(row.row), round, 0x50F8]);
             Some((mix64(h) % row_bits as u64) as usize)

@@ -188,7 +188,9 @@ mod tests {
 
     #[test]
     fn random_is_balanced() {
-        let ones = PatternKind::Random { seed: 5 }.row_bits(0, 8192).count_ones();
+        let ones = PatternKind::Random { seed: 5 }
+            .row_bits(0, 8192)
+            .count_ones();
         assert!((3600..4600).contains(&ones), "ones = {ones}");
     }
 
@@ -205,7 +207,11 @@ mod tests {
 
     #[test]
     fn walking_pattern_sets_one_bit_per_period() {
-        let r = PatternKind::Walking { period: 8, phase: 3 }.row_bits(0, 64);
+        let r = PatternKind::Walking {
+            period: 8,
+            phase: 3,
+        }
+        .row_bits(0, 64);
         assert_eq!(r.count_ones(), 8);
         for i in 0..64 {
             assert_eq!(r.get(i), i % 8 == 3, "bit {i}");

@@ -229,13 +229,10 @@ mod tests {
         // Profiling with only solid patterns misses data-dependent rows —
         // the paper's core critique of naive retention profiling.
         let mut c1 = chip(7);
-        let solid = RetentionProfiler::new(
-            vec![Seconds(4.0)],
-            vec![PatternKind::Solid(false)],
-        )
-        .unwrap()
-        .profile(&mut c1, &rows(), Celsius(45.0))
-        .unwrap();
+        let solid = RetentionProfiler::new(vec![Seconds(4.0)], vec![PatternKind::Solid(false)])
+            .unwrap()
+            .profile(&mut c1, &rows(), Celsius(45.0))
+            .unwrap();
         let mut c2 = chip(7);
         let diverse = RetentionProfiler::new(
             vec![Seconds(4.0)],

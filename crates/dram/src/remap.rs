@@ -71,10 +71,7 @@ impl RemapTable {
     ///
     /// Returns [`DramError::AddressOutOfRange`] if any position exceeds the
     /// scrambler's row width.
-    pub fn apply(
-        &self,
-        base: Arc<dyn Scrambler>,
-    ) -> Result<RemappedScrambler, DramError> {
+    pub fn apply(&self, base: Arc<dyn Scrambler>) -> Result<RemappedScrambler, DramError> {
         let n = base.row_bits();
         for &(a, b) in &self.swaps {
             if a >= n || b >= n {
@@ -143,7 +140,10 @@ mod tests {
         let base = Vendor::B.scrambler(512);
         let col = base.physical_to_system(10);
         let before = base.physical_neighbors(col);
-        let s = RemapTable::new(vec![(10, 200)]).unwrap().apply(base).unwrap();
+        let s = RemapTable::new(vec![(10, 200)])
+            .unwrap()
+            .apply(base)
+            .unwrap();
         let after = s.physical_neighbors(col);
         assert_ne!(before, after, "remapping must relocate neighbors");
     }

@@ -69,7 +69,8 @@ impl RetentionModel {
     /// to the reference conditions. Doubles per +10 °C and scales linearly
     /// with the interval.
     pub fn stress_factor(&self, interval: Seconds, temp: Celsius) -> f64 {
-        (interval.0 / self.reference_interval.0) * 2f64.powf((temp.0 - self.reference_temp.0) / 10.0)
+        (interval.0 / self.reference_interval.0)
+            * 2f64.powf((temp.0 - self.reference_temp.0) / 10.0)
     }
 
     /// Reference-condition margin of a coupling cell whose worst-case
@@ -97,7 +98,10 @@ mod tests {
         let theta45 = m.theta_at(1.0, Seconds(4.0), Celsius(45.0));
         let theta55 = m.theta_at(1.0, Seconds(4.0), Celsius(55.0));
         assert!(theta55 < theta45);
-        assert!((theta45 - theta55 - m.kappa).abs() < 1e-9, "one doubling = κ");
+        assert!(
+            (theta45 - theta55 - m.kappa).abs() < 1e-9,
+            "one doubling = κ"
+        );
     }
 
     #[test]

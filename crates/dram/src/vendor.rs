@@ -45,12 +45,8 @@ impl Vendor {
     /// (1024 for A, 128 for B and C).
     pub fn scrambler(self, row_bits: usize) -> Arc<dyn Scrambler> {
         let s = match self {
-            Vendor::A => {
-                TileWalkScrambler::with_segments(row_bits, 1024, 8, vendor_a_walk(), 16)
-            }
-            Vendor::B => {
-                TileWalkScrambler::with_segments(row_bits, 512, 1, vendor_b_walk(), 16)
-            }
+            Vendor::A => TileWalkScrambler::with_segments(row_bits, 1024, 8, vendor_a_walk(), 16),
+            Vendor::B => TileWalkScrambler::with_segments(row_bits, 512, 1, vendor_b_walk(), 16),
             Vendor::C => TileWalkScrambler::new(row_bits, 128, 1, vendor_c_walk()),
         };
         Arc::new(s.expect("built-in vendor walk is valid"))

@@ -129,10 +129,7 @@ pub fn hamiltonian_walk(len: usize, steps: &[u64]) -> Result<Vec<usize>, WalkErr
             return Ok(walk);
         }
     }
-    Err(WalkError::NoWalk {
-        len,
-        steps: signed,
-    })
+    Err(WalkError::NoWalk { len, steps: signed })
 }
 
 /// Bounded DFS with Warnsdorff ordering (fewest onward moves first).
@@ -166,8 +163,7 @@ fn dfs(
         .iter()
         .filter_map(|&s| {
             let next = cur + s;
-            (next >= 0 && (next as usize) < len && !used[next as usize])
-                .then_some(next as usize)
+            (next >= 0 && (next as usize) < len && !used[next as usize]).then_some(next as usize)
         })
         .collect();
     candidates.sort_by_key(|&c| (degree(c), c));

@@ -195,7 +195,12 @@ mod tests {
         c.access(0x0, true); // dirty
         c.access(0x100, false);
         let out = c.access(0x200, false); // evicts dirty 0x0
-        assert_eq!(out, CacheOutcome::Miss { writeback: Some(0x0) });
+        assert_eq!(
+            out,
+            CacheOutcome::Miss {
+                writeback: Some(0x0)
+            }
+        );
         assert_eq!(c.stats().2, 1);
     }
 

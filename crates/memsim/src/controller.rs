@@ -3,6 +3,7 @@
 
 use std::collections::VecDeque;
 
+use parbor_obs::RecorderHandle;
 use serde::{Deserialize, Serialize};
 
 use crate::address::DramAddress;
@@ -56,6 +57,7 @@ pub struct MemoryController {
     /// Maximum refresh windows that may be postponed per rank while demand
     /// requests are pending (DDR3 allows up to 8); 0 disables postponement.
     postpone_limit: u64,
+    rec: RecorderHandle,
     // Statistics.
     reads_done: u64,
     writes_done: u64,
@@ -89,6 +91,7 @@ impl MemoryController {
             rank_blocked_until: vec![0; ranks as usize],
             pending_completions: Vec::new(),
             postpone_limit: 0,
+            rec: RecorderHandle::null(),
             reads_done: 0,
             writes_done: 0,
             row_hits: 0,
@@ -101,6 +104,13 @@ impl MemoryController {
     /// The refresh policy state (for hot-fraction inspection).
     pub fn refresh_policy(&self) -> &RefreshPolicy {
         &self.refresh
+    }
+
+    /// Attaches a metrics recorder (`memsim.*` counters), shared with the
+    /// refresh policy.
+    pub fn set_recorder(&mut self, rec: RecorderHandle) {
+        self.refresh.set_recorder(rec.clone());
+        self.rec = rec;
     }
 
     /// Enables DDR3-style refresh postponement: while demand requests are
@@ -174,6 +184,9 @@ impl MemoryController {
             let bank = self.bank_index(req.addr);
             if self.banks[bank].is_hit(req.addr.row) {
                 self.row_hits += 1;
+                self.rec.incr("memsim.row_hits", 1);
+            } else {
+                self.rec.incr("memsim.row_misses", 1);
             }
             let mut done = self.banks[bank].service(req.addr.row, now, &self.timing);
             // Serialize only the data burst on the shared bus: if this
@@ -218,10 +231,7 @@ impl MemoryController {
             let owed = (now - self.next_refresh_at[rank]) / self.timing.t_refi + 1;
             if self.postpone_limit > 0 && owed <= self.postpone_limit {
                 // Defer while the rank has demand work pending.
-                let busy = self
-                    .queue
-                    .iter()
-                    .any(|r| r.addr.rank as usize == rank);
+                let busy = self.queue.iter().any(|r| r.addr.rank as usize == rank);
                 if busy {
                     continue;
                 }
@@ -237,6 +247,7 @@ impl MemoryController {
             self.next_refresh_at[rank] += self.timing.t_refi * owed;
             self.refresh_windows += owed;
             self.refresh_busy_cycles += blocking;
+            self.rec.incr("memsim.refresh_windows", owed);
         }
     }
 

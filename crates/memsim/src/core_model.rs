@@ -141,11 +141,7 @@ impl TraceCore {
         } else {
             self.staged.push_back(Slot::Load { id, done: false });
         }
-        self.staged_issue = Some(CoreIssue {
-            id,
-            addr,
-            is_write,
-        });
+        self.staged_issue = Some(CoreIssue { id, addr, is_write });
     }
 
     /// Runs one core cycle. `issue` is called for each memory access the

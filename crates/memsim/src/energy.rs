@@ -59,14 +59,12 @@ impl EnergyModel {
         let activates = ops.saturating_sub(report.row_hits);
         let to_mj = 1e-6;
         let act = activates as f64 * self.act_pre_nj * to_mj;
-        let rw = (report.reads as f64 * self.read_nj + report.writes as f64 * self.write_nj)
-            * to_mj;
+        let rw =
+            (report.reads as f64 * self.read_nj + report.writes as f64 * self.write_nj) * to_mj;
         // Refresh energy scales with the *work* each window performed
         // (row-granular policies refresh fewer rows per window).
-        let refresh = report.refresh_windows as f64
-            * self.refresh_nj
-            * report.refresh_work_fraction
-            * to_mj;
+        let refresh =
+            report.refresh_windows as f64 * self.refresh_nj * report.refresh_work_fraction * to_mj;
         let wall_s = report.mem_cycles as f64 * self.cycle_ns * 1e-9;
         let background = self.background_mw * wall_s * ranks_total as f64;
         EnergyBreakdown {
@@ -154,8 +152,9 @@ mod tests {
         let model = EnergyModel::ddr3_1600(Density::Gb32);
         let base_run = run(RefreshPolicyKind::Uniform64);
         let dcref_run = run(RefreshPolicyKind::DcRef);
-        let base =
-            model.breakdown(&base_run, 4).per_instruction_nj(base_run.total_instructions());
+        let base = model
+            .breakdown(&base_run, 4)
+            .per_instruction_nj(base_run.total_instructions());
         let dcref = model
             .breakdown(&dcref_run, 4)
             .per_instruction_nj(dcref_run.total_instructions());

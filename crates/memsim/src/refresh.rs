@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 
+use parbor_obs::RecorderHandle;
 use serde::{Deserialize, Serialize};
 
 /// Which refresh scheme the memory controller runs.
@@ -85,6 +86,7 @@ pub struct RefreshPolicy {
     total_rows: u64,
     /// Net fast-group membership change from overrides.
     delta_hot: i64,
+    rec: RecorderHandle,
 }
 
 impl RefreshPolicy {
@@ -105,7 +107,13 @@ impl RefreshPolicy {
             overrides: HashMap::new(),
             total_rows: total_rows.max(1),
             delta_hot: 0,
+            rec: RecorderHandle::null(),
         }
+    }
+
+    /// Attaches a metrics recorder (`memsim.dcref_*` transition counters).
+    pub fn set_recorder(&mut self, rec: RecorderHandle) {
+        self.rec = rec;
     }
 
     /// The policy kind.
@@ -124,10 +132,9 @@ impl RefreshPolicy {
             RefreshPolicyKind::Uniform64 => 1.0,
             RefreshPolicyKind::NoRefresh => 0.0,
             RefreshPolicyKind::Raidr => self.classifier.weak_fraction,
-            RefreshPolicyKind::DcRef => {
-                (self.prior_hot_fraction + self.delta_hot as f64 / self.total_rows as f64)
-                    .clamp(0.0, 1.0)
-            }
+            RefreshPolicyKind::DcRef => (self.prior_hot_fraction
+                + self.delta_hot as f64 / self.total_rows as f64)
+                .clamp(0.0, 1.0),
         }
     }
 
@@ -155,12 +162,19 @@ impl RefreshPolicy {
             return;
         }
         let key = (rank, bank, row);
-        let was_hot = *self
-            .overrides
-            .get(&key)
-            .unwrap_or(&true /* weak rows assumed content-hot until observed */);
+        let was_hot = *self.overrides.get(&key).unwrap_or(
+            &true, /* weak rows assumed content-hot until observed */
+        );
         if was_hot != content_matches {
             self.delta_hot += if content_matches { 1 } else { -1 };
+            self.rec.incr(
+                if content_matches {
+                    "memsim.dcref_slow_to_fast"
+                } else {
+                    "memsim.dcref_fast_to_slow"
+                },
+                1,
+            );
         }
         self.overrides.insert(key, content_matches);
     }
@@ -178,9 +192,7 @@ mod tests {
     #[test]
     fn classifier_fraction_is_respected() {
         let c = RowClassifier::paper(7);
-        let weak = (0..100_000)
-            .filter(|&r| c.is_weak(0, 0, r))
-            .count();
+        let weak = (0..100_000).filter(|&r| c.is_weak(0, 0, r)).count();
         let frac = weak as f64 / 100_000.0;
         assert!((frac - 0.164).abs() < 0.01, "frac = {frac}");
     }

@@ -1,6 +1,7 @@
 //! The full simulated system: cores, channels, and the simulation loop
 //! (paper Table 2).
 
+use parbor_obs::RecorderHandle;
 use serde::{Deserialize, Serialize};
 
 use parbor_workloads::{TraceGenerator, WorkloadMix};
@@ -218,6 +219,15 @@ impl Simulation {
         }
     }
 
+    /// Attaches a metrics recorder to every channel controller (and through
+    /// them the refresh policies).
+    pub fn with_recorder(mut self, rec: RecorderHandle) -> Self {
+        for ctrl in &mut self.controllers {
+            ctrl.set_recorder(rec.clone());
+        }
+        self
+    }
+
     /// Runs for `mem_cycles` memory cycles and reports the results.
     pub fn run(mut self, mem_cycles: u64) -> SimReport {
         let config = self.config;
@@ -277,17 +287,16 @@ impl Simulation {
                                     });
                                     if ok {
                                         if let Some(wb) = writeback {
-                                            let wb_addr =
-                                                decode_addr(&config, cid, wb);
-                                            let _ = controllers
-                                                [wb_addr.channel as usize]
-                                                .enqueue(MemRequest {
+                                            let wb_addr = decode_addr(&config, cid, wb);
+                                            let _ = controllers[wb_addr.channel as usize].enqueue(
+                                                MemRequest {
                                                     id: u64::MAX,
                                                     core: cid,
                                                     addr: wb_addr,
                                                     kind: make_kind(true, wb_addr),
                                                     arrived: now,
-                                                });
+                                                },
+                                            );
                                         }
                                     }
                                     ok
@@ -360,7 +369,10 @@ impl Simulation {
             id: 0,
             apps: vec![app.clone()],
         };
-        Simulation::new(solo, policy, &mix, seed).run(mem_cycles).cores[0].ipc()
+        Simulation::new(solo, policy, &mix, seed)
+            .run(mem_cycles)
+            .cores[0]
+            .ipc()
     }
 }
 
@@ -398,17 +410,18 @@ mod tests {
     fn less_refresh_means_more_performance() {
         let mix = &paper_mixes(1, 4, 11)[0];
         let cycles = 300_000;
-        let base = Simulation::new(quick_config(), RefreshPolicyKind::Uniform64, mix, 1)
-            .run(cycles);
-        let raidr =
-            Simulation::new(quick_config(), RefreshPolicyKind::Raidr, mix, 1).run(cycles);
-        let dcref =
-            Simulation::new(quick_config(), RefreshPolicyKind::DcRef, mix, 1).run(cycles);
+        let base =
+            Simulation::new(quick_config(), RefreshPolicyKind::Uniform64, mix, 1).run(cycles);
+        let raidr = Simulation::new(quick_config(), RefreshPolicyKind::Raidr, mix, 1).run(cycles);
+        let dcref = Simulation::new(quick_config(), RefreshPolicyKind::DcRef, mix, 1).run(cycles);
         let none =
             Simulation::new(quick_config(), RefreshPolicyKind::NoRefresh, mix, 1).run(cycles);
         let ipc = |r: &SimReport| r.total_instructions();
         assert!(ipc(&raidr) > ipc(&base), "RAIDR must beat baseline");
-        assert!(ipc(&dcref) >= ipc(&raidr), "DC-REF must match or beat RAIDR");
+        assert!(
+            ipc(&dcref) >= ipc(&raidr),
+            "DC-REF must match or beat RAIDR"
+        );
         assert!(ipc(&none) >= ipc(&dcref), "no-refresh is the upper bound");
     }
 
@@ -462,8 +475,8 @@ mod tests {
             apps: vec![app; 4],
         };
         let cycles = 800_000; // long enough to get past compulsory misses
-        let no_llc = Simulation::new(quick_config(), RefreshPolicyKind::NoRefresh, &mix, 1)
-            .run(cycles);
+        let no_llc =
+            Simulation::new(quick_config(), RefreshPolicyKind::NoRefresh, &mix, 1).run(cycles);
         let with_llc = Simulation::new(
             SystemConfig {
                 llc: Some(LlcConfig {

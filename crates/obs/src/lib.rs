@@ -1,0 +1,69 @@
+//! Observability layer for the PARBOR reproduction: named counters, log2
+//! histograms, gauges, and timed spans, recorded through a [`Recorder`]
+//! trait object carried by the pipeline, device, and simulator runners.
+//!
+//! Two implementations ship with the crate:
+//!
+//! - [`NullRecorder`] — the default everywhere; every method is a no-op and
+//!   [`Recorder::enabled`] returns `false` so instrumentation sites can skip
+//!   work (formatting names, computing values) entirely.
+//! - [`InMemoryRecorder`] — accumulates everything in memory; snapshot it as
+//!   a [`RunSummary`], dump the span stream as JSONL with
+//!   [`InMemoryRecorder::trace_jsonl`], or render a per-phase wall-clock
+//!   table with [`InMemoryRecorder::phase_table`].
+//!
+//! Instrumented code takes no direct dependency on any implementation: it
+//! holds an `Arc<dyn Recorder>` (see [`RecorderHandle`]) defaulting to the
+//! null recorder, so uninstrumented call sites keep compiling — and keep
+//! their exact behavior, because the null recorder never observes anything.
+//!
+//! Spans nest through a parent stack maintained by the recorder:
+//!
+//! ```
+//! use parbor_obs::{span, InMemoryRecorder, Recorder};
+//!
+//! let rec = InMemoryRecorder::new();
+//! {
+//!     let _run = span!(rec, "pipeline.run");
+//!     {
+//!         let _level = span!(rec, "recursion.level", 4096);
+//!         rec.incr("recursion.tests", 2);
+//!     }
+//! }
+//! let spans = rec.finished_spans();
+//! assert_eq!(spans.len(), 2);
+//! assert_eq!(rec.counter("recursion.tests"), 2);
+//! // The inner span closed first and points at its parent.
+//! assert_eq!(spans[0].name, "recursion.level");
+//! assert_eq!(spans[0].parent, Some(spans[1].id));
+//! ```
+
+mod recorder;
+mod summary;
+
+pub use recorder::{
+    null_recorder, AsRecorder, HistogramSnapshot, InMemoryRecorder, NullRecorder, Recorder,
+    RecorderHandle, SpanGuard, SpanId, SpanRecord,
+};
+pub use summary::{PhaseTiming, RunSummary};
+
+/// Opens a timed span on a recorder; the span closes when the returned
+/// guard drops.
+///
+/// `span!(rec, "name")` opens a plain span; `span!(rec, "name", value)`
+/// attaches a numeric payload (e.g. the region size of a recursion level).
+/// `rec` may be a concrete recorder, a `&dyn Recorder`, or a
+/// [`RecorderHandle`] (`Arc<dyn Recorder>`).
+#[macro_export]
+macro_rules! span {
+    ($rec:expr, $name:expr) => {
+        $crate::SpanGuard::enter($crate::AsRecorder::as_dyn(&$rec), $name, None)
+    };
+    ($rec:expr, $name:expr, $value:expr) => {
+        $crate::SpanGuard::enter(
+            $crate::AsRecorder::as_dyn(&$rec),
+            $name,
+            Some($value as u64),
+        )
+    };
+}

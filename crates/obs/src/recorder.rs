@@ -1,0 +1,651 @@
+//! The [`Recorder`] trait and its two implementations.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Identifier of an open span. `0` means "no span" (the null recorder).
+pub type SpanId = u64;
+
+/// Sink for metrics and spans emitted by instrumented code.
+///
+/// All methods take `&self`; implementations are internally synchronized so
+/// a recorder can be shared across the pipeline, device, and simulator via
+/// an `Arc` ([`RecorderHandle`]).
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder observes anything. Instrumentation sites may
+    /// skip computing expensive values when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    fn incr(&self, name: &str, delta: u64);
+
+    /// Records one observation into the named log2-bucket histogram.
+    fn observe(&self, name: &str, value: u64);
+
+    /// Sets the named gauge to `value` (last write wins).
+    fn gauge(&self, name: &str, value: i64);
+
+    /// Opens a span; the currently open span (if any) becomes its parent.
+    /// Prefer the [`span!`](crate::span) macro, whose guard closes the span
+    /// on scope exit.
+    fn span_enter(&self, name: &str, value: Option<u64>) -> SpanId;
+
+    /// Closes a span opened by [`Recorder::span_enter`].
+    fn span_exit(&self, id: SpanId);
+}
+
+/// How instrumented structs carry their recorder: a cheap-to-clone handle
+/// that derefs to `dyn Recorder` and defaults to the null recorder.
+///
+/// The handle implements `Debug`/`PartialEq`/`Eq` so it can ride inside
+/// derive-heavy structs: equality always holds, because observability must
+/// never affect a value's identity or behavior.
+#[derive(Clone)]
+pub struct RecorderHandle(Arc<dyn Recorder>);
+
+impl RecorderHandle {
+    /// Wraps a recorder.
+    pub fn new(rec: Arc<dyn Recorder>) -> Self {
+        RecorderHandle(rec)
+    }
+
+    /// The shared no-op handle (what [`Default`] returns).
+    pub fn null() -> Self {
+        null_recorder()
+    }
+}
+
+impl<R: Recorder + 'static> From<Arc<R>> for RecorderHandle {
+    fn from(rec: Arc<R>) -> Self {
+        RecorderHandle(rec)
+    }
+}
+
+impl From<Arc<dyn Recorder>> for RecorderHandle {
+    fn from(rec: Arc<dyn Recorder>) -> Self {
+        RecorderHandle(rec)
+    }
+}
+
+impl Default for RecorderHandle {
+    fn default() -> Self {
+        null_recorder()
+    }
+}
+
+impl std::ops::Deref for RecorderHandle {
+    type Target = dyn Recorder;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl std::fmt::Debug for RecorderHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecorderHandle")
+            .field("enabled", &self.0.enabled())
+            .finish()
+    }
+}
+
+impl PartialEq for RecorderHandle {
+    fn eq(&self, _other: &Self) -> bool {
+        true // recorders never contribute to a value's identity
+    }
+}
+
+impl Eq for RecorderHandle {}
+
+impl AsRecorder for RecorderHandle {
+    fn as_dyn(&self) -> &dyn Recorder {
+        &*self.0
+    }
+}
+
+/// The shared no-op recorder instrumented structs default to.
+pub fn null_recorder() -> RecorderHandle {
+    static NULL: OnceLock<Arc<dyn Recorder>> = OnceLock::new();
+    RecorderHandle(Arc::clone(NULL.get_or_init(|| Arc::new(NullRecorder))))
+}
+
+/// Converts recorder-ish values to `&dyn Recorder` (used by the
+/// [`span!`](crate::span) macro so it accepts concrete recorders,
+/// `&dyn Recorder`, and [`RecorderHandle`]s alike).
+pub trait AsRecorder {
+    /// The value as a trait object.
+    fn as_dyn(&self) -> &dyn Recorder;
+}
+
+impl<R: Recorder> AsRecorder for R {
+    fn as_dyn(&self) -> &dyn Recorder {
+        self
+    }
+}
+
+impl AsRecorder for Arc<dyn Recorder> {
+    fn as_dyn(&self) -> &dyn Recorder {
+        &**self
+    }
+}
+
+impl AsRecorder for &dyn Recorder {
+    fn as_dyn(&self) -> &dyn Recorder {
+        *self
+    }
+}
+
+/// Closes its span when dropped.
+#[must_use = "the span closes when this guard drops"]
+pub struct SpanGuard<'a> {
+    rec: &'a dyn Recorder,
+    id: SpanId,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Opens a span (see the [`span!`](crate::span) macro).
+    pub fn enter(rec: &'a dyn Recorder, name: &str, value: Option<u64>) -> Self {
+        let id = rec.span_enter(name, value);
+        SpanGuard { rec, id }
+    }
+
+    /// The span's id (0 under the null recorder).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if self.id != 0 {
+            self.rec.span_exit(self.id);
+        }
+    }
+}
+
+/// The zero-cost default: records nothing, reads no clocks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn incr(&self, _name: &str, _delta: u64) {}
+    fn observe(&self, _name: &str, _value: u64) {}
+    fn gauge(&self, _name: &str, _value: i64) {}
+    fn span_enter(&self, _name: &str, _value: Option<u64>) -> SpanId {
+        0
+    }
+    fn span_exit(&self, _id: SpanId) {}
+}
+
+/// One recorded span. `end_us == None` while the span is still open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span id (1-based, in open order).
+    pub id: SpanId,
+    /// Id of the span that was open when this one started.
+    pub parent: Option<SpanId>,
+    /// Span name, e.g. `"recursion.level"`.
+    pub name: String,
+    /// Optional numeric payload (e.g. the level's region size).
+    pub value: Option<u64>,
+    /// Start time, microseconds since the recorder was created.
+    pub start_us: u64,
+    /// End time, microseconds since the recorder was created.
+    pub end_us: Option<u64>,
+}
+
+impl SpanRecord {
+    /// The span's duration in microseconds (0 while still open).
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.map_or(0, |e| e.saturating_sub(self.start_us))
+    }
+}
+
+/// Snapshot of one log2-bucket histogram.
+///
+/// Bucket `i` counts observations `v` with `i` significant bits, i.e.
+/// `v == 0` lands in bucket 0 and otherwise `2^(i-1) <= v < 2^i`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Observation count per bucket, indexed by significant-bit count.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, value: u64) {
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let used = self
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1);
+        HistogramSnapshot {
+            buckets: self.buckets[..used].to_vec(),
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, i64>,
+    spans: Vec<SpanRecord>,
+    open: Vec<SpanId>,
+    finished: Vec<SpanId>,
+    next_id: SpanId,
+}
+
+/// Accumulates all metrics and spans in memory.
+pub struct InMemoryRecorder {
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for InMemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InMemoryRecorder {
+    /// Creates an empty recorder; span timestamps count from this moment.
+    pub fn new() -> Self {
+        InMemoryRecorder {
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Creates a recorder already wrapped as a [`RecorderHandle`].
+    pub fn handle() -> Arc<InMemoryRecorder> {
+        Arc::new(Self::new())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Snapshot of a histogram (`None` if nothing was observed under the name).
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.lock().histograms.get(name).map(Histogram::snapshot)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.lock()
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        self.lock()
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// All histogram snapshots, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.lock()
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Closed spans, in the order they finished (the natural JSONL order:
+    /// children precede their parents).
+    pub fn finished_spans(&self) -> Vec<SpanRecord> {
+        let inner = self.lock();
+        inner
+            .finished
+            .iter()
+            .filter_map(|&id| inner.spans.iter().find(|s| s.id == id).cloned())
+            .collect()
+    }
+
+    /// The span event stream as JSONL: one JSON object per line, spans in
+    /// finish order followed by one `counter` event per counter.
+    pub fn trace_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for s in self.finished_spans() {
+            let parent = s.parent.map_or("null".to_string(), |p| p.to_string());
+            let value = s.value.map_or("null".to_string(), |v| v.to_string());
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":{},\"value\":{},\"start_us\":{},\"dur_us\":{}}}",
+                s.id,
+                parent,
+                serde_json::to_string(&s.name).unwrap_or_default(),
+                value,
+                s.start_us,
+                s.duration_us(),
+            );
+        }
+        for (name, value) in self.counters() {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{value}}}",
+                serde_json::to_string(&name).unwrap_or_default(),
+            );
+        }
+        out
+    }
+
+    /// Writes [`InMemoryRecorder::trace_jsonl`] to a file, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.trace_jsonl())
+    }
+
+    /// Wall-clock totals per span name, as an aligned text table sorted by
+    /// total time (descending).
+    pub fn phase_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut totals: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for s in self.finished_spans() {
+            let entry = totals.entry(s.name.clone()).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += s.duration_us();
+        }
+        let mut rows: Vec<(String, u64, u64)> =
+            totals.into_iter().map(|(n, (c, t))| (n, c, t)).collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        let name_width = rows
+            .iter()
+            .map(|(n, _, _)| n.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:>6}  {:>12}",
+            "phase", "count", "total"
+        );
+        for (name, count, total_us) in rows {
+            let _ = writeln!(
+                out,
+                "{name:<name_width$}  {count:>6}  {:>9}.{:03} ms",
+                total_us / 1000,
+                total_us % 1000,
+            );
+        }
+        out
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn incr(&self, name: &str, delta: u64) {
+        *self.lock().counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    fn observe(&self, name: &str, value: u64) {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    fn gauge(&self, name: &str, value: i64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    fn span_enter(&self, name: &str, value: Option<u64>) -> SpanId {
+        let start_us = self.now_us();
+        let mut inner = self.lock();
+        inner.next_id += 1;
+        let id = inner.next_id;
+        let parent = inner.open.last().copied();
+        inner.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            value,
+            start_us,
+            end_us: None,
+        });
+        inner.open.push(id);
+        id
+    }
+
+    fn span_exit(&self, id: SpanId) {
+        let end_us = self.now_us();
+        let mut inner = self.lock();
+        // Guards drop LIFO, so the span is normally on top of the stack;
+        // tolerate out-of-order exits by popping through abandoned children.
+        if let Some(pos) = inner.open.iter().rposition(|&open| open == id) {
+            inner.open.truncate(pos);
+        }
+        let newly_closed = match inner.spans.iter_mut().rev().find(|s| s.id == id) {
+            Some(span) if span.end_us.is_none() => {
+                span.end_us = Some(end_us);
+                true
+            }
+            _ => false,
+        };
+        if newly_closed {
+            inner.finished.push(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let rec = InMemoryRecorder::new();
+        rec.incr("a", 2);
+        rec.incr("a", 3);
+        rec.incr("b", 1);
+        assert_eq!(rec.counter("a"), 5);
+        assert_eq!(rec.counter("b"), 1);
+        assert_eq!(rec.counter("missing"), 0);
+        assert_eq!(
+            rec.counters(),
+            vec![("a".to_string(), 5), ("b".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let rec = InMemoryRecorder::new();
+        rec.gauge("temp", 45);
+        rec.gauge("temp", -3);
+        assert_eq!(rec.gauge_value("temp"), Some(-3));
+        assert_eq!(rec.gauge_value("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let rec = InMemoryRecorder::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            rec.observe("h", v);
+        }
+        let h = rec.histogram("h").unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1010);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.buckets[0], 1, "0 lands in bucket 0");
+        assert_eq!(h.buckets[1], 1, "1 lands in bucket 1");
+        assert_eq!(h.buckets[2], 2, "2..4 land in bucket 2");
+        assert_eq!(h.buckets[3], 1, "4..8 land in bucket 3");
+        assert_eq!(h.buckets[10], 1, "512..1024 land in bucket 10");
+        assert_eq!(h.buckets.len(), 11, "snapshot trims empty tail buckets");
+    }
+
+    #[test]
+    fn null_recorder_is_disabled_and_inert() {
+        let rec = NullRecorder;
+        assert!(!rec.enabled());
+        rec.incr("a", 1);
+        rec.observe("h", 1);
+        rec.gauge("g", 1);
+        let id = rec.span_enter("s", None);
+        assert_eq!(id, 0);
+        rec.span_exit(id);
+    }
+
+    #[test]
+    fn spans_nest_through_the_parent_stack() {
+        let rec = InMemoryRecorder::new();
+        {
+            let _outer = crate::span!(rec, "outer");
+            {
+                let _mid = crate::span!(rec, "mid", 42);
+                let _leaf = crate::span!(rec, "leaf");
+            }
+            let _sibling = crate::span!(rec, "sibling");
+        }
+        let spans = rec.finished_spans();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap().clone();
+        let outer = by_name("outer");
+        let mid = by_name("mid");
+        let leaf = by_name("leaf");
+        let sibling = by_name("sibling");
+        assert_eq!(outer.parent, None);
+        assert_eq!(mid.parent, Some(outer.id));
+        assert_eq!(mid.value, Some(42));
+        assert_eq!(leaf.parent, Some(mid.id));
+        assert_eq!(sibling.parent, Some(outer.id));
+        // Finish order: children before parents.
+        let order: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(order, vec!["leaf", "mid", "sibling", "outer"]);
+        assert!(outer.duration_us() >= mid.duration_us());
+    }
+
+    #[test]
+    fn trace_jsonl_is_one_object_per_line() {
+        let rec = InMemoryRecorder::new();
+        {
+            let _s = crate::span!(rec, "run", 7);
+        }
+        rec.incr("ops", 3);
+        let jsonl = rec.trace_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"span\""));
+        assert!(lines[0].contains("\"name\":\"run\""));
+        assert!(lines[0].contains("\"value\":7"));
+        assert!(lines[1].contains("\"type\":\"counter\""));
+        // Every line parses as JSON.
+        for line in lines {
+            serde_json::parse_value(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn phase_table_aggregates_by_name() {
+        let rec = InMemoryRecorder::new();
+        for _ in 0..3 {
+            let _s = crate::span!(rec, "phase.a");
+        }
+        {
+            let _s = crate::span!(rec, "phase.b");
+        }
+        let table = rec.phase_table();
+        assert!(table.contains("phase.a"));
+        assert!(table.contains("phase.b"));
+        let a_row = table.lines().find(|l| l.contains("phase.a")).unwrap();
+        assert!(a_row.contains('3'), "count column: {a_row}");
+    }
+
+    #[test]
+    fn out_of_order_exit_is_tolerated() {
+        let rec = InMemoryRecorder::new();
+        let outer = rec.span_enter("outer", None);
+        let _inner = rec.span_enter("inner", None);
+        // Exiting the outer span abandons the still-open inner span.
+        rec.span_exit(outer);
+        let next = rec.span_enter("next", None);
+        rec.span_exit(next);
+        let spans = rec.finished_spans();
+        let next = spans.iter().find(|s| s.name == "next").unwrap();
+        assert_eq!(next.parent, None, "abandoned children are popped");
+    }
+}

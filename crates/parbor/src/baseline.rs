@@ -42,7 +42,11 @@ fn run_patterned_rounds<P: TestPort + ?Sized>(
     let units = port.units();
     let mut failing = HashSet::new();
     let mut rounds = 0usize;
-    let inverse_passes: &[bool] = if with_inverses { &[false, true] } else { &[false] };
+    let inverse_passes: &[bool] = if with_inverses {
+        &[false, true]
+    } else {
+        &[false]
+    };
     for pattern in patterns {
         for &invert in inverse_passes {
             let mut writes = Vec::with_capacity(rows.len() * units as usize);

@@ -21,6 +21,7 @@ use std::collections::{HashMap, HashSet};
 use serde::{Deserialize, Serialize};
 
 use parbor_dram::{BitAddr, RowBits, RowId, RowWrite, TestPort};
+use parbor_obs::RecorderHandle;
 
 use crate::error::ParborError;
 
@@ -62,11 +63,7 @@ impl RoundSchedule {
     ///
     /// Returns [`ParborError::InvalidConfig`] if `distances` is empty, a
     /// distance is zero or at least half the row width, or `order` is zero.
-    pub fn with_order(
-        distances: &[i64],
-        row_bits: usize,
-        order: u32,
-    ) -> Result<Self, ParborError> {
+    pub fn with_order(distances: &[i64], row_bits: usize, order: u32) -> Result<Self, ParborError> {
         if order == 0 {
             return Err(ParborError::InvalidConfig("order must be nonzero".into()));
         }
@@ -205,6 +202,7 @@ impl RoundSchedule {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChipwideTest {
     schedule: RoundSchedule,
+    rec: RecorderHandle,
 }
 
 impl ChipwideTest {
@@ -216,13 +214,23 @@ impl ChipwideTest {
     pub fn new(distances: &[i64], row_bits: usize) -> Result<Self, ParborError> {
         Ok(ChipwideTest {
             schedule: RoundSchedule::build(distances, row_bits)?,
+            rec: RecorderHandle::null(),
         })
     }
 
     /// Builds the test from an explicit schedule (e.g. one built with a
     /// custom separation order via [`RoundSchedule::with_order`]).
     pub fn with_schedule(schedule: RoundSchedule) -> Self {
-        ChipwideTest { schedule }
+        ChipwideTest {
+            schedule,
+            rec: RecorderHandle::null(),
+        }
+    }
+
+    /// Attaches a metrics recorder (`chipwide.*` counters).
+    pub fn with_recorder(mut self, rec: RecorderHandle) -> Self {
+        self.rec = rec;
+        self
     }
 
     /// The underlying schedule.
@@ -263,7 +271,10 @@ impl ChipwideTest {
                         });
                     }
                 }
-                for flip in port.run_round(&writes)? {
+                let flips = port.run_round(&writes)?;
+                self.rec.incr("chipwide.rounds", 1);
+                self.rec.observe("chipwide.round_flips", flips.len() as u64);
+                for flip in flips {
                     failing
                         .entry((flip.unit, flip.flip.addr))
                         .or_insert(flip.flip.expected);
@@ -271,6 +282,7 @@ impl ChipwideTest {
                 rounds_run += 1;
             }
         }
+        self.rec.incr("chipwide.failures", failing.len() as u64);
         Ok(ChipwideOutcome {
             rounds: rounds_run,
             failing,
@@ -314,7 +326,11 @@ mod tests {
         assert!(s.verify(&d));
         // Paper's hand schedule uses 16 rounds/polarity; greedy must not be
         // worse.
-        assert!(s.rounds_per_polarity() <= 16, "rounds = {}", s.rounds_per_polarity());
+        assert!(
+            s.rounds_per_polarity() <= 16,
+            "rounds = {}",
+            s.rounds_per_polarity()
+        );
     }
 
     #[test]
@@ -336,7 +352,11 @@ mod tests {
         assert!(s.verify(&d));
         // Vendor C's dense third-order sums need more colors than the
         // paper's first-order-only schedule (8/polarity).
-        assert!(s.rounds_per_polarity() <= 24, "rounds = {}", s.rounds_per_polarity());
+        assert!(
+            s.rounds_per_polarity() <= 24,
+            "rounds = {}",
+            s.rounds_per_polarity()
+        );
         // At the paper's first-order separation, the count matches Fig's 8.
         let first = RoundSchedule::with_order(&d, 8192, 1).unwrap();
         assert!(first.rounds_per_polarity() <= 8);

@@ -303,9 +303,7 @@ mod tests {
                 },
             );
         }
-        let frac = m.hot_fraction(|_, row| {
-            PatternKind::Random { seed: 9 }.row_bits(row.row, 8192)
-        });
+        let frac = m.hot_fraction(|_, row| PatternKind::Random { seed: 9 }.row_bits(row.row, 8192));
         assert!(frac < 0.15, "frac = {frac}");
         assert!(frac > 0.0, "some rows should match by chance");
     }

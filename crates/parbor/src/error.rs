@@ -25,7 +25,10 @@ impl fmt::Display for ParborError {
             ParborError::Device(e) => write!(f, "device error: {e}"),
             ParborError::NoVictims => write!(f, "no data-dependent victims discovered"),
             ParborError::NoDistances => {
-                write!(f, "recursion found no neighbor distances above the noise floor")
+                write!(
+                    f,
+                    "recursion found no neighbor distances above the noise floor"
+                )
             }
             ParborError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }

@@ -32,20 +32,21 @@ pub struct FailureDirectory {
 
 mod rows_as_seq {
     use super::VulnerableCell;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use serde::{Deserialize, Serialize, Value};
     use std::collections::BTreeMap;
 
     type Rows = BTreeMap<(u32, u32, u32), Vec<VulnerableCell>>;
 
-    type Entry<'a> = (&'a (u32, u32, u32), &'a Vec<VulnerableCell>);
-
-    pub fn serialize<S: Serializer>(rows: &Rows, s: S) -> Result<S::Ok, S::Error> {
-        let seq: Vec<Entry<'_>> = rows.iter().collect();
-        seq.serialize(s)
+    pub fn to_value(rows: &Rows) -> Value {
+        let seq: Vec<((u32, u32, u32), Vec<VulnerableCell>)> = rows
+            .iter()
+            .map(|(key, cells)| (*key, cells.clone()))
+            .collect();
+        seq.to_value()
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Rows, D::Error> {
-        let seq: Vec<((u32, u32, u32), Vec<VulnerableCell>)> = Vec::deserialize(d)?;
+    pub fn from_value(value: &Value) -> Result<Rows, serde::Error> {
+        let seq = <Vec<((u32, u32, u32), Vec<VulnerableCell>)>>::from_value(value)?;
         Ok(seq.into_iter().collect())
     }
 }
@@ -96,9 +97,9 @@ impl FailureDirectory {
 
     /// Iterator over affected rows as `(unit, row, cells)`.
     pub fn iter(&self) -> impl Iterator<Item = (u32, RowId, &[VulnerableCell])> + '_ {
-        self.rows.iter().map(|(&(unit, bank, row), cells)| {
-            (unit, RowId::new(bank, row), cells.as_slice())
-        })
+        self.rows
+            .iter()
+            .map(|(&(unit, bank, row), cells)| (unit, RowId::new(bank, row), cells.as_slice()))
     }
 
     /// Builds a DC-REF content monitor over this directory.
@@ -219,7 +220,11 @@ mod tests {
         let dir = directory();
         let plan = dir.plan(usize::MAX);
         for key in &plan.ecc_hazard_rows {
-            let cols: Vec<u32> = dir.cells_of(key.unit, key.row).iter().map(|c| c.col).collect();
+            let cols: Vec<u32> = dir
+                .cells_of(key.unit, key.row)
+                .iter()
+                .map(|c| c.col)
+                .collect();
             let ecc = EccAnalysis::of_row_failures(&cols);
             assert!(ecc.uncorrectable_words > 0);
         }

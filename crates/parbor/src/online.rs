@@ -226,8 +226,7 @@ impl OnlineTester {
             .as_ref()
             .expect("victims exist in Recursion phase")
             .select_for_recursion(self.config.sample_limit);
-        let outcome =
-            NeighborRecursion::new(self.config.recursion.clone()).run(port, &victims)?;
+        let outcome = NeighborRecursion::new(self.config.recursion.clone()).run(port, &victims)?;
         self.rounds_done += outcome.total_tests;
         self.recursion = Some(outcome);
         self.phase = OnlinePhase::Chipwide;

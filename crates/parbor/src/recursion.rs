@@ -16,6 +16,7 @@ use std::collections::{BTreeSet, HashMap};
 use serde::{Deserialize, Serialize};
 
 use parbor_dram::{RowBits, RowWrite, TestPort};
+use parbor_obs::{span, RecorderHandle};
 
 use crate::aggregate::DistanceHistogram;
 use crate::error::ParborError;
@@ -85,12 +86,23 @@ impl RecursionOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct NeighborRecursion {
     config: RecursionConfig,
+    rec: RecorderHandle,
 }
 
 impl NeighborRecursion {
     /// Creates a recursion runner with the given configuration.
     pub fn new(config: RecursionConfig) -> Self {
-        NeighborRecursion { config }
+        NeighborRecursion {
+            config,
+            rec: RecorderHandle::null(),
+        }
+    }
+
+    /// Attaches a metrics recorder (`recursion.*` and `aggregate.*` metrics,
+    /// one `recursion.level` span per level carrying the region size).
+    pub fn with_recorder(mut self, rec: RecorderHandle) -> Self {
+        self.rec = rec;
+        self
     }
 
     /// Runs the recursion over the selected victims (one per unit/row — see
@@ -142,6 +154,7 @@ impl NeighborRecursion {
         for level in 0..plan.levels() {
             let fanout = plan.fanout(level);
             let size = plan.sizes()[level];
+            let _level_span = span!(self.rec, "recursion.level", size);
             let region_count = plan.region_count(level);
             // Candidate generators: (parent distance, child offset) pairs.
             // Level 0 has a single virtual parent covering the whole row.
@@ -153,8 +166,7 @@ impl NeighborRecursion {
 
             let mut fails = vec![0usize; victims.len()];
             let mut eligible = vec![0usize; victims.len()];
-            let mut observed: Vec<BTreeSet<i64>> =
-                vec![BTreeSet::new(); victims.len()];
+            let mut observed: Vec<BTreeSet<i64>> = vec![BTreeSet::new(); victims.len()];
             let mut rounds_at_level = 0usize;
 
             for parent in &parents {
@@ -208,6 +220,7 @@ impl NeighborRecursion {
                     }
                     let flips = port.run_round(&writes)?;
                     rounds_at_level += 1;
+                    self.rec.incr("recursion.tests", 1);
 
                     for flip in flips {
                         let key = VictimKey {
@@ -220,8 +233,8 @@ impl NeighborRecursion {
                         }
                         let Some(region) = regions[i] else { continue };
                         fails[i] += 1;
-                        let distance = region as i64
-                            - plan.region_of(victims[i].col as usize, level) as i64;
+                        let distance =
+                            region as i64 - plan.region_of(victims[i].col as usize, level) as i64;
                         observed[i].insert(distance);
                     }
                 }
@@ -230,8 +243,7 @@ impl NeighborRecursion {
             // Victim discard: marginal/weak cells fail in most regions.
             let mut discarded = 0usize;
             for i in 0..victims.len() {
-                let cutoff =
-                    (self.config.discard_fail_fraction * eligible[i] as f64).max(1.0);
+                let cutoff = (self.config.discard_fail_fraction * eligible[i] as f64).max(1.0);
                 if alive[i] && eligible[i] > 0 && fails[i] as f64 > cutoff {
                     alive[i] = false;
                     observed[i].clear();
@@ -246,7 +258,14 @@ impl NeighborRecursion {
                     histogram.record(d);
                 }
             }
-            let kept = histogram.rank(self.config.rank_threshold).kept().to_vec();
+            let ranked = histogram.rank(self.config.rank_threshold);
+            self.rec
+                .incr("aggregate.distances_kept", ranked.kept().len() as u64);
+            self.rec
+                .incr("aggregate.distances_dropped", ranked.dropped().len() as u64);
+            self.rec
+                .incr("recursion.victims_discarded", discarded as u64);
+            let kept = ranked.kept().to_vec();
             total_tests += rounds_at_level;
             levels.push(LevelOutcome {
                 region_size: size,
@@ -261,10 +280,7 @@ impl NeighborRecursion {
             kept_parents = kept;
         }
 
-        let distances = levels
-            .last()
-            .map(|l| l.kept.clone())
-            .unwrap_or_default();
+        let distances = levels.last().map(|l| l.kept.clone()).unwrap_or_default();
         Ok(RecursionOutcome {
             levels,
             distances,
@@ -285,7 +301,9 @@ mod tests {
         let row_ids: Vec<RowId> = (0..rows).map(|r| RowId::new(0, r)).collect();
         let set = VictimScout::new(3).discover(&mut chip, &row_ids).unwrap();
         let victims = set.select_for_recursion(None);
-        let outcome = NeighborRecursion::default().run(&mut chip, &victims).unwrap();
+        let outcome = NeighborRecursion::default()
+            .run(&mut chip, &victims)
+            .unwrap();
         (outcome, chip)
     }
 
@@ -315,16 +333,16 @@ mod tests {
 
     #[test]
     fn empty_victims_rejected() {
-        let mut chip =
-            DramChip::new(ChipGeometry::new(1, 8, 8192).unwrap(), Vendor::A, 1).unwrap();
-        let err = NeighborRecursion::default().run(&mut chip, &[]).unwrap_err();
+        let mut chip = DramChip::new(ChipGeometry::new(1, 8, 8192).unwrap(), Vendor::A, 1).unwrap();
+        let err = NeighborRecursion::default()
+            .run(&mut chip, &[])
+            .unwrap_err();
         assert!(matches!(err, ParborError::NoVictims));
     }
 
     #[test]
     fn duplicate_victim_rows_rejected() {
-        let mut chip =
-            DramChip::new(ChipGeometry::new(1, 8, 8192).unwrap(), Vendor::A, 1).unwrap();
+        let mut chip = DramChip::new(ChipGeometry::new(1, 8, 8192).unwrap(), Vendor::A, 1).unwrap();
         let v = |col| Victim {
             unit: 0,
             row: RowId::new(0, 0),

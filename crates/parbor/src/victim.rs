@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use parbor_dram::{BitAddr, PatternSet, RowId, RowWrite, TestPort};
+use parbor_obs::RecorderHandle;
 
 use crate::error::ParborError;
 
@@ -47,6 +48,23 @@ impl Victim {
             unit: self.unit,
             row: self.row,
         }
+    }
+}
+
+// Lets `VictimKey` key serialized maps (JSON object keys must be strings).
+impl serde::MapKey for VictimKey {
+    fn to_key(&self) -> String {
+        format!("{}:{}:{}", self.unit, self.row.bank, self.row.row)
+    }
+
+    fn from_key(s: &str) -> Result<Self, serde::Error> {
+        let bad = || serde::Error::msg(format!("invalid VictimKey map key {s:?}"));
+        let mut parts = s.splitn(3, ':');
+        let mut next = || parts.next().and_then(|p| p.parse().ok()).ok_or_else(bad);
+        Ok(VictimKey {
+            unit: next()?,
+            row: RowId::new(next()?, next()?),
+        })
     }
 }
 
@@ -103,6 +121,7 @@ impl VictimSet {
 #[derive(Debug, Clone)]
 pub struct VictimScout {
     patterns: PatternSet,
+    rec: RecorderHandle,
 }
 
 impl VictimScout {
@@ -110,12 +129,22 @@ impl VictimScout {
     pub fn new(seed: u64) -> Self {
         VictimScout {
             patterns: PatternSet::discovery(seed),
+            rec: RecorderHandle::null(),
         }
     }
 
     /// A scout with a custom pattern family.
     pub fn with_patterns(patterns: PatternSet) -> Self {
-        VictimScout { patterns }
+        VictimScout {
+            patterns,
+            rec: RecorderHandle::null(),
+        }
+    }
+
+    /// Attaches a metrics recorder (`discover.*` counters).
+    pub fn with_recorder(mut self, rec: RecorderHandle) -> Self {
+        self.rec = rec;
+        self
     }
 
     /// Number of test rounds the scout will run.
@@ -144,9 +173,9 @@ impl VictimScout {
         let mut seen: HashMap<(u32, BitAddr), (usize, bool)> = HashMap::new();
 
         let round_of = |port: &mut P,
-                            seen: &mut HashMap<(u32, BitAddr), (usize, bool)>,
-                            invert: bool,
-                            pattern: &parbor_dram::PatternKind|
+                        seen: &mut HashMap<(u32, BitAddr), (usize, bool)>,
+                        invert: bool,
+                        pattern: &parbor_dram::PatternKind|
          -> Result<(), ParborError> {
             let mut writes = Vec::with_capacity(rows.len() * units as usize);
             for unit in 0..units {
@@ -159,7 +188,10 @@ impl VictimScout {
                     writes.push(RowWrite { unit, row, data });
                 }
             }
-            for flip in port.run_round(&writes)? {
+            let flips = port.run_round(&writes)?;
+            self.rec.incr("discover.rounds", 1);
+            self.rec.observe("discover.round_flips", flips.len() as u64);
+            for flip in flips {
                 seen.entry((flip.unit, flip.flip.addr))
                     .or_insert((0, flip.flip.expected))
                     .0 += 1;
@@ -182,7 +214,9 @@ impl VictimScout {
                 fail_value,
             })
             .collect();
-        Ok(VictimSet::from_victims(victims))
+        let set = VictimSet::from_victims(victims);
+        self.rec.incr("discover.victims", set.len() as u64);
+        Ok(set)
     }
 }
 
@@ -222,12 +256,8 @@ mod tests {
 
     #[test]
     fn scout_runs_ten_rounds_and_finds_victims() {
-        let mut chip = DramChip::new(
-            ChipGeometry::new(1, 64, 8192).unwrap(),
-            Vendor::A,
-            99,
-        )
-        .unwrap();
+        let mut chip =
+            DramChip::new(ChipGeometry::new(1, 64, 8192).unwrap(), Vendor::A, 99).unwrap();
         let rows: Vec<RowId> = (0..64).map(|r| RowId::new(0, r)).collect();
         let scout = VictimScout::new(7);
         assert_eq!(scout.rounds(), 10);
@@ -240,12 +270,8 @@ mod tests {
     fn victims_are_really_data_dependent_cells_mostly() {
         // Cross-check the scout against the device oracle: a healthy majority
         // of discovered victims should be oracle data-dependent cells.
-        let mut chip = DramChip::new(
-            ChipGeometry::new(1, 64, 8192).unwrap(),
-            Vendor::B,
-            5,
-        )
-        .unwrap();
+        let mut chip =
+            DramChip::new(ChipGeometry::new(1, 64, 8192).unwrap(), Vendor::B, 5).unwrap();
         let rows: Vec<RowId> = (0..64).map(|r| RowId::new(0, r)).collect();
         let set = VictimScout::new(1).discover(&mut chip, &rows).unwrap();
         let mut dd = 0usize;

@@ -10,10 +10,14 @@ use parbor_memsim::{LlcConfig, RefreshPolicyKind, Simulation, SystemConfig};
 use parbor_workloads::paper_mixes;
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("ablation_llc");
     let cycles = 400_000;
     let mix = &paper_mixes(1, 8, 7)[0];
     println!("Ablation: LLC in the simulation loop ({})\n", mix.label());
-    for (label, llc) in [("post-LLC traces (default)", None), ("with 512KiB/core LLC", Some(LlcConfig::paper()))] {
+    for (label, llc) in [
+        ("post-LLC traces (default)", None),
+        ("with 512KiB/core LLC", Some(LlcConfig::paper())),
+    ] {
         let config = SystemConfig {
             llc,
             ..SystemConfig::paper()

@@ -7,12 +7,19 @@ use parbor_memsim::{AddressMapping, RefreshPolicyKind, Simulation, SystemConfig}
 use parbor_workloads::paper_mixes;
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("ablation_mapping");
     let cycles = 300_000;
     let mix = &paper_mixes(1, 8, 5)[0];
     println!("Ablation: address mapping ({})\n", mix.label());
     for (label, mapping) in [
-        ("RoRaBaCoCh (row-locality friendly)", AddressMapping::RoRaBaCoCh),
-        ("RoCoRaBaCh (bank-parallelism friendly)", AddressMapping::RoCoRaBaCh),
+        (
+            "RoRaBaCoCh (row-locality friendly)",
+            AddressMapping::RoRaBaCoCh,
+        ),
+        (
+            "RoCoRaBaCh (bank-parallelism friendly)",
+            AddressMapping::RoCoRaBaCh,
+        ),
     ] {
         println!("{label}:");
         let config = SystemConfig {

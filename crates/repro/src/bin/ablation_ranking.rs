@@ -10,6 +10,7 @@ use parbor_dram::{ChipGeometry, Vendor};
 use parbor_repro::build_module;
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("ablation_ranking");
     let geometry = ChipGeometry::new(1, 256, 8192).expect("valid geometry");
     println!("Ablation: recursion rank threshold sweep\n");
     for vendor in Vendor::ALL {

@@ -11,6 +11,7 @@ use parbor_dram::{ChipGeometry, Vendor};
 use parbor_repro::{build_module, table_row};
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("ablation_scheduler");
     let geometry = ChipGeometry::new(1, 256, 8192).expect("valid geometry");
     println!("Ablation: chip-wide scheduler separation order\n");
     let widths = [7usize, 6, 8, 14, 10];
@@ -18,7 +19,8 @@ fn main() {
         "{}",
         table_row(
             ["vendor", "order", "rounds", "chunk", "failures"]
-                .map(String::from).as_ref(),
+                .map(String::from)
+                .as_ref(),
             &widths
         )
     );
@@ -27,7 +29,9 @@ fn main() {
         let mut module = build_module(vendor, 1, geometry).expect("module builds");
         let parbor = Parbor::new(ParborConfig::default());
         let victims = parbor.discover(&mut module).expect("victims found");
-        let outcome = parbor.locate(&mut module, &victims).expect("recursion converges");
+        let outcome = parbor
+            .locate(&mut module, &victims)
+            .expect("recursion converges");
         let rows: Vec<_> = geometry.rows().collect();
         for order in 1..=4u32 {
             let schedule = RoundSchedule::with_order(&outcome.distances, 8192, order)

@@ -8,6 +8,7 @@
 use parbor_core::{naive_test_time, parbor_module_time, ReductionReport};
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("appendix_test_time");
     let n = 8192usize;
     println!("Appendix: test-time arithmetic for {n}-cell rows (DDR3-1600, 64 ms interval)\n");
     let labels = ["O(n)", "O(n^2)", "O(n^3)", "O(n^4)"];

@@ -1,0 +1,59 @@
+//! `bench_report` — records a fixed-seed pipeline run and writes
+//! `results/BENCH_pipeline.json`: per-phase wall-clock timings plus the
+//! final counter totals. Later performance PRs diff their runs against this
+//! baseline.
+//!
+//! The run itself is fully deterministic (default vendor-A module, seed 1);
+//! only the wall-clock fields vary between machines.
+
+use std::process::ExitCode;
+
+use parbor_core::{Parbor, ParborConfig};
+use parbor_dram::{ChipGeometry, ModuleConfig, ModuleId, Vendor};
+use parbor_obs::{InMemoryRecorder, RecorderHandle, RunSummary};
+
+const OUT: &str = "results/BENCH_pipeline.json";
+
+fn run() -> Result<RunSummary, String> {
+    let recorder = InMemoryRecorder::handle();
+    let rec = RecorderHandle::from(recorder.clone());
+    let mut module = ModuleConfig::new(Vendor::A)
+        .geometry(ChipGeometry::new(1, 128, 8192).map_err(|e| e.to_string())?)
+        .chips(8)
+        .seed(1)
+        .module_id(ModuleId(1))
+        .build()
+        .map_err(|e| e.to_string())?
+        .with_recorder(rec.clone());
+    let report = Parbor::new(ParborConfig::default())
+        .with_recorder(rec)
+        .run(&mut module)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "pipeline: {} victims, distances {:?}, {} failures, {} rounds",
+        report.victim_count,
+        report.distances(),
+        report.failure_count(),
+        report.total_rounds(),
+    );
+    Ok(RunSummary::from_recorder(&recorder))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(summary) => {
+            print!("{}", summary.render());
+            let json = summary.to_json();
+            if let Err(e) = std::fs::write(OUT, json + "\n") {
+                eprintln!("error: writing {OUT}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("baseline written : {OUT}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -4,11 +4,12 @@
 //! simulated population has the structure the algorithm's two key ideas
 //! assume (strongly coupled cells exist; they are spread across rows).
 
-use parbor_dram::{CellCensus, ChipGeometry, RowId};
 use parbor_dram::Vendor;
+use parbor_dram::{CellCensus, ChipGeometry, RowId};
 use parbor_repro::{build_module, table_row};
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("cell_census");
     let geometry = ChipGeometry::new(1, 256, 8192).expect("valid geometry");
     let rows: Vec<RowId> = geometry.rows().collect();
     println!("Cell census per vendor (256 rows x 8 chips, module 1)\n");
@@ -17,10 +18,18 @@ fn main() {
         "{}",
         table_row(
             [
-                "vendor", "weak", "strong", "weakly", "deep", "marginal", "vrt", "coupl BER",
+                "vendor",
+                "weak",
+                "strong",
+                "weakly",
+                "deep",
+                "marginal",
+                "vrt",
+                "coupl BER",
                 "rows w/dd"
             ]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
             &widths
         )
     );

@@ -9,13 +9,14 @@ use parbor_dram::{ChipGeometry, PatternKind, Vendor};
 use parbor_repro::build_module;
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("dcref_content_check");
     let geometry = ChipGeometry::new(1, 256, 8192).expect("valid geometry");
     let mut module = build_module(Vendor::A, 1, geometry).expect("module builds");
     let parbor = Parbor::new(ParborConfig::default());
     let report = parbor.run(&mut module).expect("pipeline runs");
 
-    let monitor = DcRefMonitor::from_chipwide(&report.chipwide, report.distances())
-        .expect("monitor builds");
+    let monitor =
+        DcRefMonitor::from_chipwide(&report.chipwide, report.distances()).expect("monitor builds");
     println!(
         "PARBOR found {} vulnerable cells across {} rows (RAIDR would fast-refresh all {} rows)\n",
         monitor.cell_count(),

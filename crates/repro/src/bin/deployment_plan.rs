@@ -8,6 +8,7 @@ use parbor_dram::{ChipGeometry, PatternKind, Vendor};
 use parbor_repro::build_module;
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("deployment_plan");
     let geometry = ChipGeometry::new(1, 256, 8192).expect("valid geometry");
     for vendor in Vendor::ALL {
         let mut module = build_module(vendor, 1, geometry).expect("module builds");
@@ -18,9 +19,11 @@ fn main() {
         let plan = directory.plan(24); // retire rows with ≥ 24 failing cells
 
         let total_rows = 8 * geometry.rows_per_bank as usize;
-        println!("vendor {vendor}: {} failing cells across {} of {total_rows} rows",
+        println!(
+            "vendor {vendor}: {} failing cells across {} of {total_rows} rows",
             directory.failing_cells(),
-            directory.affected_rows());
+            directory.affected_rows()
+        );
         println!(
             "  fast-refresh rows : {} ({:.1}% of all rows)",
             plan.fast_refresh_rows.len(),
@@ -35,9 +38,7 @@ fn main() {
         // How many of the fast-refresh rows would DC-REF actually keep hot
         // under benign (checkerboard) content?
         let monitor = directory.dcref_monitor().expect("monitor builds");
-        let hot = monitor.hot_fraction(|_, row| {
-            PatternKind::Checkerboard.row_bits(row.row, 8192)
-        });
+        let hot = monitor.hot_fraction(|_, row| PatternKind::Checkerboard.row_bits(row.row, 8192));
         println!(
             "  DC-REF under checkerboard content: {:.1}% of vulnerable rows stay hot\n",
             hot * 100.0

@@ -13,12 +13,17 @@ use parbor_dram::{
 };
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("derive_weak_fraction");
     let bits_per_module_row = 8 * 8192u32; // 8 chips x 8 Kbit
     println!("Weak-row fraction vs per-cell vulnerability rate (8 KB module rows)\n");
     println!("{:>12}  {:>10}", "cell rate", "row frac");
     for rate in [1e-7f64, 1e-6, 2.74e-6, 1e-5, 1e-4] {
         let frac = 1.0 - (1.0 - rate).powi(bits_per_module_row as i32);
-        let marker = if (frac - 0.164).abs() < 0.01 { "  <- paper's 16.4%" } else { "" };
+        let marker = if (frac - 0.164).abs() < 0.01 {
+            "  <- paper's 16.4%"
+        } else {
+            ""
+        };
         println!("{rate:>12.2e}  {:>9.1}%{marker}", frac * 100.0);
     }
 

@@ -14,15 +14,22 @@ use parbor_dram::{ChipGeometry, Vendor};
 use parbor_repro::{build_module, table_row};
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("ecc_analysis");
     let geometry = ChipGeometry::new(1, 256, 8192).expect("valid geometry");
     println!("SECDED (72,64) analysis of PARBOR-found failures\n");
     let widths = [7usize, 10, 13, 15, 14];
     println!(
         "{}",
         table_row(
-            ["vendor", "failures", "correctable", "uncorrectable", "uncorr words%"]
-                .map(String::from)
-                .as_ref(),
+            [
+                "vendor",
+                "failures",
+                "correctable",
+                "uncorrectable",
+                "uncorr words%"
+            ]
+            .map(String::from)
+            .as_ref(),
             &widths
         )
     );

@@ -11,13 +11,16 @@ use parbor_dram::{ChipGeometry, Vendor};
 use parbor_repro::build_module;
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("fig11_distances");
     let geometry = ChipGeometry::new(1, 256, 8192).expect("valid geometry");
     println!("Figure 11: neighbor-region distances per recursion level\n");
     for vendor in Vendor::ALL {
         let mut module = build_module(vendor, 1, geometry).expect("module builds");
         let parbor = Parbor::new(ParborConfig::default());
         let victims = parbor.discover(&mut module).expect("victims found");
-        let outcome = parbor.locate(&mut module, &victims).expect("recursion converges");
+        let outcome = parbor
+            .locate(&mut module, &victims)
+            .expect("recursion converges");
         println!("Vendor {vendor} (module {}):", module.name());
         for (i, level) in outcome.levels.iter().enumerate() {
             println!(

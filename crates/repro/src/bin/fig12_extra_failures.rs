@@ -9,6 +9,7 @@ use parbor_dram::{ChipGeometry, Vendor};
 use parbor_repro::{compare_parbor_vs_random, table_row};
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("fig12_extra_failures");
     let geometry = ChipGeometry::experiment_slice();
     println!("Figure 12: extra failures uncovered by PARBOR vs equal-budget random test");
     println!("(geometry: {geometry:?})\n");
@@ -16,8 +17,16 @@ fn main() {
     println!(
         "{}",
         table_row(
-            ["module", "budget", "parbor", "random", "only-parbor", "increase"]
-                .map(String::from).as_ref(),
+            [
+                "module",
+                "budget",
+                "parbor",
+                "random",
+                "only-parbor",
+                "increase"
+            ]
+            .map(String::from)
+            .as_ref(),
             &widths
         )
     );
@@ -35,8 +44,8 @@ fn main() {
             let results = &results;
             scope.spawn(move |_| {
                 for &(vendor, idx) in chunk {
-                    let cmp = compare_parbor_vs_random(vendor, idx, geometry)
-                        .expect("comparison runs");
+                    let cmp =
+                        compare_parbor_vs_random(vendor, idx, geometry).expect("comparison runs");
                     results.lock().push(cmp);
                 }
             });

@@ -8,6 +8,7 @@ use parbor_dram::{ChipGeometry, Vendor};
 use parbor_repro::{compare_parbor_vs_random, table_row};
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("fig13_coverage");
     let geometry = ChipGeometry::experiment_slice();
     println!("Figure 13: coverage of failures for A1, B1, C1\n");
     let widths = [8usize, 12, 14, 12, 8];
@@ -15,7 +16,8 @@ fn main() {
         "{}",
         table_row(
             ["module", "only-parbor", "only-random", "both", "total"]
-                .map(String::from).as_ref(),
+                .map(String::from)
+                .as_ref(),
             &widths
         )
     );

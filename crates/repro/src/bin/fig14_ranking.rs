@@ -13,15 +13,22 @@ fn bar(frac: f64) -> String {
 }
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("fig14_ranking");
     let geometry = ChipGeometry::new(1, 512, 8192).expect("valid geometry");
     println!("Figure 14: ranking of level-4 region distances (normalized)\n");
     for vendor in Vendor::ALL {
         let mut module = build_module(vendor, 1, geometry).expect("module builds");
         let parbor = Parbor::new(ParborConfig::default());
         let victims = parbor.discover(&mut module).expect("victims found");
-        let outcome = parbor.locate(&mut module, &victims).expect("recursion converges");
+        let outcome = parbor
+            .locate(&mut module, &victims)
+            .expect("recursion converges");
         let l4 = &outcome.levels[3];
-        println!("Module {} (level-4 region size {} bits):", module.name(), l4.region_size);
+        println!(
+            "Module {} (level-4 region size {} bits):",
+            module.name(),
+            l4.region_size
+        );
         for (mag, frac) in l4.histogram.normalized_magnitudes() {
             println!("  |{mag:>2}|  {frac:>5.2}  {}", bar(frac));
         }

@@ -11,6 +11,7 @@ use parbor_dram::{ChipGeometry, Vendor};
 use parbor_repro::build_module;
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("fig15_sample_size");
     // Sample sizes up to 15 K victims need ≥ 15 K testable rows:
     // 8 chips × 2048 rows = 16 K (unit, row) slots.
     let geometry = ChipGeometry::new(1, 2048, 8192).expect("valid geometry");

@@ -30,6 +30,7 @@ fn run_mix(
 }
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("fig16_dcref");
     let mut args = std::env::args().skip(1);
     let cycles: u64 = args
         .next()
@@ -51,9 +52,7 @@ fn main() {
         // shared runs are visible rather than cancelled by the denominator).
         let alone_ref: Vec<f64> = apps
             .iter()
-            .map(|a| {
-                Simulation::alone_ipc(config, RefreshPolicyKind::Uniform64, a, 0xA10E, cycles)
-            })
+            .map(|a| Simulation::alone_ipc(config, RefreshPolicyKind::Uniform64, a, 0xA10E, cycles))
             .collect();
         let app_index = |name: &str| apps.iter().position(|a| a.name == name).expect("known app");
 
@@ -64,7 +63,10 @@ fn main() {
         let mut hot_frac = [0.0f64; 3];
         let mut energy_per_inst = [0.0f64; 3];
         let mut refresh_energy = [0.0f64; 3];
-        println!("{:<46} {:>9} {:>9} {:>9}", "workload", "base-WS", "RAIDR", "DC-REF");
+        println!(
+            "{:<46} {:>9} {:>9} {:>9}",
+            "workload", "base-WS", "RAIDR", "DC-REF"
+        );
         for mix in &mixes {
             let mut ws = [0.0f64; 3];
             for (pi, policy) in POLICIES.into_iter().enumerate() {
@@ -79,8 +81,7 @@ fn main() {
                 refresh_work[pi] += report.refresh_work_fraction;
                 hot_frac[pi] += report.hot_row_fraction;
                 let breakdown = energy_model.breakdown(&report, ranks_total);
-                energy_per_inst[pi] +=
-                    breakdown.per_instruction_nj(report.total_instructions());
+                energy_per_inst[pi] += breakdown.per_instruction_nj(report.total_instructions());
                 refresh_energy[pi] += breakdown.refresh_mj;
             }
             println!(

@@ -16,10 +16,11 @@ use std::process::ExitCode;
 
 use parbor_core::{random_pattern_test, Parbor, ParborConfig};
 use parbor_dram::{
-    Celsius, CellCensus, ChipGeometry, ModuleConfig, ModuleId, RetentionProfiler, RowId, Seconds,
+    CellCensus, Celsius, ChipGeometry, ModuleConfig, ModuleId, RetentionProfiler, RowId, Seconds,
     Vendor,
 };
 use parbor_memsim::{Density, RefreshPolicyKind, Simulation, SystemConfig};
+use parbor_obs::{InMemoryRecorder, RecorderHandle, RunSummary};
 use parbor_workloads::paper_mixes;
 
 struct Args {
@@ -66,7 +67,12 @@ impl Args {
     }
 }
 
-fn build(vendor: Vendor, seed: u64, rows: u64, chips: u64) -> Result<parbor_dram::DramModule, String> {
+fn build(
+    vendor: Vendor,
+    seed: u64,
+    rows: u64,
+    chips: u64,
+) -> Result<parbor_dram::DramModule, String> {
     ModuleConfig::new(vendor)
         .geometry(ChipGeometry::new(1, rows as u32, 8192).map_err(|e| e.to_string())?)
         .chips(chips as usize)
@@ -78,22 +84,36 @@ fn build(vendor: Vendor, seed: u64, rows: u64, chips: u64) -> Result<parbor_dram
 
 fn cmd_detect(args: &Args) -> Result<(), String> {
     let vendor = args.vendor()?;
+    let recorder = InMemoryRecorder::handle();
+    let rec = RecorderHandle::from(recorder.clone());
     let mut module = build(
         vendor,
         args.u64_or("seed", 1)?,
         args.u64_or("rows", 128)?,
         args.u64_or("chips", 8)?,
-    )?;
+    )?
+    .with_recorder(rec.clone());
     let report = Parbor::new(ParborConfig::default())
+        .with_recorder(rec)
         .run(&mut module)
         .map_err(|e| e.to_string())?;
     println!("vendor           : {vendor}");
     println!("victims          : {}", report.victim_count);
     println!("distances        : {:?}", report.distances());
-    println!("tests per level  : {:?}", report.recursion.tests_per_level());
+    println!(
+        "tests per level  : {:?}",
+        report.recursion.tests_per_level()
+    );
     println!("chip-wide rounds : {}", report.chipwide.rounds);
     println!("failures found   : {}", report.failure_count());
     println!("total budget     : {} rounds", report.total_rounds());
+    println!();
+    print!("{}", RunSummary::from_recorder(&recorder).render());
+    let trace = "results/trace.jsonl";
+    recorder
+        .write_trace(trace)
+        .map_err(|e| format!("writing {trace}: {e}"))?;
+    println!("trace written    : {trace}");
     Ok(())
 }
 
@@ -127,8 +147,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     let budget = report.total_rounds();
     let mut fresh = build(vendor, seed, rows_n, 8)?;
     let rows: Vec<RowId> = (0..rows_n as u32).map(|r| RowId::new(0, r)).collect();
-    let random =
-        random_pattern_test(&mut fresh, &rows, budget, 0xC0).map_err(|e| e.to_string())?;
+    let random = random_pattern_test(&mut fresh, &rows, budget, 0xC0).map_err(|e| e.to_string())?;
     let p = report.chipwide.failing_bits();
     let only_p = p.difference(&random.failing).count();
     println!("vendor {vendor}, budget {budget} rounds each");

@@ -7,6 +7,7 @@ use parbor_dram::{Celsius, ChipGeometry, Seconds, Vendor};
 use parbor_repro::build_module;
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("sensitivity_temperature");
     let geometry = ChipGeometry::new(1, 128, 8192).expect("valid geometry");
     println!("Temperature sensitivity (paper §6): 40 / 45 / 50 °C\n");
     for vendor in Vendor::ALL {

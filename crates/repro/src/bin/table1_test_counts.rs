@@ -9,6 +9,7 @@ use parbor_dram::{ChipGeometry, Vendor};
 use parbor_repro::{build_module, table_row};
 
 fn main() {
+    let _timer = parbor_repro::FigureTimer::start("table1_test_counts");
     let geometry = ChipGeometry::new(1, 256, 8192).expect("valid geometry");
     println!("Table 1: number of tests performed by PARBOR\n");
     let widths = [12usize, 5, 5, 5, 5, 5, 7];
@@ -16,7 +17,8 @@ fn main() {
         "{}",
         table_row(
             ["Manufacturer", "L1", "L2", "L3", "L4", "L5", "Total"]
-                .map(String::from).as_ref(),
+                .map(String::from)
+                .as_ref(),
             &widths
         )
     );
@@ -25,7 +27,9 @@ fn main() {
         let mut module = build_module(vendor, 1, geometry).expect("module builds");
         let parbor = Parbor::new(ParborConfig::default());
         let victims = parbor.discover(&mut module).expect("victims found");
-        let outcome = parbor.locate(&mut module, &victims).expect("recursion converges");
+        let outcome = parbor
+            .locate(&mut module, &victims)
+            .expect("recursion converges");
         let mut cells = vec![vendor.to_string()];
         cells.extend(outcome.tests_per_level().iter().map(|t| t.to_string()));
         cells.push(outcome.total_tests.to_string());

@@ -9,11 +9,11 @@
 #![warn(missing_docs)]
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use parbor_core::{random_pattern_test, Parbor, ParborConfig, ParborError, ParborReport};
-use parbor_dram::{
-    BitAddr, ChipGeometry, DramError, DramModule, ModuleConfig, ModuleId, Vendor,
-};
+use parbor_dram::{BitAddr, ChipGeometry, DramError, DramModule, ModuleConfig, ModuleId, Vendor};
+use parbor_obs::{InMemoryRecorder, Recorder, RecorderHandle, SpanId};
 
 /// A failing bit observed through a module test port: (chip, address).
 pub type FailBit = (u32, BitAddr);
@@ -57,7 +57,8 @@ pub fn build_module(
     // vulnerable they are (the paper's Fig 12 shows a wide within-vendor
     // spread), so jitter the coupling-population rate by ×0.5–1.5.
     let mut rates = vendor.default_rates();
-    let jitter = 0.5 + (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64 / (1u64 << 24) as f64;
+    let jitter =
+        0.5 + (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64 / (1u64 << 24) as f64;
     rates.interesting *= jitter;
     ModuleConfig::new(vendor)
         .geometry(geometry)
@@ -175,6 +176,54 @@ pub fn run_parbor(
 ) -> Result<ParborReport, ParborError> {
     let mut module = build_module(vendor, idx, geometry)?;
     Parbor::new(ParborConfig::default()).run(&mut module)
+}
+
+/// Times one figure-regeneration binary with the observability spans and
+/// prints a one-line summary to stderr when dropped (normally at the end of
+/// `main`), so slow figure scripts are visible at a glance without
+/// perturbing the archived stdout in `results/*.txt`.
+pub struct FigureTimer {
+    rec: Arc<InMemoryRecorder>,
+    span: SpanId,
+    label: String,
+}
+
+impl FigureTimer {
+    /// Starts timing; `label` is the binary name (e.g. `"fig13_coverage"`).
+    pub fn start(label: impl Into<String>) -> Self {
+        let rec = InMemoryRecorder::handle();
+        let span = rec.span_enter("figure.run", None);
+        FigureTimer {
+            rec,
+            span,
+            label: label.into(),
+        }
+    }
+
+    /// A recorder handle for threading into pipelines run under this timer,
+    /// so their counters and spans land in the same trace.
+    pub fn recorder(&self) -> RecorderHandle {
+        RecorderHandle::from(Arc::clone(&self.rec))
+    }
+}
+
+impl Drop for FigureTimer {
+    fn drop(&mut self) {
+        self.rec.span_exit(self.span);
+        let spans = self.rec.finished_spans();
+        let us = spans
+            .iter()
+            .find(|s| s.id == self.span)
+            .map(|s| s.duration_us())
+            .unwrap_or(0);
+        eprintln!(
+            "[timing] {}: {}.{:03} s ({} spans recorded)",
+            self.label,
+            us / 1_000_000,
+            (us / 1000) % 1000,
+            spans.len(),
+        );
+    }
 }
 
 /// Formats a row of fixed-width columns for plain-text tables.

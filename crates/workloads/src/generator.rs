@@ -123,7 +123,11 @@ mod tests {
             let insts: u64 = ops.iter().map(|o| u64::from(o.nonmem_insts) + 1).sum();
             let mpki = ops.len() as f64 * 1000.0 / insts as f64;
             let rel = (mpki - a.mpki).abs() / a.mpki;
-            assert!(rel < 0.15, "{name}: generated MPKI {mpki} vs target {}", a.mpki);
+            assert!(
+                rel < 0.15,
+                "{name}: generated MPKI {mpki} vs target {}",
+                a.mpki
+            );
         }
     }
 

@@ -9,8 +9,8 @@ use std::sync::Arc;
 
 use parbor_core::{Parbor, ParborConfig};
 use parbor_dram::{
-    hamiltonian_walk, ChipGeometry, DramChip, FaultRates, RetentionModel, Celsius, Seconds,
-    Scrambler, TileWalkScrambler,
+    hamiltonian_walk, Celsius, ChipGeometry, DramChip, FaultRates, RetentionModel, Scrambler,
+    Seconds, TileWalkScrambler,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,9 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 64-cell tiles.
     let steps = [3u64, 7];
     let walk = hamiltonian_walk(64, &steps)?;
-    let scrambler: Arc<dyn Scrambler> =
-        Arc::new(TileWalkScrambler::new(8192, 64, 1, walk)?);
-    println!("custom scrambler distance set: {:?}", scrambler.distance_set());
+    let scrambler: Arc<dyn Scrambler> = Arc::new(TileWalkScrambler::new(8192, 64, 1, walk)?);
+    println!(
+        "custom scrambler distance set: {:?}",
+        scrambler.distance_set()
+    );
 
     let mut chip = DramChip::with_parts(
         ChipGeometry::new(1, 192, 8192)?,

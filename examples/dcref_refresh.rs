@@ -13,7 +13,10 @@ fn main() {
     let cycles = 400_000;
 
     println!("workload: {}", mix.label());
-    println!("system  : {:?} chips, {} cores\n", config.density, config.cores);
+    println!(
+        "system  : {:?} chips, {} cores\n",
+        config.density, config.cores
+    );
 
     let mut baseline_insts = 0u64;
     for policy in [

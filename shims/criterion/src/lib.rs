@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's bench targets use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `BenchmarkId`,
+//! `Throughput`, `black_box`, and `Bencher::iter` — with a simple
+//! median-of-samples timing loop instead of criterion's statistical
+//! machinery. Good enough to spot order-of-magnitude regressions offline;
+//! not a replacement for real criterion reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId(name.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId(name)
+    }
+}
+
+/// Throughput annotation (accepted, echoed in the report line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs closures under timing.
+pub struct Bencher {
+    samples: usize,
+    last: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, collecting one duration per sample.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // One warm-up call keeps cold-start effects out of the samples.
+        black_box(f());
+        self.last.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.last.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, throughput: Option<Throughput>, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median.as_secs_f64() > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 / median.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if median.as_secs_f64() > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / median.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name:<40} median {:>12?}  (n={}){rate}",
+        median,
+        samples.len()
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: Vec::new(),
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.into()),
+            self.throughput,
+            &mut b.last,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: Vec::new(),
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.into()),
+            self.throughput,
+            &mut b.last,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = if self.default_samples == 0 {
+            20
+        } else {
+            self.default_samples
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: 20,
+            last: Vec::new(),
+        };
+        f(&mut b);
+        report(name, None, &mut b.last);
+        self
+    }
+}
+
+/// Declares a group of bench functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,60 @@
+//! Offline stand-in for `crossbeam`: the `thread::scope` API implemented
+//! over `std::thread::scope` (which has provided the same structured-
+//! concurrency guarantee since Rust 1.63).
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle; closures passed to [`Scope::spawn`] receive it as
+    /// their argument, mirroring crossbeam's signature.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure's `&Scope` argument exists
+        /// for crossbeam signature compatibility (nested spawns from inside
+        /// the closure are not supported by the shim).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a ()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&()))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads can borrow from the enclosing
+    /// stack frame; all spawned threads are joined before returning.
+    ///
+    /// # Errors
+    ///
+    /// Never fails: panics in scoped threads propagate when joining (std
+    /// semantics), so the `Result` mirrors crossbeam's signature only.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(Vec::new());
+        super::thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                let sums = &sums;
+                scope.spawn(move |_| {
+                    sums.lock().unwrap().push(chunk.iter().sum::<u64>());
+                });
+            }
+        })
+        .unwrap();
+        let mut got = sums.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 7]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest! { #[test] fn f(x in strategy, ...) { ... } }` macro form,
+//! integer-range and `any::<T>()` strategies, tuple strategies,
+//! `prop::collection::vec`, and the `prop_assert*` macros. Each test runs a
+//! fixed number of deterministic cases (seeded from the test name); failing
+//! inputs are reported but not shrunk.
+
+/// Cases run per property (the real proptest default is 256; this shim
+/// trades a little coverage for faster offline CI).
+pub const NUM_CASES: u32 = 64;
+
+/// Deterministic test RNG and case-failure plumbing.
+pub mod test_runner {
+    use std::fmt;
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// SplitMix64-fed xorshift generator, seeded from the test name so every
+    /// property gets an independent deterministic stream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for a named test.
+        pub fn deterministic(name: &str) -> Self {
+            let mut state = 0xC0FF_EE00_D15E_A5E5u64;
+            for b in name.bytes() {
+                state = state
+                    .wrapping_mul(0x100_0000_01B3)
+                    .wrapping_add(u64::from(b));
+            }
+            TestRng { state }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Strategies: how to generate a value of some type.
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A value generator.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + draw as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (start as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    /// Whole-domain generation, for [`any`](super::any).
+    pub trait Arbitrary {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`](super::any).
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($n:tt $s:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+
+    /// A strategy generating vectors of a given element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy generating B-tree sets of a given element strategy.
+    ///
+    /// Sizes are *targets*: duplicate draws are retried a bounded number of
+    /// times, so tight domains may yield smaller sets (matching the real
+    /// proptest's behavior of treating collection sizes as best-effort).
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.clone().generate(rng);
+            let mut out = std::collections::BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 16 + 16 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`, `prop::collection::btree_set`).
+pub mod collection {
+    use super::strategy::{BTreeSetStrategy, Strategy, VecStrategy};
+
+    /// Generates vectors with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Generates B-tree sets with target sizes drawn from `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: std::ops::Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+/// A strategy producing arbitrary values of `T`.
+pub fn any<T: strategy::Arbitrary>() -> strategy::AnyStrategy<T> {
+    strategy::AnyStrategy(std::marker::PhantomData)
+}
+
+/// Defines property tests: each `fn` becomes a `#[test]` running
+/// [`NUM_CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])+ fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::NUM_CASES {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    let __result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!("property {} failed at case {}: {}", stringify!($name), __case, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: both sides are {:?}", l);
+    }};
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_hold(x in 3usize..10, y in any::<u64>()) {
+            prop_assert!((3..10).contains(&x));
+            let _ = y;
+        }
+
+        #[test]
+        fn vectors_sized(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuples_generate(pair in (0i64..4, 10i64..14)) {
+            let (a, b) = pair;
+            prop_assert!((0..4).contains(&a));
+            prop_assert_eq!(b / 10, 1);
+        }
+
+        #[test]
+        fn btree_sets_generate(s in prop::collection::btree_set(0i64..32, 1..5)) {
+            prop_assert!(!s.is_empty() && s.len() < 5);
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! The build environment has no registry access, so `syn`/`quote` are
+//! unavailable; this crate parses the derive input by walking raw
+//! `proc_macro` token trees. It supports the shapes this workspace actually
+//! uses: non-generic structs (named, tuple, unit) and non-generic enums
+//! (unit, tuple, and struct variants), plus the field attribute
+//! `#[serde(with = "module")]` mapping to `module::to_value` /
+//! `module::from_value`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Named(Vec<Field>),
+    Unnamed(usize),
+    Unit,
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the shim's `Serialize` (value-tree construction).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the shim's `Deserialize` (value-tree reconstruction).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut it = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim derive: unexpected {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected type name, got {other:?}"
+            ))
+        }
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive: generic type {name} is not supported"
+            ));
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Unnamed(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            other => {
+                return Err(format!(
+                    "serde shim derive: unexpected struct body {other:?}"
+                ))
+            }
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("serde shim derive: unexpected enum body {other:?}")),
+        },
+        other => {
+            return Err(format!(
+                "serde shim derive: only structs and enums are supported, got {other}"
+            ))
+        }
+    };
+    Ok(Input { name, shape })
+}
+
+/// Extracts `with = "module"` from a `#[serde(...)]` attribute body, if the
+/// bracket group is a serde attribute at all.
+fn serde_with_of_attr(group: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(inner)] if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+                    if key.to_string() == "with" && eq.as_char() == '=' =>
+                {
+                    let raw = lit.to_string();
+                    Some(raw.trim_matches('"').to_string())
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        let mut with = None;
+        // Field attributes.
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.next() {
+                if let Some(w) = serde_with_of_attr(g.stream()) {
+                    with = Some(w);
+                }
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = it.peek() {
+            if id.to_string() == "pub" {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+        }
+        let Some(tree) = it.next() else { break };
+        let TokenTree::Ident(field_name) = tree else {
+            return Err(format!(
+                "serde shim derive: expected field name, got {tree:?}"
+            ));
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde shim derive: expected ':', got {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle: i64 = 0;
+        for tree in it.by_ref() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name: field_name.to_string(),
+            with,
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle: i64 = 0;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for tree in &tokens {
+        trailing_comma = false;
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    commas + if trailing_comma { 0 } else { 1 }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // Variant attributes.
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            it.next();
+            it.next();
+        }
+        let Some(tree) = it.next() else { break };
+        let TokenTree::Ident(name) = tree else {
+            return Err(format!("serde shim derive: expected variant, got {tree:?}"));
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                it.next();
+                Fields::Unnamed(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                it.next();
+                Fields::Named(fields)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant and the separating comma.
+        for tree in it.by_ref() {
+            if let TokenTree::Punct(p) = &tree {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            fields,
+        });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn named_to_value(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from("{ let mut __m: Vec<(String, serde::Value)> = Vec::new(); ");
+    for f in fields {
+        let access = format!("{access_prefix}{}", f.name);
+        let value = match &f.with {
+            Some(module) => format!("{module}::to_value(&{access})"),
+            None => format!("serde::Serialize::to_value(&{access})"),
+        };
+        out.push_str(&format!("__m.push(({:?}.to_string(), {value})); ", f.name));
+    }
+    out.push_str("serde::Value::Map(__m) }");
+    out
+}
+
+fn named_from_value(ty: &str, fields: &[Field], map_expr: &str) -> String {
+    let mut out = String::from("{ ");
+    for f in fields {
+        let parse = match &f.with {
+            Some(module) => format!(
+                "{module}::from_value(serde::__private::field({map_expr}, {:?}))?",
+                f.name
+            ),
+            None => format!(
+                "serde::__private::from_field({map_expr}, {:?}, {ty:?})?",
+                f.name
+            ),
+        };
+        out.push_str(&format!("{}: {parse}, ", f.name));
+    }
+    out.push('}');
+    out
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Fields::Named(fields)) => named_to_value(fields, "self."),
+        Shape::Struct(Fields::Unnamed(1)) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Unnamed(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::Str({vname:?}.to_string()), "
+                    )),
+                    Fields::Unnamed(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => serde::Value::Map(vec![({vname:?}.to_string(), serde::Serialize::to_value(__f0))]), "
+                    )),
+                    Fields::Unnamed(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => serde::Value::Map(vec![({vname:?}.to_string(), serde::Value::Seq(vec![{}]))]), ",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_to_value(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => serde::Value::Map(vec![({vname:?}.to_string(), {inner})]), ",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl serde::Serialize for {name} {{ \
+           fn to_value(&self) -> serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let init = named_from_value(name, fields, "__m");
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| serde::Error::expected(\"map\", {name:?}, __v))?; \
+                 Ok({name} {init})"
+            )
+        }
+        Shape::Struct(Fields::Unnamed(1)) => {
+            format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Struct(Fields::Unnamed(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| serde::Error::expected(\"sequence\", {name:?}, __v))?; \
+                 if __s.len() != {n} {{ return Err(serde::Error::msg(format!(\"expected {n} elements for {name}, got {{}}\", __s.len()))); }} \
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => format!("let _ = __v; Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => Ok({name}::{vname}), "
+                    )),
+                    Fields::Unnamed(1) => data_arms.push_str(&format!(
+                        "{vname:?} => Ok({name}::{vname}(serde::Deserialize::from_value(__inner)?)), "
+                    )),
+                    Fields::Unnamed(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&__s[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{ \
+                               let __s = __inner.as_seq().ok_or_else(|| serde::Error::expected(\"sequence\", {name:?}, __inner))?; \
+                               if __s.len() != {n} {{ return Err(serde::Error::msg(format!(\"expected {n} elements for {name}::{vname}, got {{}}\", __s.len()))); }} \
+                               Ok({name}::{vname}({})) \
+                             }}, ",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let init = named_from_value(name, fields, "__fm");
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{ \
+                               let __fm = __inner.as_map().ok_or_else(|| serde::Error::expected(\"map\", {name:?}, __inner))?; \
+                               Ok({name}::{vname} {init}) \
+                             }}, ",
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{ \
+                   serde::Value::Str(__s) => match __s.as_str() {{ \
+                     {unit_arms} \
+                     __other => Err(serde::Error::msg(format!(\"unknown {name} variant {{__other:?}}\"))), \
+                   }}, \
+                   serde::Value::Map(__m) if __m.len() == 1 => {{ \
+                     let (__k, __inner) = &__m[0]; \
+                     match __k.as_str() {{ \
+                       {data_arms} \
+                       __other => Err(serde::Error::msg(format!(\"unknown {name} variant {{__other:?}}\"))), \
+                     }} \
+                   }}, \
+                   __other => Err(serde::Error::expected(\"variant string or single-key map\", {name:?}, __other)), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl serde::Deserialize for {name} {{ \
+           fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }} \
+         }}"
+    )
+}

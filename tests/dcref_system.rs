@@ -54,10 +54,7 @@ fn denser_chips_suffer_more_from_refresh() {
     // refresh reduction pays more (the paper evaluates 16 vs 32 Gbit).
     let mix = &paper_mixes(1, 4, 14)[0];
     let gain_at = |density| {
-        let config = SystemConfig {
-            density,
-            ..quick()
-        };
+        let config = SystemConfig { density, ..quick() };
         let base = run(config, RefreshPolicyKind::Uniform64, mix).total_instructions();
         let dcref = run(config, RefreshPolicyKind::DcRef, mix).total_instructions();
         dcref as f64 / base as f64
@@ -83,9 +80,7 @@ fn weighted_speedup_reflects_contention() {
     let alone: Vec<f64> = mix
         .apps
         .iter()
-        .map(|a| {
-            Simulation::alone_ipc(config, RefreshPolicyKind::Uniform64, a, 3, 250_000)
-        })
+        .map(|a| Simulation::alone_ipc(config, RefreshPolicyKind::Uniform64, a, 3, 250_000))
         .collect();
     let ws = weighted_speedup(&shared, &alone);
     assert!(ws > 1.0 && ws < 4.0, "ws = {ws}");
@@ -98,7 +93,11 @@ fn dcref_hot_fraction_tracks_mix_content() {
     // A mix of apps whose writes rarely match the worst-case pattern keeps
     // fewer rows hot than a frequently-matching mix.
     let apps = AppProfile::spec2006();
-    let low = apps.iter().find(|a| a.name == "libquantum").unwrap().clone(); // 0.05
+    let low = apps
+        .iter()
+        .find(|a| a.name == "libquantum")
+        .unwrap()
+        .clone(); // 0.05
     let high = apps.iter().find(|a| a.name == "omnetpp").unwrap().clone(); // 0.28
     let mk = |app: &AppProfile| WorkloadMix {
         id: 0,

@@ -5,8 +5,7 @@ use parbor_core::{Parbor, ParborConfig};
 use parbor_dram::{ChipGeometry, DramChip, ModuleConfig, Scrambler, TestPort, Vendor};
 
 fn run_vendor_chip(vendor: Vendor, seed: u64) -> parbor_core::ParborReport {
-    let mut chip =
-        DramChip::new(ChipGeometry::new(1, 192, 8192).unwrap(), vendor, seed).unwrap();
+    let mut chip = DramChip::new(ChipGeometry::new(1, 192, 8192).unwrap(), vendor, seed).unwrap();
     Parbor::new(ParborConfig::default()).run(&mut chip).unwrap()
 }
 
@@ -41,12 +40,18 @@ fn module_level_pipeline_aggregates_chips() {
         .seed(3)
         .build()
         .unwrap();
-    let report = Parbor::new(ParborConfig::default()).run(&mut module).unwrap();
+    let report = Parbor::new(ParborConfig::default())
+        .run(&mut module)
+        .unwrap();
     assert_eq!(report.distances(), Vendor::A.paper_distances());
     // Failures come from multiple chips.
     let units: std::collections::HashSet<u32> =
         report.chipwide.failing.keys().map(|&(u, _)| u).collect();
-    assert!(units.len() > 4, "failures confined to {} chips", units.len());
+    assert!(
+        units.len() > 4,
+        "failures confined to {} chips",
+        units.len()
+    );
 }
 
 #[test]
@@ -86,8 +91,7 @@ fn repeated_runs_are_deterministic() {
 
 #[test]
 fn rounds_accounting_matches_port_counter() {
-    let mut chip =
-        DramChip::new(ChipGeometry::new(1, 96, 8192).unwrap(), Vendor::C, 8).unwrap();
+    let mut chip = DramChip::new(ChipGeometry::new(1, 96, 8192).unwrap(), Vendor::C, 8).unwrap();
     let report = Parbor::new(ParborConfig::default()).run(&mut chip).unwrap();
     assert_eq!(TestPort::rounds_run(&chip), report.total_rounds() as u64);
 }

@@ -9,8 +9,7 @@ use parbor_core::{Parbor, ParborConfig};
 use parbor_dram::{CellClass, ChipGeometry, DramChip, RowId, Scrambler, Vendor};
 
 fn run(vendor: Vendor, seed: u64) -> (parbor_core::ParborReport, DramChip) {
-    let mut chip =
-        DramChip::new(ChipGeometry::new(1, 96, 8192).unwrap(), vendor, seed).unwrap();
+    let mut chip = DramChip::new(ChipGeometry::new(1, 96, 8192).unwrap(), vendor, seed).unwrap();
     let report = Parbor::new(ParborConfig::default()).run(&mut chip).unwrap();
     (report, chip)
 }
@@ -94,14 +93,9 @@ fn found_failures_are_oracle_explainable() {
     // unexplained tail for soft errors.
     let (report, mut chip) = run(Vendor::C, 4);
     let mut unexplained = 0usize;
-    for (&(_, addr), _) in &report.chipwide.failing {
+    for &(_, addr) in report.chipwide.failing.keys() {
         let row = addr.row();
-        let known: HashSet<u32> = chip
-            .fault_map(row)
-            .entries
-            .iter()
-            .map(|e| e.sys)
-            .collect();
+        let known: HashSet<u32> = chip.fault_map(row).entries.iter().map(|e| e.sys).collect();
         if !known.contains(&addr.col) {
             unexplained += 1;
         }

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use parbor_core::{LevelPlan, RoundSchedule};
+use parbor_core::{LevelPlan, Parbor, ParborConfig, RoundSchedule};
 use parbor_dram::{
     hamiltonian_walk, walk_distance_set, IdentityScrambler, PatternKind, RemapTable, RowBits,
     Scrambler, TileWalkScrambler, Vendor,
@@ -136,6 +136,40 @@ proptest! {
         for d in walk_distance_set(&walk) {
             prop_assert!(steps.contains(&d));
         }
+    }
+
+    #[test]
+    fn observability_never_perturbs_the_pipeline(seed in 1u64..64, vendor_idx in 0usize..3) {
+        // Recording metrics must not change a single pipeline outcome:
+        // a NullRecorder run and an InMemoryRecorder run of the same chip
+        // produce identical reports (and match the unrecorded default).
+        use parbor_dram::{ChipGeometry, DramChip};
+        use parbor_obs::{InMemoryRecorder, RecorderHandle};
+
+        let vendor = Vendor::ALL[vendor_idx];
+        let geometry = ChipGeometry::new(1, 64, 8192).unwrap();
+        let run = |rec: RecorderHandle| {
+            let mut chip = DramChip::new(geometry, vendor, seed)
+                .unwrap()
+                .with_recorder(rec.clone());
+            let report = Parbor::new(ParborConfig::default())
+                .with_recorder(rec)
+                .run(&mut chip)
+                .unwrap();
+            (
+                report.victim_count,
+                report.recursion,
+                report.chipwide.rounds,
+                report.chipwide.failing,
+            )
+        };
+        let null = run(RecorderHandle::null());
+        let mem_rec = InMemoryRecorder::handle();
+        let mem = run(RecorderHandle::from(mem_rec.clone()));
+        prop_assert_eq!(&null, &mem);
+        // ...and the in-memory run really recorded the phases.
+        prop_assert!(mem_rec.counter("recursion.tests") > 0);
+        prop_assert!(mem_rec.counter("chipwide.rounds") > 0);
     }
 
     #[test]

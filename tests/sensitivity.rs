@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use parbor_core::{Parbor, ParborConfig};
 use parbor_dram::{
-    Celsius, ChipGeometry, DramChip, FaultRates, ModuleConfig, RemapTable, RetentionModel,
-    RowId, Seconds, Vendor,
+    Celsius, ChipGeometry, DramChip, FaultRates, ModuleConfig, RemapTable, RetentionModel, RowId,
+    Seconds, Vendor,
 };
 
 fn run_at(temp: f64, interval: f64, seed: u64) -> Vec<i64> {
@@ -50,12 +50,8 @@ fn neighbor_locations_survive_interval_changes() {
 #[test]
 fn hotter_chips_fail_more_but_in_the_same_places() {
     let make = |temp: f64| {
-        let mut chip = DramChip::new(
-            ChipGeometry::new(1, 64, 8192).unwrap(),
-            Vendor::C,
-            9,
-        )
-        .unwrap();
+        let mut chip =
+            DramChip::new(ChipGeometry::new(1, 64, 8192).unwrap(), Vendor::C, 9).unwrap();
         chip.set_conditions(Celsius(temp), Seconds(4.0));
         let report = Parbor::new(ParborConfig::default()).run(&mut chip).unwrap();
         (report.distances().to_vec(), report.failure_count())
@@ -84,7 +80,9 @@ fn remapped_columns_limit_coverage_but_not_distances() {
         .scrambler(remapped)
         .build()
         .unwrap();
-    let report = Parbor::new(ParborConfig::default()).run(&mut module).unwrap();
+    let report = Parbor::new(ParborConfig::default())
+        .run(&mut module)
+        .unwrap();
     assert_eq!(
         report.distances(),
         Vendor::B.paper_distances(),
@@ -112,16 +110,21 @@ fn noise_only_chip_yields_no_distances() {
     .unwrap();
     let parbor = Parbor::new(ParborConfig::default());
     let victims = parbor.discover(&mut chip).unwrap();
-    assert!(!victims.is_empty(), "marginal cells should look like victims");
+    assert!(
+        !victims.is_empty(),
+        "marginal cells should look like victims"
+    );
     let outcome = parbor.locate(&mut chip, &victims);
-    assert!(outcome.is_err(), "noise must not produce neighbor distances");
+    assert!(
+        outcome.is_err(),
+        "noise must not produce neighbor distances"
+    );
 }
 
 #[test]
 fn scout_rows_subset_is_honored() {
     let rows: Vec<RowId> = (0..32).map(|r| RowId::new(0, r)).collect();
-    let mut chip =
-        DramChip::new(ChipGeometry::new(1, 256, 8192).unwrap(), Vendor::B, 4).unwrap();
+    let mut chip = DramChip::new(ChipGeometry::new(1, 256, 8192).unwrap(), Vendor::B, 4).unwrap();
     let parbor = Parbor::new(ParborConfig {
         rows: Some(rows),
         ..ParborConfig::default()

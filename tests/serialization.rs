@@ -6,8 +6,7 @@ use parbor_core::{FailureDirectory, Parbor, ParborConfig, RecursionOutcome, Vict
 use parbor_dram::{CellCensus, ChipGeometry, DramChip, RowId, Vendor};
 
 fn campaign() -> (VictimSet, RecursionOutcome, FailureDirectory, DramChip) {
-    let mut chip =
-        DramChip::new(ChipGeometry::new(1, 64, 8192).unwrap(), Vendor::B, 3).unwrap();
+    let mut chip = DramChip::new(ChipGeometry::new(1, 64, 8192).unwrap(), Vendor::B, 3).unwrap();
     let parbor = Parbor::new(ParborConfig::default());
     let victims = parbor.discover(&mut chip).unwrap();
     let recursion = parbor.locate(&mut chip, &victims).unwrap();
