@@ -59,7 +59,10 @@ fn bench_test_round(c: &mut Criterion) {
                     )
                 })
                 .collect();
-            b.iter(|| chip.run_round(black_box(&writes)).expect("round runs"))
+            b.iter(|| {
+                chip.run_round(black_box(writes.clone()))
+                    .expect("round runs")
+            })
         });
     }
     group.finish();

@@ -1,6 +1,6 @@
 //! One simulated DRAM chip: persistent row contents plus fault evaluation.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use parbor_obs::RecorderHandle;
@@ -16,6 +16,20 @@ use crate::noise::NoiseModel;
 use crate::retention::RetentionModel;
 use crate::scrambler::Scrambler;
 
+/// Default bound on the per-chip fault-map cache (entries, i.e. rows).
+///
+/// A fault map costs one scrambler translation per column to build and is
+/// fully deterministic, so eviction only trades CPU for memory; 8192 rows
+/// covers an entire bank of the paper-scale geometry.
+pub const DEFAULT_FAULT_MAP_CAPACITY: usize = 8192;
+
+/// Default bound on the per-chip `(row, data)` evaluation cache (entries).
+///
+/// Test rounds re-write the same few patterns into the same rows over and
+/// over (discovery runs each pattern twice, chip-wide rounds repeat
+/// per-polarity), so a small cache captures nearly all repeats.
+pub const DEFAULT_EVAL_CACHE_CAPACITY: usize = 512;
+
 /// A bit that read back different from what was written.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BitFlip {
@@ -25,6 +39,52 @@ pub struct BitFlip {
     pub expected: bool,
 }
 
+/// Indices (into `map.entries`) of the coupling entries that fail for this
+/// exact row content at this margin shift.
+///
+/// Coupling outcomes are pure in `(row data, margin shift)` — unlike the
+/// marginal/VRT/soft kinds they do not depend on the round counter — which is
+/// what makes them memoizable across repeated writes of the same data.
+fn coupling_fail_indices(map: &RowFaultMap, data: &RowBits, theta_shift: f64) -> Vec<u32> {
+    let charged = |r: &CellRef| (data.get(r.sys as usize)) != r.anti;
+    let mut out = Vec::new();
+    for (idx, e) in map.entries.iter().enumerate() {
+        let FaultKind::Coupling(p) = &e.kind else {
+            continue;
+        };
+        let victim_charged = data.get(e.sys as usize) != e.anti;
+        if !victim_charged {
+            continue;
+        }
+        let theta = p.theta_ref - theta_shift;
+        let mut interference = 0.0;
+        if let Some(l) = &p.left {
+            if !charged(l) {
+                interference += p.w_left;
+            }
+        }
+        if let Some(rr) = &p.right {
+            if !charged(rr) {
+                interference += p.w_right;
+            }
+        }
+        if !p.window.is_empty() {
+            // Second-order coupling only matters when the window is
+            // substantially biased against the victim: below half-opposite
+            // the contributions cancel. The denominator is the *full* window
+            // size, so cells at tile edges (fewer aggressors) feel less
+            // coupling.
+            let frac =
+                p.window.iter().filter(|c| !charged(c)).count() as f64 / p.window_full as f64;
+            interference += p.window_weight * ((frac - 0.5).max(0.0) * 2.0);
+        }
+        if interference >= theta {
+            out.push(idx as u32);
+        }
+    }
+    out
+}
+
 /// One simulated DRAM chip.
 ///
 /// A chip owns its written row contents (system bit order) and evaluates the
@@ -32,6 +92,11 @@ pub struct BitFlip {
 /// [`run_round`](DramChip::run_round): write a set of rows, wait one refresh
 /// interval, read them back, and report every flipped bit — exactly what a
 /// system-level tester can do through the memory controller.
+///
+/// Both internal caches are bounded: fault maps (deterministic, rebuildable)
+/// are evicted FIFO past [`DEFAULT_FAULT_MAP_CAPACITY`], and memoized
+/// coupling evaluations past [`DEFAULT_EVAL_CACHE_CAPACITY`]. Cache sizes are
+/// published as the `dram.fault_map_cache` / `dram.eval_cache` gauges.
 ///
 /// # Examples
 ///
@@ -44,7 +109,7 @@ pub struct BitFlip {
 /// let writes: Vec<_> = (0..8)
 ///     .map(|r| (RowId::new(0, r), pattern.row_bits(r, 1024)))
 ///     .collect();
-/// let flips = chip.run_round(&writes)?;
+/// let flips = chip.run_round(writes)?;
 /// // Flips (if any) are inside the written region.
 /// for f in &flips {
 ///     assert!(f.addr.col < 1024);
@@ -65,6 +130,11 @@ pub struct DramChip {
     noise: NoiseModel,
     rows: HashMap<RowId, RowBits>,
     fault_maps: HashMap<RowId, RowFaultMap>,
+    fault_map_order: VecDeque<RowId>,
+    fault_map_cap: usize,
+    eval_cache: HashMap<(RowId, u64), (RowBits, Vec<u32>)>,
+    eval_order: VecDeque<(RowId, u64)>,
+    eval_cap: usize,
     round: u64,
     rec: RecorderHandle,
 }
@@ -135,6 +205,11 @@ impl DramChip {
             noise,
             rows: HashMap::new(),
             fault_maps: HashMap::new(),
+            fault_map_order: VecDeque::new(),
+            fault_map_cap: DEFAULT_FAULT_MAP_CAPACITY,
+            eval_cache: HashMap::new(),
+            eval_order: VecDeque::new(),
+            eval_cap: DEFAULT_EVAL_CACHE_CAPACITY,
             round: 0,
             rec: RecorderHandle::null(),
         })
@@ -182,8 +257,50 @@ impl DramChip {
         self.theta_shift
     }
 
+    /// Current number of cached fault maps (also the `dram.fault_map_cache`
+    /// gauge).
+    pub fn fault_map_cache_len(&self) -> usize {
+        self.fault_maps.len()
+    }
+
+    /// Bounds the fault-map cache to `cap` rows (clamped to ≥ 1), evicting
+    /// oldest-built maps immediately if over. Fault maps are deterministic,
+    /// so eviction never changes results — only rebuild cost.
+    pub fn set_fault_map_capacity(&mut self, cap: usize) {
+        self.fault_map_cap = cap.max(1);
+        self.evict_fault_maps();
+    }
+
+    /// Current number of memoized `(row, data)` coupling evaluations (also
+    /// the `dram.eval_cache` gauge).
+    pub fn eval_cache_len(&self) -> usize {
+        self.eval_cache.len()
+    }
+
+    /// Bounds the coupling-evaluation cache to `cap` entries; `0` disables
+    /// memoization entirely. Entries are verified against the full row
+    /// content on every hit, so results never depend on the cache.
+    pub fn set_eval_cache_capacity(&mut self, cap: usize) {
+        self.eval_cap = cap;
+        if cap == 0 {
+            self.eval_cache.clear();
+            self.eval_order.clear();
+        } else {
+            while self.eval_cache.len() > cap {
+                if let Some(old) = self.eval_order.pop_front() {
+                    self.eval_cache.remove(&old);
+                } else {
+                    break;
+                }
+            }
+        }
+        self.rec
+            .gauge("dram.eval_cache", self.eval_cache.len() as i64);
+    }
+
     /// Changes operating temperature and refresh interval. Fault maps are
-    /// seeded, not stateful, so only the margin shift changes.
+    /// seeded, not stateful, so only the margin shift changes — which
+    /// invalidates the memoized coupling evaluations.
     pub fn set_conditions(&mut self, temperature: Celsius, refresh_interval: Seconds) {
         self.temperature = temperature;
         self.refresh_interval = refresh_interval;
@@ -192,6 +309,9 @@ impl DramChip {
                 .retention
                 .stress_factor(refresh_interval, temperature)
                 .log2();
+        self.eval_cache.clear();
+        self.eval_order.clear();
+        self.rec.gauge("dram.eval_cache", 0);
     }
 
     /// Writes a full row (system bit order).
@@ -253,18 +373,22 @@ impl DramChip {
     /// The canonical test primitive: write all `writes`, wait one refresh
     /// interval, read each written row back, and return every flipped bit.
     ///
+    /// Writes are taken by value and moved straight into row storage — no
+    /// per-row clone on the hot path.
+    ///
     /// # Errors
     ///
     /// Fails on out-of-range rows or width mismatches; no writes are rolled
     /// back on error.
-    pub fn run_round(&mut self, writes: &[(RowId, RowBits)]) -> Result<Vec<BitFlip>, DramError> {
+    pub fn run_round(&mut self, writes: Vec<(RowId, RowBits)>) -> Result<Vec<BitFlip>, DramError> {
+        let rows: Vec<RowId> = writes.iter().map(|(row, _)| *row).collect();
         for (row, data) in writes {
-            self.write_row(*row, data.clone())?;
+            self.write_row(row, data)?;
         }
         self.advance_round();
         let mut flips = Vec::new();
-        for (row, _) in writes {
-            flips.extend(self.row_flips(*row)?);
+        for row in rows {
+            flips.extend(self.row_flips(row)?);
         }
         Ok(flips)
     }
@@ -281,49 +405,73 @@ impl DramChip {
                 row: row.to_string(),
             })?;
         let map = self.fault_maps.get(&row).expect("just built");
-        let mut flips = Vec::new();
-        let charged = |r: &CellRef| (data.get(r.sys as usize)) != r.anti;
-        for e in &map.entries {
-            let victim_charged = data.get(e.sys as usize) != e.anti;
-            if !victim_charged {
-                continue;
+
+        // Coupling outcomes are pure in (data, theta_shift); look them up by
+        // content hash, verifying the stored row on a hit so hash collisions
+        // can never change results. Round-dependent kinds (marginal, VRT,
+        // soft noise) are re-evaluated every call below.
+        let key = (row, data.content_hash());
+        let mut coupled: Option<Vec<u32>> = None;
+        if self.eval_cap > 0 {
+            if let Some((stored, indices)) = self.eval_cache.get(&key) {
+                if stored == data {
+                    self.rec.incr("dram.eval_cache_hits", 1);
+                    coupled = Some(indices.clone());
+                }
             }
+        }
+        let coupled = match coupled {
+            Some(v) => v,
+            None => {
+                let v = coupling_fail_indices(map, data, self.theta_shift);
+                if self.eval_cap > 0 {
+                    self.rec.incr("dram.eval_cache_misses", 1);
+                    if !self.eval_cache.contains_key(&key) {
+                        self.eval_order.push_back(key);
+                    }
+                    self.eval_cache.insert(key, (data.clone(), v.clone()));
+                    while self.eval_cache.len() > self.eval_cap {
+                        if let Some(old) = self.eval_order.pop_front() {
+                            self.eval_cache.remove(&old);
+                        } else {
+                            break;
+                        }
+                    }
+                    self.rec
+                        .gauge("dram.eval_cache", self.eval_cache.len() as i64);
+                }
+                v
+            }
+        };
+
+        // Single pass over the entries, walking the sorted failing-index
+        // list in lockstep, so flip order is identical to direct evaluation.
+        let mut flips = Vec::new();
+        let mut ci = 0usize;
+        for (idx, e) in map.entries.iter().enumerate() {
             let fails = match &e.kind {
-                FaultKind::Coupling(p) => {
-                    let theta = p.theta_ref - self.theta_shift;
-                    let mut interference = 0.0;
-                    if let Some(l) = &p.left {
-                        if !charged(l) {
-                            interference += p.w_left;
-                        }
+                FaultKind::Coupling(_) => {
+                    if coupled.get(ci) == Some(&(idx as u32)) {
+                        ci += 1;
+                        true
+                    } else {
+                        false
                     }
-                    if let Some(rr) = &p.right {
-                        if !charged(rr) {
-                            interference += p.w_right;
-                        }
-                    }
-                    if !p.window.is_empty() {
-                        // Second-order coupling only matters when the window
-                        // is substantially biased against the victim: below
-                        // half-opposite the contributions cancel. The
-                        // denominator is the *full* window size, so cells at
-                        // tile edges (fewer aggressors) feel less coupling.
-                        let frac = p.window.iter().filter(|c| !charged(c)).count() as f64
-                            / p.window_full as f64;
-                        interference += p.window_weight * ((frac - 0.5).max(0.0) * 2.0);
-                    }
-                    interference >= theta
                 }
                 FaultKind::Marginal { fail_prob } => {
-                    marginal_fails(self.seed, row, e.sys, self.round, *fail_prob)
+                    data.get(e.sys as usize) != e.anti
+                        && marginal_fails(self.seed, row, e.sys, self.round, *fail_prob)
                 }
-                FaultKind::Vrt => vrt_leaky(
-                    self.seed,
-                    row,
-                    e.sys,
-                    self.round,
-                    self.rates.vrt_epoch_rounds,
-                ),
+                FaultKind::Vrt => {
+                    data.get(e.sys as usize) != e.anti
+                        && vrt_leaky(
+                            self.seed,
+                            row,
+                            e.sys,
+                            self.round,
+                            self.rates.vrt_epoch_rounds,
+                        )
+                }
             };
             if fails {
                 flips.push(BitFlip {
@@ -349,7 +497,7 @@ impl DramChip {
         Ok(flips)
     }
 
-    /// The fault map of a row (built lazily, cached).
+    /// The fault map of a row (built lazily, cached with FIFO eviction).
     pub fn fault_map(&mut self, row: RowId) -> &RowFaultMap {
         self.ensure_fault_map(row);
         self.fault_maps.get(&row).expect("just built")
@@ -374,22 +522,38 @@ impl DramChip {
     }
 
     fn ensure_fault_map(&mut self, row: RowId) {
-        if !self.fault_maps.contains_key(&row) {
-            let map = RowFaultMap::build(
-                self.seed,
-                row,
-                &*self.scrambler,
-                &self.rates,
-                &self.retention,
-            );
-            // Building a fault map translates every system column through
-            // the scrambler once.
-            self.rec.incr(
-                "dram.scrambler_translations",
-                u64::from(self.geometry.cols_per_row),
-            );
-            self.rec.incr("dram.fault_maps_built", 1);
-            self.fault_maps.insert(row, map);
+        if self.fault_maps.contains_key(&row) {
+            return;
+        }
+        let map = RowFaultMap::build(
+            self.seed,
+            row,
+            &*self.scrambler,
+            &self.rates,
+            &self.retention,
+        );
+        // Building a fault map translates every system column through
+        // the scrambler once.
+        self.rec.incr(
+            "dram.scrambler_translations",
+            u64::from(self.geometry.cols_per_row),
+        );
+        self.rec.incr("dram.fault_maps_built", 1);
+        self.fault_maps.insert(row, map);
+        self.fault_map_order.push_back(row);
+        self.evict_fault_maps();
+        self.rec
+            .gauge("dram.fault_map_cache", self.fault_maps.len() as i64);
+    }
+
+    fn evict_fault_maps(&mut self) {
+        while self.fault_maps.len() > self.fault_map_cap {
+            if let Some(old) = self.fault_map_order.pop_front() {
+                self.fault_maps.remove(&old);
+                self.rec.incr("dram.fault_maps_evicted", 1);
+            } else {
+                break;
+            }
         }
     }
 }
@@ -399,9 +563,21 @@ mod tests {
     use super::*;
     use crate::pattern::PatternKind;
     use crate::vendor::Vendor;
+    use parbor_obs::InMemoryRecorder;
 
     fn test_chip(seed: u64) -> DramChip {
         DramChip::new(ChipGeometry::new(1, 16, 8192).unwrap(), Vendor::A, seed).unwrap()
+    }
+
+    fn stripe_writes(rows: u32) -> Vec<(RowId, RowBits)> {
+        (0..rows)
+            .map(|r| {
+                (
+                    RowId::new(0, r),
+                    PatternKind::ColStripe { period: 1 }.row_bits(r, 8192),
+                )
+            })
+            .collect()
     }
 
     #[test]
@@ -465,8 +641,8 @@ mod tests {
             .iter()
             .map(|&r| (r, PatternKind::Solid(true).row_bits(r.row, 8192)))
             .collect();
-        let f_stripe = chip.run_round(&stripe).unwrap();
-        let f_solid = chip.run_round(&solid).unwrap();
+        let f_stripe = chip.run_round(stripe).unwrap();
+        let f_solid = chip.run_round(solid).unwrap();
         assert!(!f_stripe.is_empty(), "stripe pattern found no failures");
         // Same cells should not all fail under both patterns: data dependence.
         let set_a: std::collections::HashSet<_> = f_stripe.iter().map(|f| f.addr).collect();
@@ -486,22 +662,20 @@ mod tests {
                 )
             })
             .collect();
-        assert_eq!(a.run_round(&writes).unwrap(), b.run_round(&writes).unwrap());
+        assert_eq!(
+            a.run_round(writes.clone()).unwrap(),
+            b.run_round(writes).unwrap()
+        );
     }
 
     #[test]
     fn different_seeds_differ() {
         let mut a = test_chip(1);
         let mut b = test_chip(2);
-        let writes: Vec<_> = (0..16)
-            .map(|r| {
-                (
-                    RowId::new(0, r),
-                    PatternKind::ColStripe { period: 1 }.row_bits(r, 8192),
-                )
-            })
-            .collect();
-        assert_ne!(a.run_round(&writes).unwrap(), b.run_round(&writes).unwrap());
+        assert_ne!(
+            a.run_round(stripe_writes(16)).unwrap(),
+            b.run_round(stripe_writes(16)).unwrap()
+        );
     }
 
     #[test]
@@ -527,16 +701,8 @@ mod tests {
         let mut cold = test_chip(9);
         let mut hot = test_chip(9);
         hot.set_conditions(Celsius(75.0), Seconds(4.0));
-        let writes: Vec<_> = (0..16)
-            .map(|r| {
-                (
-                    RowId::new(0, r),
-                    PatternKind::ColStripe { period: 1 }.row_bits(r, 8192),
-                )
-            })
-            .collect();
-        let f_cold = cold.run_round(&writes).unwrap().len();
-        let f_hot = hot.run_round(&writes).unwrap().len();
+        let f_cold = cold.run_round(stripe_writes(16)).unwrap().len();
+        let f_hot = hot.run_round(stripe_writes(16)).unwrap().len();
         assert!(f_hot > f_cold, "hot {f_hot} should exceed cold {f_cold}");
     }
 
@@ -548,5 +714,82 @@ mod tests {
             total += chip.oracle_data_dependent(RowId::new(0, r)).len();
         }
         assert!(total > 0, "no data-dependent cells in 16 rows");
+    }
+
+    #[test]
+    fn eval_cache_hits_do_not_change_results() {
+        let mut cached = test_chip(31);
+        let mut direct = test_chip(31);
+        direct.set_eval_cache_capacity(0);
+        // Repeat the same writes: round 2+ hit the cache on the cached chip.
+        let first_c = cached.run_round(stripe_writes(16)).unwrap();
+        let first_d = direct.run_round(stripe_writes(16)).unwrap();
+        assert_eq!(first_c, first_d);
+        for _ in 0..3 {
+            let c = cached.run_round(stripe_writes(16)).unwrap();
+            let d = direct.run_round(stripe_writes(16)).unwrap();
+            assert_eq!(c, d);
+        }
+        assert!(cached.eval_cache_len() > 0);
+        assert_eq!(direct.eval_cache_len(), 0);
+    }
+
+    #[test]
+    fn eval_cache_records_hits_and_misses() {
+        let recorder = InMemoryRecorder::handle();
+        let mut chip = test_chip(4).with_recorder(RecorderHandle::from(recorder.clone()));
+        chip.run_round(stripe_writes(8)).unwrap();
+        chip.run_round(stripe_writes(8)).unwrap();
+        assert_eq!(recorder.counter("dram.eval_cache_misses"), 8);
+        assert_eq!(recorder.counter("dram.eval_cache_hits"), 8);
+        assert_eq!(recorder.gauge_value("dram.eval_cache"), Some(8));
+    }
+
+    #[test]
+    fn eval_cache_invalidated_by_condition_change() {
+        let mut chip = test_chip(9);
+        let before = chip.run_round(stripe_writes(16)).unwrap();
+        chip.set_conditions(Celsius(75.0), Seconds(4.0));
+        assert_eq!(chip.eval_cache_len(), 0);
+        let after = chip.run_round(stripe_writes(16)).unwrap();
+        assert!(after.len() > before.len());
+    }
+
+    #[test]
+    fn fault_map_cache_bounded_with_fifo_eviction() {
+        let recorder = InMemoryRecorder::handle();
+        let mut chip = test_chip(2).with_recorder(RecorderHandle::from(recorder.clone()));
+        chip.set_fault_map_capacity(4);
+        for r in 0..16 {
+            chip.fault_map(RowId::new(0, r));
+        }
+        assert_eq!(chip.fault_map_cache_len(), 4);
+        assert_eq!(recorder.counter("dram.fault_maps_evicted"), 12);
+        assert_eq!(recorder.gauge_value("dram.fault_map_cache"), Some(4));
+        // Rebuilding an evicted map is deterministic: results unchanged.
+        let before: Vec<u32> = chip
+            .fault_map(RowId::new(0, 0))
+            .entries
+            .iter()
+            .map(|e| e.sys)
+            .collect();
+        chip.set_fault_map_capacity(1);
+        chip.fault_map(RowId::new(0, 5));
+        let after: Vec<u32> = chip
+            .fault_map(RowId::new(0, 0))
+            .entries
+            .iter()
+            .map(|e| e.sys)
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn fault_map_capacity_clamped_to_one() {
+        let mut chip = test_chip(3);
+        chip.set_fault_map_capacity(0);
+        chip.fault_map(RowId::new(0, 7));
+        // The just-built map must survive even at the minimum capacity.
+        assert_eq!(chip.fault_map_cache_len(), 1);
     }
 }

@@ -1,0 +1,343 @@
+//! The round-execution engine: declarative [`RoundPlan`]s executed through a
+//! [`RoundExecutor`].
+//!
+//! PARBOR's whole methodology is *rounds* — write rows, wait one refresh
+//! interval, read back, diff flips — and the paper's test-count metric
+//! (Table 1, Fig 16) is literally a round count. Every pipeline stage used to
+//! hand-roll its own `Vec<RowWrite>` loops and feed them to
+//! [`TestPort::run_round`] one at a time; the engine replaces that with one
+//! shared vocabulary:
+//!
+//! ```text
+//! stage ──builds──▶ RoundPlan ──▶ RoundExecutor ──▶ TestPort::run_rounds
+//! ```
+//!
+//! A [`RoundPlan`] describes one round's writes declaratively. The
+//! [`RoundExecutor`] submits plans — batched where the rounds are mutually
+//! independent — and centralizes the observability counters that were
+//! previously sprinkled across call sites. Batching matters because
+//! [`DramModule`](crate::DramModule) overrides
+//! [`TestPort::run_rounds`] to execute its independent chips on scoped
+//! threads, amortizing the thread spawns across the whole batch.
+
+use parbor_obs::RecorderHandle;
+
+use crate::bits::RowBits;
+use crate::error::DramError;
+use crate::geometry::{ChipGeometry, RowId};
+use crate::module::{Flip, RowWrite, TestPort};
+
+/// A declarative description of one test round: which row images to write
+/// into which units before the refresh-interval wait.
+///
+/// Plans carry no device state; they can be built ahead of time, cloned,
+/// inspected, and replayed. Write order is preserved — a later write to the
+/// same `(unit, row)` wins, exactly as it would at the port.
+///
+/// # Examples
+///
+/// ```
+/// use parbor_dram::{PatternKind, RoundPlan, RowId};
+///
+/// let rows = [RowId::new(0, 0), RowId::new(0, 1)];
+/// // The same checkerboard image in both rows of both units.
+/// let plan = RoundPlan::broadcast(2, &rows, |row| {
+///     PatternKind::Checkerboard.row_bits(row.row, 1024)
+/// });
+/// assert_eq!(plan.len(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundPlan {
+    writes: Vec<RowWrite>,
+}
+
+impl RoundPlan {
+    /// An empty plan. Executing it still costs one round — every unit waits
+    /// a refresh interval — which is exactly how the paper counts tests.
+    pub fn new() -> Self {
+        RoundPlan { writes: Vec::new() }
+    }
+
+    /// An empty plan with room for `n` writes.
+    pub fn with_capacity(n: usize) -> Self {
+        RoundPlan {
+            writes: Vec::with_capacity(n),
+        }
+    }
+
+    /// Wraps raw writes into a plan.
+    pub fn from_writes(writes: Vec<RowWrite>) -> Self {
+        RoundPlan { writes }
+    }
+
+    /// Adds one row write.
+    pub fn write(&mut self, unit: u32, row: RowId, data: RowBits) -> &mut Self {
+        self.writes.push(RowWrite { unit, row, data });
+        self
+    }
+
+    /// Adds a prebuilt [`RowWrite`].
+    pub fn push(&mut self, write: RowWrite) -> &mut Self {
+        self.writes.push(write);
+        self
+    }
+
+    /// The common "same content in every unit" shape: materializes
+    /// `data_for(row)` once per row and writes it into that row of each of
+    /// the `units` units (unit-major order).
+    pub fn broadcast(
+        units: u32,
+        rows: &[RowId],
+        mut data_for: impl FnMut(RowId) -> RowBits,
+    ) -> Self {
+        let images: Vec<RowBits> = rows.iter().map(|&row| data_for(row)).collect();
+        let mut plan = RoundPlan::with_capacity(rows.len() * units as usize);
+        for unit in 0..units {
+            for (&row, image) in rows.iter().zip(&images) {
+                plan.write(unit, row, image.clone());
+            }
+        }
+        plan
+    }
+
+    /// The planned writes, in execution order.
+    pub fn writes(&self) -> &[RowWrite] {
+        &self.writes
+    }
+
+    /// Number of planned writes.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Whether the plan writes nothing (it still costs a round to execute).
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Consumes the plan into its writes.
+    pub fn into_writes(self) -> Vec<RowWrite> {
+        self.writes
+    }
+}
+
+impl From<Vec<RowWrite>> for RoundPlan {
+    fn from(writes: Vec<RowWrite>) -> Self {
+        RoundPlan::from_writes(writes)
+    }
+}
+
+/// Executes [`RoundPlan`]s against a [`TestPort`], counting rounds and
+/// centralizing per-stage observability.
+///
+/// Every executed plan increments the `engine.rounds` counter and feeds the
+/// `engine.round_writes` / `engine.round_flips` histograms; a stage can
+/// additionally name its own round counter (the paper-facing test counts
+/// like `recursion.tests`) and flip histogram.
+///
+/// [`run_batch`](RoundExecutor::run_batch) submits *mutually independent*
+/// rounds in one call to [`TestPort::run_rounds`], which lets a
+/// [`DramModule`](crate::DramModule) run its chips in parallel across the
+/// whole batch. Results come back in plan order either way.
+///
+/// # Examples
+///
+/// ```
+/// use parbor_dram::{ChipGeometry, DramChip, PatternKind, RoundExecutor, RoundPlan, RowId, Vendor};
+///
+/// # fn main() -> Result<(), parbor_dram::DramError> {
+/// let mut chip = DramChip::new(ChipGeometry::tiny(), Vendor::B, 7)?;
+/// let rows: Vec<RowId> = (0..8).map(|r| RowId::new(0, r)).collect();
+/// let plan = RoundPlan::broadcast(1, &rows, |row| {
+///     PatternKind::Checkerboard.row_bits(row.row, 1024)
+/// });
+/// let mut exec = RoundExecutor::new(&mut chip);
+/// let flips = exec.run(plan)?;
+/// assert_eq!(exec.rounds_executed(), 1);
+/// # drop(flips);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RoundExecutor<'p, P: TestPort + ?Sized> {
+    port: &'p mut P,
+    rec: RecorderHandle,
+    round_counter: Option<&'static str>,
+    flip_histogram: Option<&'static str>,
+    rounds: usize,
+}
+
+impl<'p, P: TestPort + ?Sized> RoundExecutor<'p, P> {
+    /// Wraps a port. The default recorder is the null recorder.
+    pub fn new(port: &'p mut P) -> Self {
+        RoundExecutor {
+            port,
+            rec: RecorderHandle::null(),
+            round_counter: None,
+            flip_histogram: None,
+            rounds: 0,
+        }
+    }
+
+    /// Attaches a metrics recorder (`engine.*` plus the stage names below).
+    pub fn with_recorder(mut self, rec: RecorderHandle) -> Self {
+        self.rec = rec;
+        self
+    }
+
+    /// Additionally increments `counter` once per executed round (e.g.
+    /// `"recursion.tests"` — the paper's Table 1 accounting).
+    pub fn count_rounds_as(mut self, counter: &'static str) -> Self {
+        self.round_counter = Some(counter);
+        self
+    }
+
+    /// Additionally observes each round's flip count into `histogram`.
+    pub fn observe_flips_as(mut self, histogram: &'static str) -> Self {
+        self.flip_histogram = Some(histogram);
+        self
+    }
+
+    /// The port's per-unit geometry.
+    pub fn geometry(&self) -> ChipGeometry {
+        self.port.geometry()
+    }
+
+    /// The port's unit count.
+    pub fn units(&self) -> u32 {
+        self.port.units()
+    }
+
+    /// Rounds executed through this executor so far.
+    pub fn rounds_executed(&self) -> usize {
+        self.rounds
+    }
+
+    fn record(&mut self, writes: u64, flips: u64) {
+        self.rounds += 1;
+        self.rec.incr("engine.rounds", 1);
+        self.rec.observe("engine.round_writes", writes);
+        self.rec.observe("engine.round_flips", flips);
+        if let Some(counter) = self.round_counter {
+            self.rec.incr(counter, 1);
+        }
+        if let Some(histogram) = self.flip_histogram {
+            self.rec.observe(histogram, flips);
+        }
+    }
+
+    /// Executes one plan (one device round).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from the port.
+    pub fn run(&mut self, plan: RoundPlan) -> Result<Vec<Flip>, DramError> {
+        let writes = plan.len() as u64;
+        let flips = self.port.run_round(plan.into_writes())?;
+        self.record(writes, flips.len() as u64);
+        Ok(flips)
+    }
+
+    /// Executes a batch of *mutually independent* rounds, returning each
+    /// round's flips in plan order.
+    ///
+    /// The rounds still execute in order on every unit (each costs one
+    /// refresh-interval wait); independence means no plan's content depends
+    /// on an earlier plan's flips, which is what lets a multi-chip port
+    /// parallelize across units for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from the port; no per-round results are
+    /// returned on error.
+    pub fn run_batch(&mut self, plans: Vec<RoundPlan>) -> Result<Vec<Vec<Flip>>, DramError> {
+        let write_counts: Vec<u64> = plans.iter().map(|p| p.len() as u64).collect();
+        let results = self.port.run_rounds(plans)?;
+        for (&writes, flips) in write_counts.iter().zip(&results) {
+            self.record(writes, flips.len() as u64);
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::DramChip;
+    use crate::pattern::PatternKind;
+    use crate::vendor::Vendor;
+    use parbor_obs::InMemoryRecorder;
+
+    fn rows(n: u32) -> Vec<RowId> {
+        (0..n).map(|r| RowId::new(0, r)).collect()
+    }
+
+    #[test]
+    fn broadcast_orders_writes_unit_major() {
+        let plan = RoundPlan::broadcast(2, &rows(2), |row| {
+            PatternKind::Solid(row.row % 2 == 0).row_bits(row.row, 64)
+        });
+        let units: Vec<u32> = plan.writes().iter().map(|w| w.unit).collect();
+        assert_eq!(units, vec![0, 0, 1, 1]);
+        let row_ids: Vec<u32> = plan.writes().iter().map(|w| w.row.row).collect();
+        assert_eq!(row_ids, vec![0, 1, 0, 1]);
+        // Unit 0 and unit 1 get identical images.
+        assert_eq!(plan.writes()[0].data, plan.writes()[2].data);
+    }
+
+    #[test]
+    fn executor_counts_rounds_and_stage_counters() {
+        let recorder = InMemoryRecorder::handle();
+        let mut chip = DramChip::new(ChipGeometry::tiny(), Vendor::A, 3).unwrap();
+        let plans: Vec<RoundPlan> = (0..3)
+            .map(|i| {
+                RoundPlan::broadcast(1, &rows(4), |row| {
+                    PatternKind::Random { seed: i }.row_bits(row.row, 1024)
+                })
+            })
+            .collect();
+        let mut exec = RoundExecutor::new(&mut chip)
+            .with_recorder(RecorderHandle::from(recorder.clone()))
+            .count_rounds_as("stage.rounds")
+            .observe_flips_as("stage.flips");
+        let results = exec.run_batch(plans).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(exec.rounds_executed(), 3);
+        assert_eq!(recorder.counter("engine.rounds"), 3);
+        assert_eq!(recorder.counter("stage.rounds"), 3);
+        assert_eq!(recorder.histogram("engine.round_writes").unwrap().count, 3);
+        assert_eq!(recorder.histogram("stage.flips").unwrap().count, 3);
+        assert_eq!(chip.rounds_run(), 3);
+    }
+
+    #[test]
+    fn empty_plan_still_costs_a_round() {
+        let mut chip = DramChip::new(ChipGeometry::tiny(), Vendor::A, 3).unwrap();
+        let mut exec = RoundExecutor::new(&mut chip);
+        let flips = exec.run(RoundPlan::new()).unwrap();
+        assert!(flips.is_empty());
+        assert_eq!(chip.rounds_run(), 1);
+    }
+
+    #[test]
+    fn batch_results_preserve_plan_order() {
+        // Two plans with different content: flips must be attributed to the
+        // right round even when batched.
+        let mut batched = DramChip::new(ChipGeometry::new(1, 16, 8192).unwrap(), Vendor::A, 9)
+            .expect("chip builds");
+        let mut serial = DramChip::new(ChipGeometry::new(1, 16, 8192).unwrap(), Vendor::A, 9)
+            .expect("chip builds");
+        let plan = |seed: u64| {
+            RoundPlan::broadcast(1, &rows(16), |row| {
+                PatternKind::Random { seed }.row_bits(row.row, 8192)
+            })
+        };
+        let batch = RoundExecutor::new(&mut batched)
+            .run_batch(vec![plan(1), plan(2)])
+            .unwrap();
+        let mut exec = RoundExecutor::new(&mut serial);
+        let one = exec.run(plan(1)).unwrap();
+        let two = exec.run(plan(2)).unwrap();
+        assert_eq!(batch, vec![one, two]);
+    }
+}

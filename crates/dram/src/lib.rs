@@ -51,6 +51,7 @@ mod census;
 mod chip;
 mod config;
 pub mod ecc;
+mod engine;
 mod error;
 mod geometry;
 mod hash;
@@ -67,11 +68,12 @@ mod walk;
 pub use bits::RowBits;
 pub use cell::{CellClass, CellFault, CellProfile, CellRef, FaultKind, FaultRates, RowFaultMap};
 pub use census::CellCensus;
-pub use chip::{BitFlip, DramChip};
+pub use chip::{BitFlip, DramChip, DEFAULT_EVAL_CACHE_CAPACITY, DEFAULT_FAULT_MAP_CAPACITY};
 pub use config::{Celsius, ModuleConfig, Seconds};
+pub use engine::{RoundExecutor, RoundPlan};
 pub use error::DramError;
 pub use geometry::{BitAddr, ChipGeometry, RowId};
-pub use module::{DramModule, Flip, ModuleId, RowWrite, TestPort};
+pub use module::{DramModule, Flip, ModuleId, ParallelMode, RowWrite, TestPort};
 pub use noise::NoiseModel;
 pub use pattern::{PatternKind, PatternSet};
 pub use profiling::{RetentionProfile, RetentionProfiler};

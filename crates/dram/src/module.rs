@@ -15,6 +15,7 @@ use crate::bits::RowBits;
 use crate::cell::FaultRates;
 use crate::chip::{BitFlip, DramChip};
 use crate::config::{Celsius, Seconds};
+use crate::engine::RoundPlan;
 use crate::error::DramError;
 use crate::geometry::{ChipGeometry, RowId};
 use crate::hash::mix64;
@@ -35,7 +36,7 @@ impl fmt::Display for ModuleId {
 }
 
 /// A write of one row image into one unit (chip) of a test port.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowWrite {
     /// Unit (chip) index.
     pub unit: u32,
@@ -70,10 +71,31 @@ pub trait TestPort {
     /// Executes one test round: writes everything in `writes`, waits one
     /// refresh interval, reads the written rows back, and returns all flips.
     ///
+    /// Writes are taken by value so implementations can move row images
+    /// straight into device storage without cloning.
+    ///
     /// # Errors
     ///
     /// Fails on out-of-range units/rows or width mismatches.
-    fn run_round(&mut self, writes: &[RowWrite]) -> Result<Vec<Flip>, DramError>;
+    fn run_round(&mut self, writes: Vec<RowWrite>) -> Result<Vec<Flip>, DramError>;
+
+    /// Executes a batch of *mutually independent* rounds, returning each
+    /// round's flips in plan order.
+    ///
+    /// The default implementation loops [`run_round`](TestPort::run_round),
+    /// so existing `TestPort` implementations keep working unchanged.
+    /// [`DramModule`] overrides it to run its chips in parallel across the
+    /// whole batch; results are bit-identical to the serial loop.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first round that fails; earlier rounds stay applied.
+    fn run_rounds(&mut self, plans: Vec<RoundPlan>) -> Result<Vec<Vec<Flip>>, DramError> {
+        plans
+            .into_iter()
+            .map(|plan| self.run_round(plan.into_writes()))
+            .collect()
+    }
 
     /// Number of rounds executed so far (the paper's test-count metric).
     fn rounds_run(&self) -> u64;
@@ -88,7 +110,8 @@ impl TestPort for DramChip {
         1
     }
 
-    fn run_round(&mut self, writes: &[RowWrite]) -> Result<Vec<Flip>, DramError> {
+    fn run_round(&mut self, writes: Vec<RowWrite>) -> Result<Vec<Flip>, DramError> {
+        let mut plain = Vec::with_capacity(writes.len());
         for w in writes {
             if w.unit != 0 {
                 return Err(DramError::AddressOutOfRange {
@@ -96,15 +119,16 @@ impl TestPort for DramChip {
                     limit: "1 unit".into(),
                 });
             }
+            plain.push((w.row, w.data));
         }
-        let plain: Vec<_> = writes.iter().map(|w| (w.row, w.data.clone())).collect();
-        let flips: Vec<Flip> = DramChip::run_round(self, &plain)?
+        let n_writes = plain.len();
+        let flips: Vec<Flip> = DramChip::run_round(self, plain)?
             .into_iter()
             .map(|flip| Flip { unit: 0, flip })
             .collect();
         let rec = self.recorder();
         rec.incr("dram.port_rounds", 1);
-        rec.observe("dram.port_round_writes", writes.len() as u64);
+        rec.observe("dram.port_round_writes", n_writes as u64);
         rec.observe("dram.port_round_flips", flips.len() as u64);
         Ok(flips)
     }
@@ -114,8 +138,34 @@ impl TestPort for DramChip {
     }
 }
 
+/// Runs one chip's slice of a round batch: each round either writes + waits +
+/// reads back, or — when the chip is untouched that round — just waits, so
+/// module time stays coherent across chips.
+fn chip_rounds(
+    chip: &mut DramChip,
+    rounds: Vec<Vec<(RowId, RowBits)>>,
+) -> Result<Vec<Vec<BitFlip>>, DramError> {
+    rounds
+        .into_iter()
+        .map(|writes| {
+            if writes.is_empty() {
+                chip.advance_round();
+                Ok(Vec::new())
+            } else {
+                chip.run_round(writes)
+            }
+        })
+        .collect()
+}
+
 /// A DRAM module: a population of chips of one vendor, sharing geometry and
 /// scrambler but with independent fault seeds (process variation).
+///
+/// Because the chips are independent (separate fault seeds, separate row
+/// contents), the module executes them on scoped threads by default; results
+/// are bit-identical to serial execution, since every fault is drawn by
+/// stateless per-cell hashing. Use [`set_parallel`](DramModule::set_parallel)
+/// to force the serial path.
 ///
 /// # Examples
 ///
@@ -141,7 +191,23 @@ pub struct DramModule {
     geometry: ChipGeometry,
     chips: Vec<DramChip>,
     rounds: u64,
+    parallel: ParallelMode,
     rec: RecorderHandle,
+}
+
+/// How a [`DramModule`] schedules its chips within a round batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ParallelMode {
+    /// Scoped threads when the host has more than one hardware thread (the
+    /// default): parallel where it helps, serial where it would only add
+    /// spawn overhead.
+    #[default]
+    Auto,
+    /// Always spawn scoped threads, even on a single-core host. Exists so
+    /// tests can exercise the threaded merge path deterministically.
+    Always,
+    /// Always run chips serially (for measurement baselines).
+    Never,
 }
 
 impl DramModule {
@@ -178,6 +244,7 @@ impl DramModule {
             geometry,
             chips,
             rounds: 0,
+            parallel: ParallelMode::Auto,
             rec: RecorderHandle::null(),
         })
     }
@@ -221,6 +288,33 @@ impl DramModule {
         &mut self.chips
     }
 
+    /// Whether rounds may execute the chips on scoped threads.
+    pub fn parallel(&self) -> bool {
+        self.parallel != ParallelMode::Never
+    }
+
+    /// The current chip-scheduling mode.
+    pub fn parallel_mode(&self) -> ParallelMode {
+        self.parallel
+    }
+
+    /// Enables ([`ParallelMode::Auto`]) or disables ([`ParallelMode::Never`])
+    /// parallel per-chip round execution. Results are bit-identical either
+    /// way; the serial path exists for measurement and for single-core
+    /// environments.
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = if parallel {
+            ParallelMode::Auto
+        } else {
+            ParallelMode::Never
+        };
+    }
+
+    /// Sets the chip-scheduling mode explicitly.
+    pub fn set_parallel_mode(&mut self, mode: ParallelMode) {
+        self.parallel = mode;
+    }
+
     /// Changes the operating conditions of every chip.
     pub fn set_conditions(&mut self, temperature: Celsius, refresh_interval: Seconds) {
         for c in &mut self.chips {
@@ -240,17 +334,89 @@ impl DramModule {
         pattern: &PatternKind,
     ) -> Result<Vec<Flip>, DramError> {
         let width = self.geometry.cols_per_row as usize;
-        let mut writes = Vec::with_capacity(rows.len() * self.chips.len());
-        for unit in 0..self.chips.len() as u32 {
-            for &row in rows {
-                writes.push(RowWrite {
-                    unit,
-                    row,
-                    data: pattern.row_bits(row.row, width),
-                });
+        let units = self.chips.len() as u32;
+        let plan = RoundPlan::broadcast(units, rows, |row| pattern.row_bits(row.row, width));
+        TestPort::run_round(self, plan.into_writes())
+    }
+
+    /// Shared core of [`TestPort::run_round`] and [`TestPort::run_rounds`]:
+    /// splits each plan's writes per chip, executes every chip's slice of
+    /// the batch (on scoped threads when parallelism is enabled), and merges
+    /// flips back in unit order per round.
+    fn execute_rounds(&mut self, plans: Vec<RoundPlan>) -> Result<Vec<Vec<Flip>>, DramError> {
+        let n_rounds = plans.len();
+        if n_rounds == 0 {
+            return Ok(Vec::new());
+        }
+        let n_chips = self.chips.len();
+        let mut per_chip: Vec<Vec<Vec<(RowId, RowBits)>>> = (0..n_chips)
+            .map(|_| (0..n_rounds).map(|_| Vec::new()).collect())
+            .collect();
+        let mut write_counts = vec![0u64; n_rounds];
+        for (round, plan) in plans.into_iter().enumerate() {
+            for w in plan.into_writes() {
+                let unit = w.unit as usize;
+                if unit >= n_chips {
+                    return Err(DramError::AddressOutOfRange {
+                        what: format!("unit {}", w.unit),
+                        limit: format!("{n_chips} units"),
+                    });
+                }
+                write_counts[round] += 1;
+                per_chip[unit][round].push((w.row, w.data));
             }
         }
-        TestPort::run_round(self, &writes)
+        // In Auto mode threads only pay off when the host can actually run
+        // them concurrently; on a single hardware thread the serial path
+        // wins (the bit-identical results make the choice invisible).
+        let use_threads = n_chips > 1
+            && match self.parallel {
+                ParallelMode::Always => true,
+                ParallelMode::Never => false,
+                ParallelMode::Auto => {
+                    std::thread::available_parallelism().map_or(1, |n| n.get()) > 1
+                }
+            };
+        let results: Vec<Result<Vec<Vec<BitFlip>>, DramError>> = if use_threads {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .chips
+                    .iter_mut()
+                    .zip(per_chip)
+                    .map(|(chip, work)| scope.spawn(move |_| chip_rounds(chip, work)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chip round thread panicked"))
+                    .collect()
+            })
+            .expect("scoped execution cannot fail to join")
+        } else {
+            self.chips
+                .iter_mut()
+                .zip(per_chip)
+                .map(|(chip, work)| chip_rounds(chip, work))
+                .collect()
+        };
+        let mut merged: Vec<Vec<Flip>> = (0..n_rounds).map(|_| Vec::new()).collect();
+        for (unit, chip_result) in results.into_iter().enumerate() {
+            // On error, report the lowest failing unit (matching the old
+            // serial order); completed chips keep their state.
+            for (round, flips) in chip_result?.into_iter().enumerate() {
+                merged[round].extend(flips.into_iter().map(|flip| Flip {
+                    unit: unit as u32,
+                    flip,
+                }));
+            }
+        }
+        self.rounds += n_rounds as u64;
+        for (&writes, flips) in write_counts.iter().zip(&merged) {
+            self.rec.incr("dram.port_rounds", 1);
+            self.rec.observe("dram.port_round_writes", writes);
+            self.rec
+                .observe("dram.port_round_flips", flips.len() as u64);
+        }
+        Ok(merged)
     }
 }
 
@@ -263,41 +429,13 @@ impl TestPort for DramModule {
         self.chips.len() as u32
     }
 
-    fn run_round(&mut self, writes: &[RowWrite]) -> Result<Vec<Flip>, DramError> {
-        // Group writes per chip, execute one chip round each, merge flips.
-        let mut per_chip: Vec<Vec<(RowId, RowBits)>> = vec![Vec::new(); self.chips.len()];
-        for w in writes {
-            let unit = w.unit as usize;
-            if unit >= self.chips.len() {
-                return Err(DramError::AddressOutOfRange {
-                    what: format!("unit {}", w.unit),
-                    limit: format!("{} units", self.chips.len()),
-                });
-            }
-            per_chip[unit].push((w.row, w.data.clone()));
-        }
-        let mut flips = Vec::new();
-        for (unit, chip_writes) in per_chip.iter().enumerate() {
-            // Every chip advances its round even when untouched this round,
-            // keeping module time coherent.
-            if chip_writes.is_empty() {
-                self.chips[unit].advance_round();
-                continue;
-            }
-            for f in self.chips[unit].run_round(chip_writes)? {
-                flips.push(Flip {
-                    unit: unit as u32,
-                    flip: f,
-                });
-            }
-        }
-        self.rounds += 1;
-        self.rec.incr("dram.port_rounds", 1);
-        self.rec
-            .observe("dram.port_round_writes", writes.len() as u64);
-        self.rec
-            .observe("dram.port_round_flips", flips.len() as u64);
-        Ok(flips)
+    fn run_round(&mut self, writes: Vec<RowWrite>) -> Result<Vec<Flip>, DramError> {
+        let mut rounds = self.execute_rounds(vec![RoundPlan::from_writes(writes)])?;
+        Ok(rounds.pop().expect("one plan yields one round"))
+    }
+
+    fn run_rounds(&mut self, plans: Vec<RoundPlan>) -> Result<Vec<Vec<Flip>>, DramError> {
+        self.execute_rounds(plans)
     }
 
     fn rounds_run(&self) -> u64 {
@@ -309,6 +447,7 @@ impl TestPort for DramModule {
 mod tests {
     use super::*;
     use crate::config::ModuleConfig;
+    use crate::engine::RoundPlan;
 
     fn small_module(seed: u64) -> DramModule {
         ModuleConfig::new(Vendor::A)
@@ -341,7 +480,7 @@ mod tests {
                 data: RowBits::zeros(width),
             },
         ];
-        m.run_round(&writes).unwrap();
+        m.run_round(writes).unwrap();
         assert_eq!(
             m.chips()[0]
                 .written_row(RowId::new(0, 0))
@@ -362,7 +501,7 @@ mod tests {
     fn invalid_unit_rejected() {
         let mut m = small_module(1);
         let err = m
-            .run_round(&[RowWrite {
+            .run_round(vec![RowWrite {
                 unit: 9,
                 row: RowId::new(0, 0),
                 data: RowBits::zeros(8192),
@@ -400,7 +539,7 @@ mod tests {
         let mut chip = DramChip::new(ChipGeometry::tiny(), Vendor::B, 1).unwrap();
         let flips = TestPort::run_round(
             &mut chip,
-            &[RowWrite {
+            vec![RowWrite {
                 unit: 0,
                 row: RowId::new(0, 0),
                 data: RowBits::zeros(1024),
@@ -411,5 +550,70 @@ mod tests {
             assert_eq!(f.unit, 0);
         }
         assert_eq!(TestPort::units(&chip), 1);
+    }
+
+    fn stripe_plans(chips: u32, rounds: u64) -> Vec<RoundPlan> {
+        (0..rounds)
+            .map(|r| {
+                let mut plan = RoundPlan::new();
+                for unit in 0..chips {
+                    for row in 0..16 {
+                        plan.write(
+                            unit,
+                            RowId::new(0, row),
+                            PatternKind::Random {
+                                seed: r ^ u64::from(unit) << 8,
+                            }
+                            .row_bits(row, 8192),
+                        );
+                    }
+                }
+                plan
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_rounds_bit_identical_to_serial() {
+        let mut par = small_module(7);
+        let mut ser = small_module(7);
+        // Always-threads, so this exercises the threaded merge path even on
+        // single-core CI hosts where Auto would degrade to serial.
+        par.set_parallel_mode(ParallelMode::Always);
+        ser.set_parallel(false);
+        assert!(par.parallel());
+        assert!(!ser.parallel());
+        assert_eq!(ser.parallel_mode(), ParallelMode::Never);
+        let plans = stripe_plans(2, 4);
+        let a = par.run_rounds(plans.clone()).unwrap();
+        let b = ser.run_rounds(plans).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(par.rounds_run(), 4);
+        assert_eq!(ser.rounds_run(), 4);
+    }
+
+    #[test]
+    fn batched_rounds_match_one_at_a_time() {
+        let mut batched = small_module(3);
+        let mut looped = small_module(3);
+        let plans = stripe_plans(2, 3);
+        let a = batched.run_rounds(plans.clone()).unwrap();
+        let b: Vec<Vec<Flip>> = plans
+            .into_iter()
+            .map(|p| looped.run_round(p.into_writes()).unwrap())
+            .collect();
+        assert_eq!(a, b);
+        assert_eq!(batched.rounds_run(), looped.rounds_run());
+    }
+
+    #[test]
+    fn untouched_chips_advance_in_batches() {
+        let mut m = small_module(5);
+        // Only unit 0 is written; unit 1 must still advance both rounds.
+        let mut plan = RoundPlan::new();
+        plan.write(0, RowId::new(0, 0), RowBits::zeros(8192));
+        m.run_rounds(vec![plan.clone(), plan]).unwrap();
+        assert_eq!(DramChip::rounds_run(&m.chips()[0]), 2);
+        assert_eq!(DramChip::rounds_run(&m.chips()[1]), 2);
     }
 }

@@ -156,7 +156,7 @@ impl RetentionProfiler {
                     if writes.is_empty() {
                         continue;
                     }
-                    for flip in chip.run_round(&writes)? {
+                    for flip in chip.run_round(writes)? {
                         bins.entry(flip.addr.row()).or_insert(idx);
                     }
                 }

@@ -79,7 +79,7 @@ pub fn normalized_weighted_speedup(ws_policy: f64, ws_baseline: f64) -> f64 {
 }
 
 /// Harmonic mean of per-core speedups — the fairness-weighted system metric
-/// from the Eyerman & Eeckhout framework the paper cites [25]:
+/// from the Eyerman & Eeckhout framework the paper cites \[25\]:
 /// `n / Σᵢ (IPCᵢ_alone / IPCᵢ_shared)`.
 ///
 /// # Panics

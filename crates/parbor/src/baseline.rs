@@ -11,10 +11,17 @@
 
 use std::collections::HashSet;
 
-use parbor_dram::{BitAddr, PatternKind, PatternSet, RowId, RowWrite, TestPort};
+use parbor_dram::{
+    BitAddr, PatternKind, PatternSet, RoundExecutor, RoundPlan, RowBits, RowId, TestPort,
+};
 
 use crate::error::ParborError;
 use crate::victim::Victim;
+
+/// Rounds per engine batch for the one-write-per-round oracle searches: big
+/// enough to amortize batch dispatch, small enough to keep memory flat on the
+/// `O(n²)` search.
+const SEARCH_BATCH_ROUNDS: usize = 512;
 
 /// Result of a baseline test campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,33 +47,34 @@ fn run_patterned_rounds<P: TestPort + ?Sized>(
 ) -> Result<BaselineOutcome, ParborError> {
     let width = port.geometry().cols_per_row as usize;
     let units = port.units();
-    let mut failing = HashSet::new();
-    let mut rounds = 0usize;
     let inverse_passes: &[bool] = if with_inverses {
         &[false, true]
     } else {
         &[false]
     };
+    let mut plans = Vec::with_capacity(patterns.len() * inverse_passes.len());
     for pattern in patterns {
         for &invert in inverse_passes {
-            let mut writes = Vec::with_capacity(rows.len() * units as usize);
-            for unit in 0..units {
-                for &row in rows {
-                    let data = if invert {
-                        pattern.inverse().row_bits(row.row, width)
-                    } else {
-                        pattern.row_bits(row.row, width)
-                    };
-                    writes.push(RowWrite { unit, row, data });
+            plans.push(RoundPlan::broadcast(units, rows, |row| {
+                if invert {
+                    pattern.inverse().row_bits(row.row, width)
+                } else {
+                    pattern.row_bits(row.row, width)
                 }
-            }
-            for flip in port.run_round(&writes)? {
-                failing.insert((flip.unit, flip.flip.addr));
-            }
-            rounds += 1;
+            }));
         }
     }
-    Ok(BaselineOutcome { rounds, failing })
+    let mut exec = RoundExecutor::new(port);
+    let mut failing = HashSet::new();
+    for flips in exec.run_batch(plans)? {
+        for flip in flips {
+            failing.insert((flip.unit, flip.flip.addr));
+        }
+    }
+    Ok(BaselineOutcome {
+        rounds: exec.rounds_executed(),
+        failing,
+    })
 }
 
 /// Random-pattern testing with a fixed round budget: each round writes fresh
@@ -127,6 +135,50 @@ pub fn walking_pattern_test<P: TestPort + ?Sized>(
     run_patterned_rounds(port, rows, &patterns, true)
 }
 
+/// The victim's charged background: the failing value everywhere.
+fn victim_background(victim: &Victim, width: usize) -> RowBits {
+    if victim.fail_value {
+        RowBits::ones(width)
+    } else {
+        RowBits::zeros(width)
+    }
+}
+
+/// Runs one single-write round per candidate image of the victim's row and
+/// reports, per image in order, whether the victim bit flipped. Rounds go to
+/// the engine in [`SEARCH_BATCH_ROUNDS`]-sized batches so images can be
+/// streamed (the exhaustive search would not fit in memory otherwise).
+fn victim_probe_rounds<P: TestPort + ?Sized>(
+    port: &mut P,
+    victim: &Victim,
+    mut images: impl Iterator<Item = RowBits>,
+) -> Result<Vec<bool>, ParborError> {
+    let mut exec = RoundExecutor::new(port);
+    let mut out = Vec::new();
+    loop {
+        let batch: Vec<RoundPlan> = images
+            .by_ref()
+            .take(SEARCH_BATCH_ROUNDS)
+            .map(|image| {
+                let mut plan = RoundPlan::with_capacity(1);
+                plan.write(victim.unit, victim.row, image);
+                plan
+            })
+            .collect();
+        if batch.is_empty() {
+            break;
+        }
+        for flips in exec.run_batch(batch)? {
+            out.push(
+                flips
+                    .iter()
+                    .any(|f| f.unit == victim.unit && f.flip.addr.col == victim.col),
+            );
+        }
+    }
+    Ok(out)
+}
+
 /// The `O(n)` linear search: flips one candidate bit at a time opposite to
 /// the victim and reports every bit whose flip alone makes the victim fail
 /// (i.e. finds *strongly coupled* neighbors only). `within` restricts the
@@ -147,30 +199,19 @@ pub fn linear_neighbor_search<P: TestPort + ?Sized>(
             "search range {within:?} exceeds row width {width}"
         )));
     }
-    let mut found = Vec::new();
-    for candidate in within {
-        if candidate == victim.col as usize {
-            continue;
-        }
-        let mut data = if victim.fail_value {
-            parbor_dram::RowBits::ones(width)
-        } else {
-            parbor_dram::RowBits::zeros(width)
-        };
+    let candidates: Vec<usize> = within.filter(|&c| c != victim.col as usize).collect();
+    let images = candidates.iter().map(|&candidate| {
+        let mut data = victim_background(victim, width);
         data.set(candidate, !victim.fail_value);
-        let flips = port.run_round(&[RowWrite {
-            unit: victim.unit,
-            row: victim.row,
-            data,
-        }])?;
-        if flips
-            .iter()
-            .any(|f| f.unit == victim.unit && f.flip.addr.col == victim.col)
-        {
-            found.push(candidate as i64 - i64::from(victim.col));
-        }
-    }
-    Ok(found)
+        data
+    });
+    let failed = victim_probe_rounds(port, victim, images)?;
+    Ok(candidates
+        .iter()
+        .zip(failed)
+        .filter(|&(_, fail)| fail)
+        .map(|(&c, _)| c as i64 - i64::from(victim.col))
+        .collect())
 }
 
 /// The `O(n²)` exhaustive pair search: flips every pair of candidate bits
@@ -195,33 +236,29 @@ pub fn exhaustive_neighbor_search<P: TestPort + ?Sized>(
         )));
     }
     let candidates: Vec<usize> = within.filter(|&c| c != victim.col as usize).collect();
-    let mut found = Vec::new();
-    for (i, &a) in candidates.iter().enumerate() {
-        for &b in &candidates[i + 1..] {
-            let mut data = if victim.fail_value {
-                parbor_dram::RowBits::ones(width)
-            } else {
-                parbor_dram::RowBits::zeros(width)
-            };
-            data.set(a, !victim.fail_value);
-            data.set(b, !victim.fail_value);
-            let flips = port.run_round(&[RowWrite {
-                unit: victim.unit,
-                row: victim.row,
-                data,
-            }])?;
-            if flips
-                .iter()
-                .any(|f| f.unit == victim.unit && f.flip.addr.col == victim.col)
-            {
-                found.push((
-                    a as i64 - i64::from(victim.col),
-                    b as i64 - i64::from(victim.col),
-                ));
-            }
-        }
-    }
-    Ok(found)
+    let pairs: Vec<(usize, usize)> = candidates
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &a)| candidates[i + 1..].iter().map(move |&b| (a, b)))
+        .collect();
+    let images = pairs.iter().map(|&(a, b)| {
+        let mut data = victim_background(victim, width);
+        data.set(a, !victim.fail_value);
+        data.set(b, !victim.fail_value);
+        data
+    });
+    let failed = victim_probe_rounds(port, victim, images)?;
+    Ok(pairs
+        .iter()
+        .zip(failed)
+        .filter(|&(_, fail)| fail)
+        .map(|(&(a, b), _)| {
+            (
+                a as i64 - i64::from(victim.col),
+                b as i64 - i64::from(victim.col),
+            )
+        })
+        .collect())
 }
 
 #[cfg(test)]

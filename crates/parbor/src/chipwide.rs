@@ -20,7 +20,7 @@ use std::collections::{HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
-use parbor_dram::{BitAddr, RowBits, RowId, RowWrite, TestPort};
+use parbor_dram::{BitAddr, RoundExecutor, RoundPlan, RowBits, RowId, TestPort};
 use parbor_obs::RecorderHandle;
 
 use crate::error::ParborError;
@@ -256,32 +256,28 @@ impl ChipwideTest {
     ) -> Result<ChipwideOutcome, ParborError> {
         let width = port.geometry().cols_per_row as usize;
         let units = port.units();
-        let mut failing: HashMap<(u32, BitAddr), bool> = HashMap::new();
-        let mut rounds_run = 0usize;
+        // The whole schedule is fixed up front — both polarities — so it is
+        // submitted to the engine as one independent batch.
+        let mut plans = Vec::with_capacity(self.rounds());
         for invert in [false, true] {
             for round in 0..self.schedule.rounds_per_polarity() {
                 let image = self.schedule.round_pattern(round, width, invert);
-                let mut writes = Vec::with_capacity(rows.len() * units as usize);
-                for unit in 0..units {
-                    for &row in rows {
-                        writes.push(RowWrite {
-                            unit,
-                            row,
-                            data: image.clone(),
-                        });
-                    }
-                }
-                let flips = port.run_round(&writes)?;
-                self.rec.incr("chipwide.rounds", 1);
-                self.rec.observe("chipwide.round_flips", flips.len() as u64);
-                for flip in flips {
-                    failing
-                        .entry((flip.unit, flip.flip.addr))
-                        .or_insert(flip.flip.expected);
-                }
-                rounds_run += 1;
+                plans.push(RoundPlan::broadcast(units, rows, |_| image.clone()));
             }
         }
+        let mut exec = RoundExecutor::new(port)
+            .with_recorder(self.rec.clone())
+            .count_rounds_as("chipwide.rounds")
+            .observe_flips_as("chipwide.round_flips");
+        let mut failing: HashMap<(u32, BitAddr), bool> = HashMap::new();
+        for flips in exec.run_batch(plans)? {
+            for flip in flips {
+                failing
+                    .entry((flip.unit, flip.flip.addr))
+                    .or_insert(flip.flip.expected);
+            }
+        }
+        let rounds_run = exec.rounds_executed();
         self.rec.incr("chipwide.failures", failing.len() as u64);
         Ok(ChipwideOutcome {
             rounds: rounds_run,

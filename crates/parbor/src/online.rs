@@ -166,25 +166,22 @@ impl OnlineTester {
     }
 
     fn step_discovery<P: TestPort + ?Sized>(&mut self, port: &mut P) -> Result<(), ParborError> {
-        use parbor_dram::{PatternSet, RowWrite};
+        use parbor_dram::{PatternSet, RoundExecutor, RoundPlan};
         let patterns = PatternSet::discovery(self.config.discovery_seed);
         let total = patterns.round_count();
         let pattern = &patterns.patterns()[self.discovery_round / 2];
         let invert = self.discovery_round % 2 == 1;
         let rows = self.rows_for(port);
         let width = port.geometry().cols_per_row as usize;
-        let mut writes = Vec::with_capacity(rows.len() * port.units() as usize);
-        for unit in 0..port.units() {
-            for &row in &rows {
-                let data = if invert {
-                    pattern.inverse().row_bits(row.row, width)
-                } else {
-                    pattern.row_bits(row.row, width)
-                };
-                writes.push(RowWrite { unit, row, data });
+        let units = port.units();
+        let plan = RoundPlan::broadcast(units, &rows, |row| {
+            if invert {
+                pattern.inverse().row_bits(row.row, width)
+            } else {
+                pattern.row_bits(row.row, width)
             }
-        }
-        for flip in port.run_round(&writes)? {
+        });
+        for flip in RoundExecutor::new(port).run(plan)? {
             self.discovery_flips
                 .entry((flip.unit, flip.flip.addr))
                 .or_insert((0, flip.flip.expected))

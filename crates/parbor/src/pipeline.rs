@@ -158,7 +158,7 @@ impl Parbor {
 }
 
 /// The result of a full PARBOR run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParborReport {
     /// Victims found by discovery.
     pub victim_count: usize,

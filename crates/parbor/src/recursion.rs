@@ -15,7 +15,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
 
-use parbor_dram::{RowBits, RowWrite, TestPort};
+use parbor_dram::{RoundExecutor, RoundPlan, RowBits, TestPort};
 use parbor_obs::{span, RecorderHandle};
 
 use crate::aggregate::DistanceHistogram;
@@ -150,6 +150,9 @@ impl NeighborRecursion {
         let mut levels: Vec<LevelOutcome> = Vec::new();
         let mut kept_parents: Vec<i64> = Vec::new(); // distances at level - 1
         let mut total_tests = 0usize;
+        let mut exec = RoundExecutor::new(port)
+            .with_recorder(self.rec.clone())
+            .count_rounds_as("recursion.tests");
 
         for level in 0..plan.levels() {
             let fanout = plan.fanout(level);
@@ -167,8 +170,13 @@ impl NeighborRecursion {
             let mut fails = vec![0usize; victims.len()];
             let mut eligible = vec![0usize; victims.len()];
             let mut observed: Vec<BTreeSet<i64>> = vec![BTreeSet::new(); victims.len()];
-            let mut rounds_at_level = 0usize;
 
+            // Within a level every round's content is fixed by the previous
+            // level's kept distances, so the whole level is one independent
+            // batch for the engine (an empty plan still costs one round —
+            // exactly how the paper counts tests).
+            let mut plans: Vec<RoundPlan> = Vec::new();
+            let mut round_regions: Vec<Vec<Option<usize>>> = Vec::new();
             for parent in &parents {
                 for child in 0..fanout {
                     // Determine each victim's test region for this round.
@@ -198,8 +206,7 @@ impl NeighborRecursion {
                         }
                     }
 
-                    // Build and run the round.
-                    let mut writes = Vec::new();
+                    let mut round = RoundPlan::new();
                     for (i, v) in victims.iter().enumerate() {
                         let Some(region) = regions[i] else { continue };
                         let (lo, hi) = plan
@@ -212,31 +219,29 @@ impl NeighborRecursion {
                         };
                         data.set_range(lo, hi, !v.fail_value);
                         data.set(v.col as usize, v.fail_value);
-                        writes.push(RowWrite {
-                            unit: v.unit,
-                            row: v.row,
-                            data,
-                        });
+                        round.write(v.unit, v.row, data);
                     }
-                    let flips = port.run_round(&writes)?;
-                    rounds_at_level += 1;
-                    self.rec.incr("recursion.tests", 1);
+                    plans.push(round);
+                    round_regions.push(regions);
+                }
+            }
+            let rounds_at_level = plans.len();
 
-                    for flip in flips {
-                        let key = VictimKey {
-                            unit: flip.unit,
-                            row: flip.flip.addr.row(),
-                        };
-                        let Some(&i) = lookup.get(&key) else { continue };
-                        if flip.flip.addr.col != victims[i].col {
-                            continue;
-                        }
-                        let Some(region) = regions[i] else { continue };
-                        fails[i] += 1;
-                        let distance =
-                            region as i64 - plan.region_of(victims[i].col as usize, level) as i64;
-                        observed[i].insert(distance);
+            for (flips, regions) in exec.run_batch(plans)?.into_iter().zip(&round_regions) {
+                for flip in flips {
+                    let key = VictimKey {
+                        unit: flip.unit,
+                        row: flip.flip.addr.row(),
+                    };
+                    let Some(&i) = lookup.get(&key) else { continue };
+                    if flip.flip.addr.col != victims[i].col {
+                        continue;
                     }
+                    let Some(region) = regions[i] else { continue };
+                    fails[i] += 1;
+                    let distance =
+                        region as i64 - plan.region_of(victims[i].col as usize, level) as i64;
+                    observed[i].insert(distance);
                 }
             }
 

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use parbor_dram::{BitAddr, PatternSet, RowId, RowWrite, TestPort};
+use parbor_dram::{BitAddr, PatternSet, RoundExecutor, RoundPlan, RowId, TestPort};
 use parbor_obs::RecorderHandle;
 
 use crate::error::ParborError;
@@ -169,39 +169,35 @@ impl VictimScout {
         let width = port.geometry().cols_per_row as usize;
         let units = port.units();
         let total_rounds = self.rounds();
-        // (fail count, value written at first failure)
-        let mut seen: HashMap<(u32, BitAddr), (usize, bool)> = HashMap::new();
 
-        let round_of = |port: &mut P,
-                        seen: &mut HashMap<(u32, BitAddr), (usize, bool)>,
-                        invert: bool,
-                        pattern: &parbor_dram::PatternKind|
-         -> Result<(), ParborError> {
-            let mut writes = Vec::with_capacity(rows.len() * units as usize);
-            for unit in 0..units {
-                for &row in rows {
-                    let data = if invert {
+        // The scout's rounds are all fixed up front and mutually
+        // independent, so they go to the port as one batch — a multi-chip
+        // module runs them chip-parallel across the whole batch.
+        let mut plans = Vec::with_capacity(total_rounds);
+        for pattern in self.patterns.patterns() {
+            for invert in [false, true] {
+                plans.push(RoundPlan::broadcast(units, rows, |row| {
+                    if invert {
                         pattern.inverse().row_bits(row.row, width)
                     } else {
                         pattern.row_bits(row.row, width)
-                    };
-                    writes.push(RowWrite { unit, row, data });
-                }
+                    }
+                }));
             }
-            let flips = port.run_round(&writes)?;
-            self.rec.incr("discover.rounds", 1);
-            self.rec.observe("discover.round_flips", flips.len() as u64);
+        }
+        let mut exec = RoundExecutor::new(port)
+            .with_recorder(self.rec.clone())
+            .count_rounds_as("discover.rounds")
+            .observe_flips_as("discover.round_flips");
+
+        // (fail count, value written at first failure)
+        let mut seen: HashMap<(u32, BitAddr), (usize, bool)> = HashMap::new();
+        for flips in exec.run_batch(plans)? {
             for flip in flips {
                 seen.entry((flip.unit, flip.flip.addr))
                     .or_insert((0, flip.flip.expected))
                     .0 += 1;
             }
-            Ok(())
-        };
-
-        for pattern in self.patterns.patterns().to_vec() {
-            round_of(port, &mut seen, false, &pattern)?;
-            round_of(port, &mut seen, true, &pattern)?;
         }
 
         let victims = seen

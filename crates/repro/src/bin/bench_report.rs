@@ -1,30 +1,77 @@
 //! `bench_report` — records a fixed-seed pipeline run and writes
-//! `results/BENCH_pipeline.json`: per-phase wall-clock timings plus the
-//! final counter totals. Later performance PRs diff their runs against this
-//! baseline.
+//! `results/BENCH_pipeline.json`: per-phase wall-clock timings, final counter
+//! totals, and a serial-vs-parallel multi-chip comparison. Later performance
+//! PRs diff their runs against this baseline.
 //!
 //! The run itself is fully deterministic (default vendor-A module, seed 1);
-//! only the wall-clock fields vary between machines.
+//! only the wall-clock fields vary between machines. The same pipeline is
+//! executed twice — once with the module's chips forced serial, once with
+//! the default scoped-thread parallel path — and the results are checked for
+//! equality before timings are reported.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use parbor_core::{Parbor, ParborConfig};
-use parbor_dram::{ChipGeometry, ModuleConfig, ModuleId, Vendor};
+use parbor_core::{Parbor, ParborConfig, ParborReport};
+use parbor_dram::{ChipGeometry, DramModule, ModuleConfig, ModuleId, Vendor};
 use parbor_obs::{InMemoryRecorder, RecorderHandle, RunSummary};
+use serde::Serialize;
 
 const OUT: &str = "results/BENCH_pipeline.json";
 
-fn run() -> Result<RunSummary, String> {
-    let recorder = InMemoryRecorder::handle();
-    let rec = RecorderHandle::from(recorder.clone());
-    let mut module = ModuleConfig::new(Vendor::A)
+/// Serial-vs-parallel timing of the identical multi-chip pipeline run.
+#[derive(Debug, Serialize)]
+struct MultiChipBench {
+    chips: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    results_identical: bool,
+}
+
+/// The full benchmark document written to `results/BENCH_pipeline.json`.
+#[derive(Debug, Serialize)]
+struct BenchDoc {
+    multi_chip: MultiChipBench,
+    summary: RunSummary,
+}
+
+fn build_module(rec: Option<RecorderHandle>) -> Result<DramModule, String> {
+    let cfg = ModuleConfig::new(Vendor::A)
         .geometry(ChipGeometry::new(1, 128, 8192).map_err(|e| e.to_string())?)
         .chips(8)
         .seed(1)
-        .module_id(ModuleId(1))
-        .build()
-        .map_err(|e| e.to_string())?
-        .with_recorder(rec.clone());
+        .module_id(ModuleId(1));
+    let module = cfg.build().map_err(|e| e.to_string())?;
+    Ok(match rec {
+        Some(rec) => module.with_recorder(rec),
+        None => module,
+    })
+}
+
+fn timed_run(parallel: bool) -> Result<(ParborReport, f64), String> {
+    let mut module = build_module(None)?;
+    module.set_parallel(parallel);
+    let start = Instant::now();
+    let report = Parbor::new(ParborConfig::default())
+        .run(&mut module)
+        .map_err(|e| e.to_string())?;
+    Ok((report, start.elapsed().as_secs_f64() * 1e3))
+}
+
+fn run() -> Result<BenchDoc, String> {
+    // Timed pair: identical seed, serial vs parallel chip execution.
+    let (serial_report, serial_ms) = timed_run(false)?;
+    let (parallel_report, parallel_ms) = timed_run(true)?;
+    let results_identical = serial_report == parallel_report;
+    if !results_identical {
+        return Err("serial and parallel pipeline runs disagree".into());
+    }
+
+    // Recorded run for the counter/phase summary (parallel path, as shipped).
+    let recorder = InMemoryRecorder::handle();
+    let rec = RecorderHandle::from(recorder.clone());
+    let mut module = build_module(Some(rec.clone()))?;
     let report = Parbor::new(ParborConfig::default())
         .with_recorder(rec)
         .run(&mut module)
@@ -36,14 +83,27 @@ fn run() -> Result<RunSummary, String> {
         report.failure_count(),
         report.total_rounds(),
     );
-    Ok(RunSummary::from_recorder(&recorder))
+    println!(
+        "multi-chip (8 chips): serial {serial_ms:.1} ms, parallel {parallel_ms:.1} ms, speedup {:.2}x",
+        serial_ms / parallel_ms
+    );
+    Ok(BenchDoc {
+        multi_chip: MultiChipBench {
+            chips: 8,
+            serial_ms,
+            parallel_ms,
+            speedup: serial_ms / parallel_ms,
+            results_identical,
+        },
+        summary: RunSummary::from_recorder(&recorder),
+    })
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(summary) => {
-            print!("{}", summary.render());
-            let json = summary.to_json();
+        Ok(doc) => {
+            print!("{}", doc.summary.render());
+            let json = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string());
             if let Err(e) = std::fs::write(OUT, json + "\n") {
                 eprintln!("error: writing {OUT}: {e}");
                 return ExitCode::FAILURE;

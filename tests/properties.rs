@@ -173,6 +173,54 @@ proptest! {
     }
 
     #[test]
+    fn parallel_module_execution_is_bit_identical_to_serial(
+        seed in 1u64..64,
+        vendor_idx in 0usize..3,
+        chips in 2usize..5,
+        pattern_seed in any::<u64>(),
+    ) {
+        // The scoped-thread per-chip path must produce the same flips in the
+        // same order as the serial path — not just the same set. ParallelMode
+        // is forced (Always / Never) so the comparison is meaningful even on
+        // single-core hosts where Auto degrades to serial.
+        use parbor_dram::{
+            ChipGeometry, ModuleConfig, ParallelMode, RoundPlan, RowId, TestPort,
+        };
+
+        let vendor = Vendor::ALL[vendor_idx];
+        let build = |mode: ParallelMode| {
+            let mut module = ModuleConfig::new(vendor)
+                .geometry(ChipGeometry::new(1, 24, 1024).unwrap())
+                .chips(chips)
+                .seed(seed)
+                .build()
+                .unwrap();
+            module.set_parallel_mode(mode);
+            module
+        };
+        let plans = |module: &parbor_dram::DramModule| {
+            let units = module.units();
+            (0..6u64)
+                .map(|round| {
+                    RoundPlan::broadcast(units, &(0..24).map(|r| RowId::new(0, r)).collect::<Vec<_>>(), |row| {
+                        PatternKind::Random { seed: pattern_seed ^ round ^ u64::from(row.row) }
+                            .row_bits(row.row, 1024)
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let mut par = build(ParallelMode::Always);
+        let mut ser = build(ParallelMode::Never);
+        prop_assert_eq!(par.parallel_mode(), ParallelMode::Always);
+        prop_assert!(!ser.parallel());
+        let par_flips = par.run_rounds(plans(&par)).unwrap();
+        let ser_flips = ser.run_rounds(plans(&ser)).unwrap();
+        prop_assert_eq!(par_flips, ser_flips);
+        prop_assert_eq!(par.rounds_run(), ser.rounds_run());
+    }
+
+    #[test]
     fn tile_walk_round_trips(groups in 1usize..5, stride in 1usize..4) {
         // A small valid walk: identity over span/stride.
         let span = 24 * stride;
