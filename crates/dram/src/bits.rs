@@ -135,8 +135,31 @@ impl RowBits {
     /// Panics if `hi > len()` or `lo > hi`.
     pub fn set_range(&mut self, lo: usize, hi: usize, v: bool) {
         assert!(lo <= hi && hi <= self.len, "range {lo}..{hi} out of bounds");
-        for i in lo..hi {
-            self.set(i, v);
+        if lo == hi {
+            return;
+        }
+        // Whole words at a time: a partial mask for the first and last words,
+        // solid fills in between.
+        let (first_word, first_bit) = (lo / 64, lo % 64);
+        let last_word = (hi - 1) / 64; // inclusive; hi > lo guarantees hi >= 1
+        let head = !0u64 << first_bit;
+        let tail = match hi % 64 {
+            0 => !0u64,
+            rem => (1u64 << rem) - 1,
+        };
+        for w in first_word..=last_word {
+            let mut mask = !0u64;
+            if w == first_word {
+                mask &= head;
+            }
+            if w == last_word {
+                mask &= tail;
+            }
+            if v {
+                self.words[w] |= mask;
+            } else {
+                self.words[w] &= !mask;
+            }
         }
     }
 
@@ -175,8 +198,22 @@ impl RowBits {
     }
 
     /// Iterator over all bits in column order.
+    ///
+    /// Walks the packed words directly (one word load per 64 bits, like
+    /// [`diff_indices`](RowBits::diff_indices)) instead of re-indexing the
+    /// word vector per bit; tail bits beyond `len` are never yielded.
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
-        (0..self.len).map(move |i| self.get(i))
+        self.words
+            .iter()
+            .flat_map(|&w| (0..64).map(move |b| (w >> b) & 1 == 1))
+            .take(self.len)
+    }
+
+    /// The packed words backing the row (bit `i` is word `i / 64`, position
+    /// `i % 64`; tail bits beyond [`len`](RowBits::len) are always zero).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// A cheap 64-bit content fingerprint (FNV-1a over the packed words,
@@ -276,8 +313,63 @@ mod tests {
     }
 
     #[test]
+    fn set_range_matches_bitwise_oracle() {
+        // The word-masked fill must agree with per-bit set() for every
+        // boundary alignment: within one word, across words, word-aligned
+        // ends, and empty ranges.
+        for len in [1usize, 63, 64, 65, 130, 200] {
+            for &(lo, hi) in &[
+                (0usize, 0usize),
+                (0, 1),
+                (0, len),
+                (len / 2, len / 2),
+                (1, len.min(63)),
+                (len / 3, 2 * len / 3),
+                (len.saturating_sub(1), len),
+                (len / 2, len),
+            ] {
+                for v in [true, false] {
+                    let base = RowBits::from_fn(len, |i| i % 3 == 0);
+                    let mut fast = base.clone();
+                    fast.set_range(lo, hi, v);
+                    let mut slow = base;
+                    for i in lo..hi {
+                        slow.set(i, v);
+                    }
+                    assert_eq!(fast, slow, "len {len} range {lo}..{hi} v {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn get_out_of_range_panics() {
         RowBits::zeros(8).get(8);
+    }
+
+    #[test]
+    fn iter_masks_tail_word() {
+        // 70 bits spans two words; the second word's upper 58 bits must not
+        // be yielded even when the storage words are saturated.
+        let r = RowBits::ones(70);
+        let bits: Vec<bool> = r.iter().collect();
+        assert_eq!(bits.len(), 70);
+        assert!(bits.iter().all(|&b| b));
+        // from_word_fn saturates whole words before tail masking; iter must
+        // agree with get() bit-for-bit on every width near a word boundary.
+        for len in [1usize, 63, 64, 65, 127, 128, 130] {
+            let r = RowBits::from_word_fn(len, |w| 0xDEAD_BEEF_F00D_5EED ^ (w as u64) << 1);
+            let via_iter: Vec<bool> = r.iter().collect();
+            let via_get: Vec<bool> = (0..len).map(|i| r.get(i)).collect();
+            assert_eq!(via_iter, via_get, "len {len}");
+        }
+    }
+
+    #[test]
+    fn words_expose_masked_storage() {
+        let r = RowBits::ones(70);
+        assert_eq!(r.words().len(), 2);
+        assert_eq!(r.words()[1], (1u64 << 6) - 1);
     }
 }

@@ -29,9 +29,12 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bits::RowBits;
 use crate::error::DramError;
 use crate::geometry::RowId;
-use crate::hash::{cell_hash01, mix64};
+use crate::hash::{
+    cell_hash01, finish_tag, hash01, mix64, prefix_col, stream_prefix, unit_threshold,
+};
 use crate::retention::RetentionModel;
 use crate::scrambler::Scrambler;
 
@@ -128,6 +131,14 @@ impl FaultRates {
         if self.window_radius < 2 {
             return Err(DramError::InvalidConfig(
                 "window_radius must be at least 2".into(),
+            ));
+        }
+        if self.window_radius > 32 {
+            // Keeps the full window (2·(radius−1) cells) under 64, so the
+            // compiled coupling stencil can hold a per-count failure mask in
+            // one word (see `CouplingStencil`).
+            return Err(DramError::InvalidConfig(
+                "window_radius must be at most 32".into(),
             ));
         }
         if self.vrt_epoch_rounds == 0 {
@@ -287,9 +298,123 @@ pub struct RowFaultMap {
 }
 
 impl RowFaultMap {
-    /// Builds the fault map for one row by drawing every physical position's
-    /// populations from the seeded hash streams.
+    /// Builds the fault map for one row by screening every physical position
+    /// against the seeded Bernoulli streams.
+    ///
+    /// This is the sparse sampler: the three population screens (interesting,
+    /// marginal, VRT) share one row-constant hash prefix and one per-column
+    /// fold (`stream_prefix`/`prefix_col`), and each screen is a single
+    /// integer compare against a precomputed `unit_threshold` — 4 `mix64`
+    /// calls per position instead of the reference path's 15, with all float
+    /// work deferred to the handful of positions that pass a screen. The
+    /// drawn population is bit-identical to
+    /// [`build_reference`](RowFaultMap::build_reference) (each stream is the
+    /// same random-access hash, so cells stay independently addressable; a
+    /// gap-skipping sampler would redefine the population and break every
+    /// pinned figure).
     pub fn build(
+        seed: u64,
+        row: RowId,
+        scrambler: &dyn Scrambler,
+        rates: &FaultRates,
+        retention: &RetentionModel,
+    ) -> RowFaultMap {
+        let n = scrambler.row_bits();
+        let bank = u64::from(row.bank);
+        let r = u64::from(row.row);
+        let prefix = stream_prefix(seed, bank, r);
+        let t_interesting = unit_threshold(rates.interesting);
+        let t_marginal = unit_threshold(rates.marginal);
+        let t_vrt = unit_threshold(rates.vrt);
+        let mut entries = Vec::new();
+        for phys in 0..n {
+            let mid = prefix_col(prefix, phys as u64);
+            let interesting = (finish_tag(mid, TAG_INTERESTING) >> 11) < t_interesting;
+            let marginal = (finish_tag(mid, TAG_MARGINAL) >> 11) < t_marginal;
+            let vrt = (finish_tag(mid, TAG_VRT) >> 11) < t_vrt;
+            if !(interesting || marginal || vrt) {
+                continue;
+            }
+            let sys = scrambler.physical_to_system(phys) as u32;
+            let anti = is_anti(seed, row.bank, phys, rates.anti_block);
+            if interesting {
+                let w_left = 0.8 + hash01(finish_tag(mid, TAG_WL));
+                let w_right = 0.8 + hash01(finish_tag(mid, TAG_WR));
+                let (lo, hi) = scrambler.tile_bounds(phys);
+                let cell_ref = |q: usize| CellRef {
+                    sys: scrambler.physical_to_system(q) as u32,
+                    anti: is_anti(seed, row.bank, q, rates.anti_block),
+                };
+                let left = (phys > lo).then(|| cell_ref(phys - 1));
+                let right = (phys + 1 < hi).then(|| cell_ref(phys + 1));
+                let mut window = Vec::new();
+                for d in 2..=rates.window_radius {
+                    if phys >= lo + d {
+                        window.push(cell_ref(phys - d));
+                    }
+                    if phys + d < hi {
+                        window.push(cell_ref(phys + d));
+                    }
+                }
+                let mut profile = CellProfile {
+                    theta_ref: 0.0,
+                    w_left,
+                    w_right,
+                    left,
+                    right,
+                    window,
+                    window_weight: rates.window_weight,
+                    window_full: 2 * (rates.window_radius - 1),
+                };
+                // Margin draw: retention-weak cells fail unaided; the rest
+                // sit between 0 and their worst-case interference maximum,
+                // concentrated near the maximum (steep retention tail).
+                profile.theta_ref = if hash01(finish_tag(mid, TAG_WEAK)) < rates.weak_share {
+                    -0.1
+                } else {
+                    let wl = if profile.left.is_some() { w_left } else { 0.0 };
+                    let wr = if profile.right.is_some() {
+                        w_right
+                    } else {
+                        0.0
+                    };
+                    let i_max = wl + wr + profile.max_window_interference();
+                    retention.theta_ref(hash01(finish_tag(mid, TAG_THETA)), i_max)
+                };
+                entries.push(CellFault {
+                    sys,
+                    anti,
+                    kind: FaultKind::Coupling(profile),
+                });
+            }
+            if marginal {
+                entries.push(CellFault {
+                    sys,
+                    anti,
+                    kind: FaultKind::Marginal {
+                        fail_prob: rates.marginal_fail_prob,
+                    },
+                });
+            }
+            if vrt {
+                entries.push(CellFault {
+                    sys,
+                    anti,
+                    kind: FaultKind::Vrt,
+                });
+            }
+        }
+        RowFaultMap { entries }
+    }
+
+    /// The retained reference sampler: draws every stream with a full
+    /// five-word `cell_hash01` and float compares, exactly as shipped
+    /// before the sparse sampler existed.
+    ///
+    /// Kept as the correctness oracle for [`build`](RowFaultMap::build)
+    /// (equivalence is pinned by unit tests and proptests) and as the
+    /// baseline side of the fault-map benchmarks.
+    pub fn build_reference(
         seed: u64,
         row: RowId,
         scrambler: &dyn Scrambler,
@@ -339,9 +464,6 @@ impl RowFaultMap {
                     window_weight: rates.window_weight,
                     window_full: 2 * (rates.window_radius - 1),
                 };
-                // Margin draw: retention-weak cells fail unaided; the rest
-                // sit between 0 and their worst-case interference maximum,
-                // concentrated near the maximum (steep retention tail).
                 profile.theta_ref = if cell_hash01(seed, bank, r, p, TAG_WEAK) < rates.weak_share {
                     -0.1
                 } else {
@@ -378,6 +500,56 @@ impl RowFaultMap {
             }
         }
         RowFaultMap { entries }
+    }
+
+    /// Scalar reference evaluation of the coupling model: indices (into
+    /// `entries`) of the coupling entries that fail for this exact row
+    /// content at this margin shift.
+    ///
+    /// Coupling outcomes are pure in `(row data, margin shift)` — unlike the
+    /// marginal/VRT/soft kinds they do not depend on the round counter —
+    /// which is what makes them memoizable across repeated writes of the
+    /// same data. The shipped hot path is the compiled
+    /// [`CouplingStencil`](crate::CouplingStencil); this per-entry loop is
+    /// retained as its correctness oracle and benchmark baseline.
+    pub fn coupling_fail_indices(&self, data: &RowBits, theta_shift: f64) -> Vec<u32> {
+        let charged = |r: &CellRef| (data.get(r.sys as usize)) != r.anti;
+        let mut out = Vec::new();
+        for (idx, e) in self.entries.iter().enumerate() {
+            let FaultKind::Coupling(p) = &e.kind else {
+                continue;
+            };
+            let victim_charged = data.get(e.sys as usize) != e.anti;
+            if !victim_charged {
+                continue;
+            }
+            let theta = p.theta_ref - theta_shift;
+            let mut interference = 0.0;
+            if let Some(l) = &p.left {
+                if !charged(l) {
+                    interference += p.w_left;
+                }
+            }
+            if let Some(rr) = &p.right {
+                if !charged(rr) {
+                    interference += p.w_right;
+                }
+            }
+            if !p.window.is_empty() {
+                // Second-order coupling only matters when the window is
+                // substantially biased against the victim: below
+                // half-opposite the contributions cancel. The denominator is
+                // the *full* window size, so cells at tile edges (fewer
+                // aggressors) feel less coupling.
+                let frac =
+                    p.window.iter().filter(|c| !charged(c)).count() as f64 / p.window_full as f64;
+                interference += p.window_weight * ((frac - 0.5).max(0.0) * 2.0);
+            }
+            if interference >= theta {
+                out.push(idx as u32);
+            }
+        }
+        out
     }
 
     /// Number of faulty cells (entries) in the row.
@@ -463,6 +635,44 @@ mod tests {
     #[test]
     fn fault_map_is_deterministic() {
         assert_eq!(build_map(0.01).entries, build_map(0.01).entries);
+    }
+
+    #[test]
+    fn sparse_build_matches_reference_build() {
+        let retention = RetentionModel::default();
+        for vendor in Vendor::ALL {
+            let s = vendor.scrambler(8192);
+            for seed in [0u64, 1, 42, u64::MAX] {
+                for row in [RowId::new(0, 0), RowId::new(3, 17), RowId::new(1, 8191)] {
+                    for rates in [
+                        FaultRates::default(),
+                        FaultRates {
+                            interesting: 0.0,
+                            marginal: 0.0,
+                            vrt: 0.0,
+                            ..FaultRates::default()
+                        },
+                        FaultRates {
+                            interesting: 1.0,
+                            weak_share: 0.5,
+                            ..FaultRates::default()
+                        },
+                        FaultRates {
+                            interesting: 0.05,
+                            marginal: 0.5,
+                            vrt: 0.5,
+                            window_radius: 2,
+                            ..FaultRates::default()
+                        },
+                    ] {
+                        let fast = RowFaultMap::build(seed, row, &*s, &rates, &retention);
+                        let reference =
+                            RowFaultMap::build_reference(seed, row, &*s, &rates, &retention);
+                        assert_eq!(fast, reference, "{vendor:?} seed {seed} row {row:?}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

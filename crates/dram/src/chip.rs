@@ -1,20 +1,19 @@
 //! One simulated DRAM chip: persistent row contents plus fault evaluation.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use parbor_obs::RecorderHandle;
 
 use crate::bits::RowBits;
-use crate::cell::{
-    marginal_fails, vrt_leaky, CellClass, CellRef, FaultKind, FaultRates, RowFaultMap,
-};
+use crate::cell::{marginal_fails, vrt_leaky, CellClass, FaultKind, FaultRates, RowFaultMap};
 use crate::config::{Celsius, Seconds};
 use crate::error::DramError;
 use crate::geometry::{BitAddr, ChipGeometry, RowId};
 use crate::noise::NoiseModel;
 use crate::retention::RetentionModel;
 use crate::scrambler::Scrambler;
+use crate::stencil::{CouplingStencil, KernelMode};
 
 /// Default bound on the per-chip fault-map cache (entries, i.e. rows).
 ///
@@ -37,52 +36,6 @@ pub struct BitFlip {
     pub addr: BitAddr,
     /// The value that was written (the read value is its inverse).
     pub expected: bool,
-}
-
-/// Indices (into `map.entries`) of the coupling entries that fail for this
-/// exact row content at this margin shift.
-///
-/// Coupling outcomes are pure in `(row data, margin shift)` — unlike the
-/// marginal/VRT/soft kinds they do not depend on the round counter — which is
-/// what makes them memoizable across repeated writes of the same data.
-fn coupling_fail_indices(map: &RowFaultMap, data: &RowBits, theta_shift: f64) -> Vec<u32> {
-    let charged = |r: &CellRef| (data.get(r.sys as usize)) != r.anti;
-    let mut out = Vec::new();
-    for (idx, e) in map.entries.iter().enumerate() {
-        let FaultKind::Coupling(p) = &e.kind else {
-            continue;
-        };
-        let victim_charged = data.get(e.sys as usize) != e.anti;
-        if !victim_charged {
-            continue;
-        }
-        let theta = p.theta_ref - theta_shift;
-        let mut interference = 0.0;
-        if let Some(l) = &p.left {
-            if !charged(l) {
-                interference += p.w_left;
-            }
-        }
-        if let Some(rr) = &p.right {
-            if !charged(rr) {
-                interference += p.w_right;
-            }
-        }
-        if !p.window.is_empty() {
-            // Second-order coupling only matters when the window is
-            // substantially biased against the victim: below half-opposite
-            // the contributions cancel. The denominator is the *full* window
-            // size, so cells at tile edges (fewer aggressors) feel less
-            // coupling.
-            let frac =
-                p.window.iter().filter(|c| !charged(c)).count() as f64 / p.window_full as f64;
-            interference += p.window_weight * ((frac - 0.5).max(0.0) * 2.0);
-        }
-        if interference >= theta {
-            out.push(idx as u32);
-        }
-    }
-    out
 }
 
 /// One simulated DRAM chip.
@@ -132,9 +85,13 @@ pub struct DramChip {
     fault_maps: HashMap<RowId, RowFaultMap>,
     fault_map_order: VecDeque<RowId>,
     fault_map_cap: usize,
+    // Compiled per-row coupling stencils; populated lazily in Stencil mode,
+    // invalidated with their fault maps and on margin-shift changes.
+    stencils: HashMap<RowId, CouplingStencil>,
     eval_cache: HashMap<(RowId, u64), (RowBits, Vec<u32>)>,
     eval_order: VecDeque<(RowId, u64)>,
     eval_cap: usize,
+    kernel: KernelMode,
     round: u64,
     rec: RecorderHandle,
 }
@@ -207,9 +164,11 @@ impl DramChip {
             fault_maps: HashMap::new(),
             fault_map_order: VecDeque::new(),
             fault_map_cap: DEFAULT_FAULT_MAP_CAPACITY,
+            stencils: HashMap::new(),
             eval_cache: HashMap::new(),
             eval_order: VecDeque::new(),
             eval_cap: DEFAULT_EVAL_CACHE_CAPACITY,
+            kernel: KernelMode::default(),
             round: 0,
             rec: RecorderHandle::null(),
         })
@@ -255,6 +214,23 @@ impl DramChip {
     /// Current effective margin shift (`κ · log2(stress factor)`).
     pub fn theta_shift(&self) -> f64 {
         self.theta_shift
+    }
+
+    /// The coupling kernel the chip evaluates reads with.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
+    }
+
+    /// Switches between the compiled stencil kernel (default) and the
+    /// retained scalar reference kernel. Results are bit-identical in both
+    /// modes — this is a measurement/verification switch, not a behavior
+    /// switch — so caches survive the change; only compiled stencils are
+    /// dropped.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        if self.kernel != mode {
+            self.kernel = mode;
+            self.stencils.clear();
+        }
     }
 
     /// Current number of cached fault maps (also the `dram.fault_map_cache`
@@ -311,6 +287,9 @@ impl DramChip {
                 .log2();
         self.eval_cache.clear();
         self.eval_order.clear();
+        // Stencils are compiled against the margin shift, so they are stale
+        // now; fault maps are shift-independent and survive.
+        self.stencils.clear();
         self.rec.gauge("dram.eval_cache", 0);
     }
 
@@ -381,22 +360,206 @@ impl DramChip {
     /// Fails on out-of-range rows or width mismatches; no writes are rolled
     /// back on error.
     pub fn run_round(&mut self, writes: Vec<(RowId, RowBits)>) -> Result<Vec<BitFlip>, DramError> {
+        self.run_round_split(writes, 1)
+    }
+
+    /// [`run_round`](DramChip::run_round) with the read-back evaluation split
+    /// across `row_threads` scoped threads.
+    ///
+    /// Per-row evaluation is pure in the chip's immutable state (row
+    /// contents, fault maps, stencils, round counter), so rows evaluate
+    /// concurrently and only the cache insertions and counters are merged
+    /// serially afterwards — in first-occurrence row order, exactly as the
+    /// serial loop would produce them. Flips come back in write order, bit-
+    /// identical to `row_threads == 1`.
+    pub(crate) fn run_round_split(
+        &mut self,
+        writes: Vec<(RowId, RowBits)>,
+        row_threads: usize,
+    ) -> Result<Vec<BitFlip>, DramError> {
         let rows: Vec<RowId> = writes.iter().map(|(row, _)| *row).collect();
         for (row, data) in writes {
             self.write_row(row, data)?;
         }
         self.advance_round();
-        let mut flips = Vec::new();
-        for row in rows {
-            flips.extend(self.row_flips(row)?);
+        if row_threads <= 1 || rows.len() <= 1 {
+            let mut flips = Vec::new();
+            for row in rows {
+                flips.extend(self.row_flips(row)?);
+            }
+            return Ok(flips);
         }
-        Ok(flips)
+        self.row_flips_batch(rows, row_threads)
+    }
+
+    /// Evaluates a round's read set across scoped threads; see
+    /// [`run_round_split`](DramChip::run_round_split) for the equivalence
+    /// argument.
+    fn row_flips_batch(
+        &mut self,
+        rows: Vec<RowId>,
+        row_threads: usize,
+    ) -> Result<Vec<BitFlip>, DramError> {
+        // Unique rows in first-occurrence order; duplicates re-read the same
+        // final content and reuse the first occurrence's result.
+        let mut unique: Vec<RowId> = Vec::with_capacity(rows.len());
+        let mut seen: HashSet<RowId> = HashSet::with_capacity(rows.len());
+        for &row in &rows {
+            if seen.insert(row) {
+                unique.push(row);
+            }
+        }
+        for &row in &unique {
+            self.geometry.check_row(row)?;
+            if !self.rows.contains_key(&row) {
+                return Err(DramError::RowNeverWritten {
+                    row: row.to_string(),
+                });
+            }
+        }
+
+        // Fault-map builds are pure too: build missing maps (and their
+        // stencils) concurrently, then install serially in first-occurrence
+        // order so FIFO eviction and counters match the serial path.
+        let missing: Vec<RowId> = unique
+            .iter()
+            .copied()
+            .filter(|r| !self.fault_maps.contains_key(r))
+            .collect();
+        if missing.len() > 1 {
+            let this: &DramChip = self;
+            let chunk = missing.len().div_ceil(row_threads);
+            let built: Vec<(RowId, RowFaultMap, Option<CouplingStencil>)> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = missing
+                        .chunks(chunk)
+                        .map(|rows| {
+                            scope.spawn(move |_| {
+                                rows.iter()
+                                    .map(|&row| {
+                                        let map = this.build_fault_map(row);
+                                        let st = (this.kernel == KernelMode::Stencil).then(|| {
+                                            CouplingStencil::compile(&map, this.theta_shift)
+                                        });
+                                        (row, map, st)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("fault-map build thread panicked"))
+                        .collect()
+                })
+                .expect("scoped execution cannot fail to join");
+            for (row, map, st) in built {
+                self.install_fault_map(row, map);
+                if let Some(st) = st {
+                    self.stencils.insert(row, st);
+                }
+            }
+        }
+        for &row in &unique {
+            self.ensure_fault_map(row);
+            self.ensure_stencil(row);
+        }
+
+        // Hit/miss is decided against the cache as of the round start (the
+        // serial loop would decide identically for distinct rows).
+        let jobs: Vec<((RowId, u64), bool)> = unique
+            .iter()
+            .map(|&row| {
+                let data = &self.rows[&row];
+                let key = (row, data.content_hash());
+                let hit = self.eval_cap > 0
+                    && self
+                        .eval_cache
+                        .get(&key)
+                        .is_some_and(|(stored, _)| stored == data);
+                (key, hit)
+            })
+            .collect();
+
+        // Parallel pure phase: evaluate every unique row's flips.
+        let results: Vec<(Vec<BitFlip>, Option<Vec<u32>>)> = {
+            let this: &DramChip = self;
+            let chunk = jobs.len().div_ceil(row_threads);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .chunks(chunk)
+                    .map(|jobs| {
+                        scope.spawn(move |_| {
+                            jobs.iter()
+                                .map(|&(key, hit)| this.eval_row_pure(key, hit))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("row eval thread panicked"))
+                    .collect()
+            })
+            .expect("scoped execution cannot fail to join")
+        };
+
+        // Serial merge: counters and cache insertions in first-occurrence
+        // order, flips in write order.
+        self.rec.incr("dram.row_reads", rows.len() as u64);
+        let mut per_row: HashMap<RowId, Vec<BitFlip>> = HashMap::with_capacity(unique.len());
+        for (&(key, hit), (flips, computed)) in jobs.iter().zip(results) {
+            if self.eval_cap > 0 {
+                if hit {
+                    self.rec.incr("dram.eval_cache_hits", 1);
+                } else {
+                    self.rec.incr("dram.eval_cache_misses", 1);
+                    let data = self.rows[&key.0].clone();
+                    self.insert_eval(key, data, computed.expect("miss was evaluated"));
+                }
+            }
+            per_row.insert(key.0, flips);
+        }
+        // Serially, every duplicate occurrence would hit the entry its first
+        // occurrence just inserted.
+        if self.eval_cap > 0 {
+            let dup = (rows.len() - unique.len()) as u64;
+            if dup > 0 {
+                self.rec.incr("dram.eval_cache_hits", dup);
+            }
+        }
+        let mut out = Vec::new();
+        for row in &rows {
+            out.extend(per_row[row].iter().copied());
+        }
+        Ok(out)
+    }
+
+    /// Pure per-row evaluation: flips plus (on a cache miss) the computed
+    /// coupling indices for the serial merge to insert. Takes `&self` so a
+    /// round's rows can evaluate on concurrent threads.
+    fn eval_row_pure(&self, key: (RowId, u64), hit: bool) -> (Vec<BitFlip>, Option<Vec<u32>>) {
+        let row = key.0;
+        let data = &self.rows[&row];
+        let map = &self.fault_maps[&row];
+        if hit {
+            let (_, indices) = &self.eval_cache[&key];
+            (self.assemble_flips(map, data, indices, row), None)
+        } else {
+            let coupled = match self.kernel {
+                KernelMode::Stencil => self.stencils[&row].eval(data),
+                KernelMode::Reference => map.coupling_fail_indices(data, self.theta_shift),
+            };
+            let flips = self.assemble_flips(map, data, &coupled, row);
+            (flips, Some(coupled))
+        }
     }
 
     /// Computes the flips a read of `row` would observe at the current round.
     fn row_flips(&mut self, row: RowId) -> Result<Vec<BitFlip>, DramError> {
         self.geometry.check_row(row)?;
         self.ensure_fault_map(row);
+        self.ensure_stencil(row);
         self.rec.incr("dram.row_reads", 1);
         let data = self
             .rows
@@ -409,43 +572,68 @@ impl DramChip {
         // Coupling outcomes are pure in (data, theta_shift); look them up by
         // content hash, verifying the stored row on a hit so hash collisions
         // can never change results. Round-dependent kinds (marginal, VRT,
-        // soft noise) are re-evaluated every call below.
+        // soft noise) are re-evaluated every call below. The hit path
+        // borrows the cached indices in place — no per-read allocation.
         let key = (row, data.content_hash());
-        let mut coupled: Option<Vec<u32>> = None;
-        if self.eval_cap > 0 {
-            if let Some((stored, indices)) = self.eval_cache.get(&key) {
-                if stored == data {
-                    self.rec.incr("dram.eval_cache_hits", 1);
-                    coupled = Some(indices.clone());
-                }
+        let cached: Option<&Vec<u32>> = if self.eval_cap > 0 {
+            self.eval_cache
+                .get(&key)
+                .and_then(|(stored, indices)| (stored == data).then_some(indices))
+        } else {
+            None
+        };
+        let (flips, computed) = match cached {
+            Some(indices) => {
+                self.rec.incr("dram.eval_cache_hits", 1);
+                (self.assemble_flips(map, data, indices, row), None)
             }
-        }
-        let coupled = match coupled {
-            Some(v) => v,
             None => {
-                let v = coupling_fail_indices(map, data, self.theta_shift);
-                if self.eval_cap > 0 {
-                    self.rec.incr("dram.eval_cache_misses", 1);
-                    if !self.eval_cache.contains_key(&key) {
-                        self.eval_order.push_back(key);
-                    }
-                    self.eval_cache.insert(key, (data.clone(), v.clone()));
-                    while self.eval_cache.len() > self.eval_cap {
-                        if let Some(old) = self.eval_order.pop_front() {
-                            self.eval_cache.remove(&old);
-                        } else {
-                            break;
-                        }
-                    }
-                    self.rec
-                        .gauge("dram.eval_cache", self.eval_cache.len() as i64);
-                }
-                v
+                let coupled = match self.kernel {
+                    KernelMode::Stencil => self.stencils[&row].eval(data),
+                    KernelMode::Reference => map.coupling_fail_indices(data, self.theta_shift),
+                };
+                let flips = self.assemble_flips(map, data, &coupled, row);
+                (flips, Some((coupled, data.clone())))
             }
         };
+        if let Some((coupled, data)) = computed {
+            if self.eval_cap > 0 {
+                self.rec.incr("dram.eval_cache_misses", 1);
+                self.insert_eval(key, data, coupled);
+            }
+        }
+        Ok(flips)
+    }
 
-        // Single pass over the entries, walking the sorted failing-index
-        // list in lockstep, so flip order is identical to direct evaluation.
+    /// Inserts a memoized coupling evaluation with FIFO eviction.
+    fn insert_eval(&mut self, key: (RowId, u64), data: RowBits, indices: Vec<u32>) {
+        if !self.eval_cache.contains_key(&key) {
+            self.eval_order.push_back(key);
+        }
+        self.eval_cache.insert(key, (data, indices));
+        while self.eval_cache.len() > self.eval_cap {
+            if let Some(old) = self.eval_order.pop_front() {
+                self.eval_cache.remove(&old);
+            } else {
+                break;
+            }
+        }
+        self.rec
+            .gauge("dram.eval_cache", self.eval_cache.len() as i64);
+    }
+
+    /// Expands failing coupling indices plus the round-dependent populations
+    /// (marginal, VRT, soft noise) into the row's flip list.
+    ///
+    /// Single pass over the entries, walking the sorted failing-index list
+    /// in lockstep, so flip order is identical to direct evaluation.
+    fn assemble_flips(
+        &self,
+        map: &RowFaultMap,
+        data: &RowBits,
+        coupled: &[u32],
+        row: RowId,
+    ) -> Vec<BitFlip> {
         let mut flips = Vec::new();
         let mut ci = 0usize;
         for (idx, e) in map.entries.iter().enumerate() {
@@ -494,7 +682,7 @@ impl DramChip {
                 });
             }
         }
-        Ok(flips)
+        flips
     }
 
     /// The fault map of a row (built lazily, cached with FIFO eviction).
@@ -525,13 +713,33 @@ impl DramChip {
         if self.fault_maps.contains_key(&row) {
             return;
         }
-        let map = RowFaultMap::build(
-            self.seed,
-            row,
-            &*self.scrambler,
-            &self.rates,
-            &self.retention,
-        );
+        let map = self.build_fault_map(row);
+        self.install_fault_map(row, map);
+    }
+
+    /// Builds a row's fault map with the sampler matching the kernel mode.
+    /// Pure (`&self`): safe to run for many rows on concurrent threads.
+    fn build_fault_map(&self, row: RowId) -> RowFaultMap {
+        match self.kernel {
+            KernelMode::Stencil => RowFaultMap::build(
+                self.seed,
+                row,
+                &*self.scrambler,
+                &self.rates,
+                &self.retention,
+            ),
+            KernelMode::Reference => RowFaultMap::build_reference(
+                self.seed,
+                row,
+                &*self.scrambler,
+                &self.rates,
+                &self.retention,
+            ),
+        }
+    }
+
+    /// Caches a built fault map with FIFO eviction and build accounting.
+    fn install_fault_map(&mut self, row: RowId, map: RowFaultMap) {
         // Building a fault map translates every system column through
         // the scrambler once.
         self.rec.incr(
@@ -546,10 +754,23 @@ impl DramChip {
             .gauge("dram.fault_map_cache", self.fault_maps.len() as i64);
     }
 
+    /// Compiles the row's coupling stencil if the stencil kernel is active
+    /// and none is cached. Requires the fault map to be present.
+    fn ensure_stencil(&mut self, row: RowId) {
+        if self.kernel != KernelMode::Stencil || self.stencils.contains_key(&row) {
+            return;
+        }
+        let map = self.fault_maps.get(&row).expect("fault map built first");
+        let st = CouplingStencil::compile(map, self.theta_shift);
+        self.stencils.insert(row, st);
+    }
+
     fn evict_fault_maps(&mut self) {
         while self.fault_maps.len() > self.fault_map_cap {
             if let Some(old) = self.fault_map_order.pop_front() {
                 self.fault_maps.remove(&old);
+                // A stencil is only valid alongside its fault map.
+                self.stencils.remove(&old);
                 self.rec.incr("dram.fault_maps_evicted", 1);
             } else {
                 break;

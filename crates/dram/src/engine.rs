@@ -252,6 +252,11 @@ impl<'p, P: TestPort + ?Sized> RoundExecutor<'p, P> {
     /// returned on error.
     pub fn run_batch(&mut self, plans: Vec<RoundPlan>) -> Result<Vec<Vec<Flip>>, DramError> {
         let write_counts: Vec<u64> = plans.iter().map(|p| p.len() as u64).collect();
+        // Batch size feeds the kernel-throughput accounting in bench
+        // reports: larger batches amortize thread spawns across both
+        // parallelism levels (per-chip and per-row) of the port.
+        self.rec
+            .observe("engine.batch_rounds", write_counts.len() as u64);
         let results = self.port.run_rounds(plans)?;
         for (&writes, flips) in write_counts.iter().zip(&results) {
             self.record(writes, flips.len() as u64);

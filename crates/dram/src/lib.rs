@@ -62,6 +62,7 @@ mod profiling;
 mod remap;
 mod retention;
 mod scrambler;
+mod stencil;
 mod vendor;
 mod walk;
 
@@ -80,5 +81,6 @@ pub use profiling::{RetentionProfile, RetentionProfiler};
 pub use remap::RemapTable;
 pub use retention::RetentionModel;
 pub use scrambler::{IdentityScrambler, Scrambler, TileWalkScrambler};
+pub use stencil::{CouplingStencil, KernelMode};
 pub use vendor::Vendor;
 pub use walk::{hamiltonian_walk, walk_distance_set, WalkError};

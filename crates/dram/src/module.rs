@@ -22,6 +22,7 @@ use crate::hash::mix64;
 use crate::pattern::PatternKind;
 use crate::retention::RetentionModel;
 use crate::scrambler::Scrambler;
+use crate::stencil::KernelMode;
 use crate::vendor::Vendor;
 
 /// Identifier of a module within an experiment population (e.g. the paper's
@@ -140,10 +141,12 @@ impl TestPort for DramChip {
 
 /// Runs one chip's slice of a round batch: each round either writes + waits +
 /// reads back, or — when the chip is untouched that round — just waits, so
-/// module time stays coherent across chips.
+/// module time stays coherent across chips. `row_threads > 1` additionally
+/// splits each round's read set across scoped threads inside the chip.
 fn chip_rounds(
     chip: &mut DramChip,
     rounds: Vec<Vec<(RowId, RowBits)>>,
+    row_threads: usize,
 ) -> Result<Vec<Vec<BitFlip>>, DramError> {
     rounds
         .into_iter()
@@ -152,7 +155,7 @@ fn chip_rounds(
                 chip.advance_round();
                 Ok(Vec::new())
             } else {
-                chip.run_round(writes)
+                chip.run_round_split(writes, row_threads)
             }
         })
         .collect()
@@ -192,6 +195,7 @@ pub struct DramModule {
     chips: Vec<DramChip>,
     rounds: u64,
     parallel: ParallelMode,
+    kernel: KernelMode,
     rec: RecorderHandle,
 }
 
@@ -245,6 +249,7 @@ impl DramModule {
             chips,
             rounds: 0,
             parallel: ParallelMode::Auto,
+            kernel: KernelMode::default(),
             rec: RecorderHandle::null(),
         })
     }
@@ -322,6 +327,21 @@ impl DramModule {
         }
     }
 
+    /// The coupling kernel the module's chips evaluate reads with.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
+    }
+
+    /// Switches every chip between the compiled stencil kernel (default) and
+    /// the retained scalar reference kernel. Results are bit-identical in
+    /// both modes; `Reference` exists as the measurement baseline.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.kernel = mode;
+        for c in &mut self.chips {
+            c.set_kernel_mode(mode);
+        }
+    }
+
     /// Convenience round: writes the same pattern to the given rows of every
     /// chip, waits, reads back, and returns all flips.
     ///
@@ -366,24 +386,34 @@ impl DramModule {
                 per_chip[unit][round].push((w.row, w.data));
             }
         }
-        // In Auto mode threads only pay off when the host can actually run
-        // them concurrently; on a single hardware thread the serial path
-        // wins (the bit-identical results make the choice invisible).
-        let use_threads = n_chips > 1
-            && match self.parallel {
-                ParallelMode::Always => true,
-                ParallelMode::Never => false,
-                ParallelMode::Auto => {
-                    std::thread::available_parallelism().map_or(1, |n| n.get()) > 1
+        // Two parallelism levels share the hardware-thread budget: one
+        // scoped thread per chip, and within each chip a split of the
+        // round's read set across `row_threads` more scoped threads (row
+        // evaluation is pure; see `DramChip::run_round_split`). In Auto mode
+        // threads only pay off when the host can actually run them
+        // concurrently; on a single hardware thread the serial path wins
+        // (the bit-identical results make the choice invisible).
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let (use_threads, row_threads) = match self.parallel {
+            ParallelMode::Never => (false, 1),
+            // Always forces both levels on, so tests exercise the threaded
+            // merge paths even on single-core hosts.
+            ParallelMode::Always => (n_chips > 1, (hw / n_chips.max(1)).max(2)),
+            ParallelMode::Auto => {
+                if hw > 1 {
+                    (n_chips > 1, (hw / n_chips.max(1)).max(1))
+                } else {
+                    (false, 1)
                 }
-            };
+            }
+        };
         let results: Vec<Result<Vec<Vec<BitFlip>>, DramError>> = if use_threads {
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .chips
                     .iter_mut()
                     .zip(per_chip)
-                    .map(|(chip, work)| scope.spawn(move |_| chip_rounds(chip, work)))
+                    .map(|(chip, work)| scope.spawn(move |_| chip_rounds(chip, work, row_threads)))
                     .collect();
                 handles
                     .into_iter()
@@ -395,7 +425,7 @@ impl DramModule {
             self.chips
                 .iter_mut()
                 .zip(per_chip)
-                .map(|(chip, work)| chip_rounds(chip, work))
+                .map(|(chip, work)| chip_rounds(chip, work, row_threads))
                 .collect()
         };
         let mut merged: Vec<Vec<Flip>> = (0..n_rounds).map(|_| Vec::new()).collect();

@@ -64,8 +64,16 @@ impl PatternKind {
                 }
             }
             PatternKind::ColStripe { period } => {
+                // Odd stripes are solid runs — fill them with word-masked
+                // ranges instead of testing 8 K bits one by one.
                 let p = period.max(1) as usize;
-                RowBits::from_fn(width, |i| (i / p) % 2 == 1)
+                let mut bits = RowBits::zeros(width);
+                let mut lo = p;
+                while lo < width {
+                    bits.set_range(lo, (lo + p).min(width), true);
+                    lo += 2 * p;
+                }
+                bits
             }
             PatternKind::RowStripe => {
                 if row.is_multiple_of(2) {
@@ -75,15 +83,27 @@ impl PatternKind {
                 }
             }
             PatternKind::Checkerboard => {
-                let flip = row % 2 == 1;
-                RowBits::from_fn(width, |i| (i % 2 == 1) != flip)
+                // Alternating bits are a constant word pattern.
+                let word = if row % 2 == 1 {
+                    0x5555_5555_5555_5555u64
+                } else {
+                    0xAAAA_AAAA_AAAA_AAAAu64
+                };
+                RowBits::from_word_fn(width, |_| word)
             }
             PatternKind::Random { seed } => RowBits::from_word_fn(width, |w| {
                 mix64(hash_words(&[seed, u64::from(row), w as u64]))
             }),
             PatternKind::Walking { period, phase } => {
+                // One set bit per period — touch only those bits.
                 let p = period.max(1) as usize;
-                RowBits::from_fn(width, |i| i % p == phase as usize % p)
+                let mut bits = RowBits::zeros(width);
+                let mut i = phase as usize % p;
+                while i < width {
+                    bits.set(i, true);
+                    i += p;
+                }
+                bits
             }
         }
     }
@@ -169,6 +189,32 @@ mod tests {
         let r = PatternKind::ColStripe { period: 4 }.row_bits(0, 16);
         for i in 0..16 {
             assert_eq!(r.get(i), (i / 4) % 2 == 1, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn word_level_patterns_match_per_bit_predicates() {
+        // The range-fill / word-constant constructions must agree with the
+        // defining per-bit predicates at awkward widths and periods.
+        for width in [1usize, 63, 64, 65, 130, 8192] {
+            for period in [1u32, 2, 3, 64, 100] {
+                let p = period as usize;
+                let stripe = PatternKind::ColStripe { period }.row_bits(0, width);
+                assert_eq!(stripe, RowBits::from_fn(width, |i| (i / p) % 2 == 1));
+                for phase in [0u32, 1, 63] {
+                    let walk = PatternKind::Walking { period, phase }.row_bits(0, width);
+                    assert_eq!(
+                        walk,
+                        RowBits::from_fn(width, |i| i % p == phase as usize % p),
+                        "width {width} period {period} phase {phase}"
+                    );
+                }
+            }
+            for row in [0u32, 1] {
+                let board = PatternKind::Checkerboard.row_bits(row, width);
+                let flip = row % 2 == 1;
+                assert_eq!(board, RowBits::from_fn(width, |i| (i % 2 == 1) != flip));
+            }
         }
     }
 

@@ -1,0 +1,370 @@
+//! The compiled, word-parallel coupling kernel.
+//!
+//! [`RowFaultMap::coupling_fail_indices`] walks every coupling entry with
+//! per-bit `RowBits::get` calls, an `Option` branch per neighbor, and a float
+//! accumulation per victim — all of it re-derived on every evaluation even
+//! though the fault map and margin shift are fixed across thousands of reads.
+//! [`CouplingStencil`] moves that work to compile time:
+//!
+//! * **Gather planes.** The victims' system columns and polarities, and the
+//!   left/right neighbors' columns/polarities/existence, are packed into
+//!   parallel arrays with one *bit lane per victim* (64 victims per `u64`
+//!   word). Evaluation gathers three data bits per victim and then resolves
+//!   charge state, neighbor opposition, and neighbor existence with pure
+//!   AND/XOR word operations — no branches, no `Option`s, no floats.
+//! * **Threshold buckets.** For each victim there are only four possible
+//!   immediate-neighbor outcomes (left/right opposite or not) and at most
+//!   `window.len() + 1` possible window counts. The compiler evaluates the
+//!   *exact* scalar interference expression for every such combination once
+//!   and stores the verdicts as bitmasks: an `all_fail` plane per combo
+//!   (victim fails at any window count — no window gather needed), a
+//!   `window_need` plane per combo (outcome depends on the count), and a
+//!   per-victim per-combo mask with bit *c* set iff a count of exactly *c*
+//!   opposite window cells fails. Evaluation classifies 64 victims per word
+//!   and only touches window cells for the (rare) `window_need` lanes.
+//!
+//! Because every threshold is derived by running the identical float
+//! expression the scalar kernel would run — same accumulation order, same
+//! `max`/division semantics, including edge cases like empty or truncated
+//! windows — the stencil's output is bit-identical to the reference kernel
+//! for every possible row content, not just statistically equivalent. That
+//! equivalence is pinned by unit tests here and proptests in the suite.
+
+use crate::bits::RowBits;
+use crate::cell::{FaultKind, RowFaultMap};
+
+/// Which coupling kernel a chip evaluates reads with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum KernelMode {
+    /// The compiled word-parallel stencil plus the sparse fault-map sampler
+    /// (the shipped default).
+    #[default]
+    Stencil,
+    /// The retained scalar kernel and reference sampler, exactly as shipped
+    /// before the stencil existed. Results are bit-identical to `Stencil`;
+    /// this mode exists as the measurement baseline and equivalence oracle.
+    Reference,
+}
+
+/// Sentinel in the neighbor gather arrays for "no neighbor on this side".
+const NO_NEIGHBOR: u32 = u32::MAX;
+/// High bit of a packed window reference marks an anti-cell.
+const WINDOW_ANTI: u32 = 1 << 31;
+
+/// A fault map's coupling entries compiled against a fixed margin shift.
+///
+/// Built once per `(row fault map, theta_shift)` by
+/// [`CouplingStencil::compile`] and evaluated against arbitrary row contents
+/// with [`CouplingStencil::eval`], which returns exactly what
+/// [`RowFaultMap::coupling_fail_indices`] would. See the module docs for the
+/// plane layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CouplingStencil {
+    /// Number of coupling entries (one bit lane each).
+    slots: usize,
+    /// `entries` index of each lane, ascending.
+    entry_idx: Vec<u32>,
+    /// Per-lane victim system column.
+    victim_sys: Vec<u32>,
+    /// Lane-packed victim polarity (bit set = anti-cell).
+    victim_anti: Vec<u64>,
+    /// Per-lane left-neighbor system column ([`NO_NEIGHBOR`] when absent).
+    left_sys: Vec<u32>,
+    /// Lane-packed left-neighbor polarity.
+    left_anti: Vec<u64>,
+    /// Lane-packed left-neighbor existence.
+    left_exists: Vec<u64>,
+    /// Per-lane right-neighbor system column ([`NO_NEIGHBOR`] when absent).
+    right_sys: Vec<u32>,
+    /// Lane-packed right-neighbor polarity.
+    right_anti: Vec<u64>,
+    /// Lane-packed right-neighbor existence.
+    right_exists: Vec<u64>,
+    /// Per neighbor combo (bit 0 = left opposite, bit 1 = right opposite):
+    /// lanes that fail regardless of the window count.
+    all_fail: [Vec<u64>; 4],
+    /// Per combo: lanes whose outcome depends on the window count.
+    window_need: [Vec<u64>; 4],
+    /// Per lane, per combo: bit `c` set iff exactly `c` opposite window
+    /// cells fail the victim. Windows hold at most 62 cells
+    /// (`window_radius ≤ 32`, enforced by `FaultRates::validate`).
+    count_fail: Vec<[u64; 4]>,
+    /// CSR offsets into `window_refs`, length `slots + 1`.
+    window_off: Vec<u32>,
+    /// Packed window cells: low 31 bits system column, high bit anti flag.
+    window_refs: Vec<u32>,
+}
+
+impl CouplingStencil {
+    /// Compiles the map's coupling entries against a fixed margin shift.
+    ///
+    /// Cost is proportional to the number of coupling entries (typically a
+    /// few per row), so compiling piggybacks cheaply on fault-map builds.
+    pub fn compile(map: &RowFaultMap, theta_shift: f64) -> CouplingStencil {
+        let lanes: Vec<(usize, &crate::cell::CellFault)> = map
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.kind, FaultKind::Coupling(_)))
+            .collect();
+        let slots = lanes.len();
+        let words = slots.div_ceil(64);
+        let mut st = CouplingStencil {
+            slots,
+            entry_idx: Vec::with_capacity(slots),
+            victim_sys: Vec::with_capacity(slots),
+            victim_anti: vec![0; words],
+            left_sys: Vec::with_capacity(slots),
+            left_anti: vec![0; words],
+            left_exists: vec![0; words],
+            right_sys: Vec::with_capacity(slots),
+            right_anti: vec![0; words],
+            right_exists: vec![0; words],
+            all_fail: std::array::from_fn(|_| vec![0; words]),
+            window_need: std::array::from_fn(|_| vec![0; words]),
+            count_fail: Vec::with_capacity(slots),
+            window_off: Vec::with_capacity(slots + 1),
+            window_refs: Vec::new(),
+        };
+        for (slot, (idx, e)) in lanes.into_iter().enumerate() {
+            let FaultKind::Coupling(p) = &e.kind else {
+                unreachable!("filtered to coupling entries");
+            };
+            let (w, bit) = (slot / 64, 1u64 << (slot % 64));
+            st.entry_idx.push(idx as u32);
+            st.victim_sys.push(e.sys);
+            if e.anti {
+                st.victim_anti[w] |= bit;
+            }
+            match &p.left {
+                Some(l) => {
+                    st.left_sys.push(l.sys);
+                    st.left_exists[w] |= bit;
+                    if l.anti {
+                        st.left_anti[w] |= bit;
+                    }
+                }
+                None => st.left_sys.push(NO_NEIGHBOR),
+            }
+            match &p.right {
+                Some(r) => {
+                    st.right_sys.push(r.sys);
+                    st.right_exists[w] |= bit;
+                    if r.anti {
+                        st.right_anti[w] |= bit;
+                    }
+                }
+                None => st.right_sys.push(NO_NEIGHBOR),
+            }
+            st.window_off.push(st.window_refs.len() as u32);
+            for c in &p.window {
+                debug_assert_eq!(c.sys & WINDOW_ANTI, 0, "system column overflows packing");
+                st.window_refs
+                    .push(c.sys | if c.anti { WINDOW_ANTI } else { 0 });
+            }
+
+            // Threshold buckets: run the exact scalar expression for every
+            // reachable (neighbor combo, window count) pair. A combo with an
+            // absent neighbor can never be selected at eval time (the
+            // existence mask zeroes its opposition bit), so its verdicts are
+            // computed but never consulted.
+            let theta = p.theta_ref - theta_shift;
+            let wlen = p.window.len();
+            debug_assert!(wlen < 64, "window too wide for count mask");
+            let mut masks = [0u64; 4];
+            for (combo, mask) in masks.iter_mut().enumerate() {
+                let mut base = 0.0;
+                if p.left.is_some() && combo & 1 != 0 {
+                    base += p.w_left;
+                }
+                if p.right.is_some() && combo & 2 != 0 {
+                    base += p.w_right;
+                }
+                if wlen == 0 {
+                    // The scalar kernel skips the window term entirely for
+                    // empty windows; replicate that exact expression.
+                    if base >= theta {
+                        *mask = 1;
+                    }
+                } else {
+                    for cnt in 0..=wlen {
+                        let frac = cnt as f64 / p.window_full as f64;
+                        let interference = base + p.window_weight * ((frac - 0.5).max(0.0) * 2.0);
+                        if interference >= theta {
+                            *mask |= 1u64 << cnt;
+                        }
+                    }
+                }
+                let full: u64 = if wlen == 0 {
+                    1
+                } else {
+                    (1u64 << (wlen + 1)) - 1
+                };
+                if *mask == full {
+                    st.all_fail[combo][w] |= bit;
+                } else if *mask != 0 {
+                    st.window_need[combo][w] |= bit;
+                }
+            }
+            st.count_fail.push(masks);
+        }
+        st.window_off.push(st.window_refs.len() as u32);
+        st
+    }
+
+    /// Number of coupling entries compiled into the stencil.
+    pub fn lanes(&self) -> usize {
+        self.slots
+    }
+
+    /// Evaluates the stencil against one row image.
+    ///
+    /// Returns exactly the failing-entry indices (ascending) that
+    /// [`RowFaultMap::coupling_fail_indices`] returns for the same map,
+    /// content, and margin shift.
+    pub fn eval(&self, data: &RowBits) -> Vec<u32> {
+        let mut out = Vec::new();
+        for w in 0..self.victim_anti.len() {
+            let lo = w * 64;
+            let hi = (lo + 64).min(self.slots);
+            // Gather the three data bits of each lane into word lanes.
+            let (mut v, mut l, mut r) = (0u64, 0u64, 0u64);
+            for j in lo..hi {
+                let bit = 1u64 << (j - lo);
+                if data.get(self.victim_sys[j] as usize) {
+                    v |= bit;
+                }
+                let ls = self.left_sys[j];
+                if ls != NO_NEIGHBOR && data.get(ls as usize) {
+                    l |= bit;
+                }
+                let rs = self.right_sys[j];
+                if rs != NO_NEIGHBOR && data.get(rs as usize) {
+                    r |= bit;
+                }
+            }
+            // Word-parallel classification: charge state, opposition, combo.
+            let charged = v ^ self.victim_anti[w];
+            let lop = !(l ^ self.left_anti[w]) & self.left_exists[w];
+            let rop = !(r ^ self.right_anti[w]) & self.right_exists[w];
+            let combos = [!lop & !rop, lop & !rop, !lop & rop, lop & rop];
+            let mut fail = 0u64;
+            let mut need = 0u64;
+            for (c, &combo) in combos.iter().enumerate() {
+                fail |= combo & self.all_fail[c][w];
+                need |= combo & self.window_need[c][w];
+            }
+            fail &= charged;
+            need &= charged;
+            // Only count-dependent lanes gather their window cells.
+            while need != 0 {
+                let b = need.trailing_zeros() as usize;
+                need &= need - 1;
+                let j = lo + b;
+                let combo = (((lop >> b) & 1) | (((rop >> b) & 1) << 1)) as usize;
+                let (s, e) = (self.window_off[j] as usize, self.window_off[j + 1] as usize);
+                let mut cnt = 0usize;
+                for &wref in &self.window_refs[s..e] {
+                    let anti = wref & WINDOW_ANTI != 0;
+                    // Opposite means discharged: stored bit equals polarity.
+                    if data.get((wref & !WINDOW_ANTI) as usize) == anti {
+                        cnt += 1;
+                    }
+                }
+                if (self.count_fail[j][combo] >> cnt) & 1 == 1 {
+                    fail |= 1u64 << b;
+                }
+            }
+            // Emit in ascending lane order = ascending entry order.
+            while fail != 0 {
+                let b = fail.trailing_zeros() as usize;
+                fail &= fail - 1;
+                out.push(self.entry_idx[lo + b]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{FaultRates, RowFaultMap};
+    use crate::geometry::RowId;
+    use crate::pattern::PatternKind;
+    use crate::retention::RetentionModel;
+    use crate::vendor::Vendor;
+
+    fn dense_map(vendor: Vendor, seed: u64, row: u32) -> RowFaultMap {
+        let s = vendor.scrambler(8192);
+        RowFaultMap::build(
+            seed,
+            RowId::new(0, row),
+            &*s,
+            &FaultRates {
+                interesting: 0.02,
+                ..FaultRates::default()
+            },
+            &RetentionModel::default(),
+        )
+    }
+
+    #[test]
+    fn stencil_matches_scalar_reference() {
+        for vendor in Vendor::ALL {
+            for row in 0..8u32 {
+                let map = dense_map(vendor, 11, row);
+                for shift in [0.0, 0.4, -0.6] {
+                    let st = CouplingStencil::compile(&map, shift);
+                    for seed in 0..6u64 {
+                        let data = PatternKind::Random { seed }.row_bits(row, 8192);
+                        assert_eq!(
+                            st.eval(&data),
+                            map.coupling_fail_indices(&data, shift),
+                            "{vendor:?} row {row} shift {shift} seed {seed}"
+                        );
+                    }
+                    for pattern in [
+                        PatternKind::Solid(true),
+                        PatternKind::Solid(false),
+                        PatternKind::ColStripe { period: 1 },
+                        PatternKind::Checkerboard,
+                    ] {
+                        let data = pattern.row_bits(row, 8192);
+                        assert_eq!(st.eval(&data), map.coupling_fail_indices(&data, shift));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_on_empty_map_returns_nothing() {
+        let st = CouplingStencil::compile(&RowFaultMap::default(), 0.0);
+        assert_eq!(st.lanes(), 0);
+        assert!(st.eval(&RowBits::ones(8192)).is_empty());
+    }
+
+    #[test]
+    fn stencil_covers_more_than_64_lanes() {
+        // A dense population forces multiple lane words, exercising the
+        // word-boundary paths of the gather and emit loops.
+        let s = Vendor::B.scrambler(8192);
+        let map = RowFaultMap::build(
+            5,
+            RowId::new(0, 3),
+            &*s,
+            &FaultRates {
+                interesting: 0.05,
+                ..FaultRates::default()
+            },
+            &RetentionModel::default(),
+        );
+        let st = CouplingStencil::compile(&map, 0.0);
+        assert!(st.lanes() > 64, "lanes = {}", st.lanes());
+        for seed in 0..4u64 {
+            let data = PatternKind::Random { seed }.row_bits(3, 8192);
+            assert_eq!(st.eval(&data), map.coupling_fail_indices(&data, 0.0));
+        }
+    }
+}

@@ -1,101 +1,364 @@
 //! `bench_report` — records a fixed-seed pipeline run and writes
 //! `results/BENCH_pipeline.json`: per-phase wall-clock timings, final counter
-//! totals, and a serial-vs-parallel multi-chip comparison. Later performance
+//! totals, a baseline-vs-optimized multi-chip comparison, per-kernel
+//! throughput (rows/s, cells/s), and stage-level speedups. Later performance
 //! PRs diff their runs against this baseline.
 //!
 //! The run itself is fully deterministic (default vendor-A module, seed 1);
 //! only the wall-clock fields vary between machines. The same pipeline is
-//! executed twice — once with the module's chips forced serial, once with
-//! the default scoped-thread parallel path — and the results are checked for
-//! equality before timings are reported.
+//! executed twice:
+//!
+//! * **baseline** — `ParallelMode::Never` + `KernelMode::Reference`: the
+//!   retained pre-optimization path (serial chips, per-stream fault-map
+//!   sampler, scalar coupling walk);
+//! * **optimized** — `ParallelMode::Auto` + `KernelMode::Stencil`: the
+//!   shipped defaults (scoped chip/row threads where the host has cores,
+//!   sparse Bernoulli sampler, compiled word-parallel stencil).
+//!
+//! The two reports are checked for bit-identical equality before any timing
+//! is written; a mismatch is a hard error. On a single-core host `Auto`
+//! degrades to serial execution, so the headline speedup there measures the
+//! kernel work alone — `threads_available` records which regime produced the
+//! numbers.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use parbor_core::{Parbor, ParborConfig, ParborReport};
-use parbor_dram::{ChipGeometry, DramModule, ModuleConfig, ModuleId, Vendor};
+use parbor_dram::{
+    ChipGeometry, CouplingStencil, DramModule, KernelMode, ModuleConfig, ModuleId, ParallelMode,
+    PatternKind, RetentionModel, RowFaultMap, RowId, Vendor,
+};
 use parbor_obs::{InMemoryRecorder, RecorderHandle, RunSummary};
 use serde::Serialize;
 
 const OUT: &str = "results/BENCH_pipeline.json";
+const COLS: usize = 8192;
 
-/// Serial-vs-parallel timing of the identical multi-chip pipeline run.
+/// Baseline-vs-optimized timing of the identical multi-chip pipeline run.
 #[derive(Debug, Serialize)]
 struct MultiChipBench {
     chips: usize,
+    /// Host hardware threads; with 1 the `Auto` side runs serial too.
+    threads_available: usize,
+    /// `ParallelMode::Never` + `KernelMode::Reference`.
+    baseline_mode: String,
+    /// `ParallelMode::Auto` + `KernelMode::Stencil` (shipped defaults).
+    optimized_mode: String,
     serial_ms: f64,
     parallel_ms: f64,
     speedup: f64,
     results_identical: bool,
 }
 
+/// One isolated kernel measured under its reference and optimized
+/// implementations, with throughput for the optimized side.
+#[derive(Debug, Serialize)]
+struct KernelBench {
+    name: String,
+    baseline_ms: f64,
+    optimized_ms: f64,
+    speedup: f64,
+    /// Optimized-side throughput in rows per second.
+    rows_per_s: f64,
+    /// Optimized-side throughput in cells (columns) per second.
+    cells_per_s: f64,
+}
+
+/// One recorded pipeline stage under baseline and optimized execution.
+#[derive(Debug, Serialize)]
+struct StageSpeedup {
+    name: String,
+    baseline_ms: f64,
+    optimized_ms: f64,
+    speedup: f64,
+}
+
 /// The full benchmark document written to `results/BENCH_pipeline.json`.
 #[derive(Debug, Serialize)]
 struct BenchDoc {
     multi_chip: MultiChipBench,
+    kernels: Vec<KernelBench>,
+    stages: Vec<StageSpeedup>,
     summary: RunSummary,
 }
 
-fn build_module(rec: Option<RecorderHandle>) -> Result<DramModule, String> {
+fn build_module(
+    parallel: ParallelMode,
+    kernel: KernelMode,
+    rec: Option<RecorderHandle>,
+) -> Result<DramModule, String> {
     let cfg = ModuleConfig::new(Vendor::A)
-        .geometry(ChipGeometry::new(1, 128, 8192).map_err(|e| e.to_string())?)
+        .geometry(ChipGeometry::new(1, 128, COLS as u32).map_err(|e| e.to_string())?)
         .chips(8)
         .seed(1)
         .module_id(ModuleId(1));
-    let module = cfg.build().map_err(|e| e.to_string())?;
+    let mut module = cfg.build().map_err(|e| e.to_string())?;
+    module.set_parallel_mode(parallel);
+    module.set_kernel_mode(kernel);
     Ok(match rec {
         Some(rec) => module.with_recorder(rec),
         None => module,
     })
 }
 
-fn timed_run(parallel: bool) -> Result<(ParborReport, f64), String> {
-    let mut module = build_module(None)?;
-    module.set_parallel(parallel);
+fn timed_run(
+    parallel: ParallelMode,
+    kernel: KernelMode,
+    rec: Option<RecorderHandle>,
+) -> Result<(ParborReport, f64), String> {
+    let mut module = build_module(parallel, kernel, rec.clone())?;
+    let mut pipeline = Parbor::new(ParborConfig::default());
+    if let Some(rec) = rec {
+        pipeline = pipeline.with_recorder(rec);
+    }
     let start = Instant::now();
-    let report = Parbor::new(ParborConfig::default())
-        .run(&mut module)
-        .map_err(|e| e.to_string())?;
+    let report = pipeline.run(&mut module).map_err(|e| e.to_string())?;
     Ok((report, start.elapsed().as_secs_f64() * 1e3))
 }
 
+/// Best-of-`reps` wall-clock of `f`, in milliseconds.
+fn best_of(reps: usize, mut f: impl FnMut() -> usize) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut acc = 0usize;
+    for _ in 0..reps {
+        let start = Instant::now();
+        acc = acc.wrapping_add(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    // Keep the accumulated work observable so it cannot be optimized away.
+    if acc == usize::MAX {
+        eprintln!("unreachable accumulator value");
+    }
+    best
+}
+
+fn kernel(name: &str, rows: usize, baseline_ms: f64, optimized_ms: f64) -> KernelBench {
+    // `*_ms` are per-pass times over `rows` rows of `COLS` columns each.
+    KernelBench {
+        name: name.to_string(),
+        baseline_ms,
+        optimized_ms,
+        speedup: baseline_ms / optimized_ms,
+        rows_per_s: rows as f64 / (optimized_ms / 1e3),
+        cells_per_s: (rows * COLS) as f64 / (optimized_ms / 1e3),
+    }
+}
+
+/// Isolated single-thread kernel benchmarks: the sparse fault-map sampler vs.
+/// the reference per-stream sampler, and the compiled coupling stencil vs.
+/// the scalar entry walk.
+fn kernel_benches() -> Vec<KernelBench> {
+    const ROWS: u32 = 64;
+    const REPS: usize = 5;
+    let scrambler = Vendor::A.scrambler(COLS);
+    let rates = Vendor::A.default_rates();
+    let retention = RetentionModel::default();
+
+    let build_ref = best_of(REPS, || {
+        (0..ROWS)
+            .map(|r| {
+                RowFaultMap::build_reference(
+                    1,
+                    RowId::new(0, r),
+                    scrambler.as_ref(),
+                    &rates,
+                    &retention,
+                )
+                .len()
+            })
+            .sum()
+    });
+    let build_fast = best_of(REPS, || {
+        (0..ROWS)
+            .map(|r| {
+                RowFaultMap::build(1, RowId::new(0, r), scrambler.as_ref(), &rates, &retention)
+                    .len()
+            })
+            .sum()
+    });
+
+    let fixtures: Vec<(RowFaultMap, CouplingStencil)> = (0..ROWS)
+        .map(|r| {
+            let map =
+                RowFaultMap::build(1, RowId::new(0, r), scrambler.as_ref(), &rates, &retention);
+            let stencil = CouplingStencil::compile(&map, 0.0);
+            (map, stencil)
+        })
+        .collect();
+    let images: Vec<_> = (0..ROWS)
+        .map(|r| PatternKind::Random { seed: u64::from(r) }.row_bits(r, COLS))
+        .collect();
+    // One pass over 64 rows takes only a few microseconds, so loop each
+    // sample EVAL_ITERS times to stay well above timer granularity.
+    const EVAL_ITERS: usize = 200;
+    let eval_scalar = best_of(REPS, || {
+        let mut acc = 0usize;
+        for _ in 0..EVAL_ITERS {
+            acc += fixtures
+                .iter()
+                .zip(&images)
+                .map(|((map, _), data)| map.coupling_fail_indices(data, 0.0).len())
+                .sum::<usize>();
+        }
+        acc
+    }) / EVAL_ITERS as f64;
+    let eval_stencil = best_of(REPS, || {
+        let mut acc = 0usize;
+        for _ in 0..EVAL_ITERS {
+            acc += fixtures
+                .iter()
+                .zip(&images)
+                .map(|((_, stencil), data)| stencil.eval(data).len())
+                .sum::<usize>();
+        }
+        acc
+    }) / EVAL_ITERS as f64;
+
+    vec![
+        kernel("fault_map_build", ROWS as usize, build_ref, build_fast),
+        kernel("coupling_eval", ROWS as usize, eval_scalar, eval_stencil),
+    ]
+}
+
+fn phase_ms(summary: &RunSummary, name: &str) -> f64 {
+    summary
+        .phases
+        .iter()
+        .find(|p| p.name == name)
+        .map_or(0.0, |p| p.total_us as f64 / 1e3)
+}
+
 fn run() -> Result<BenchDoc, String> {
-    // Timed pair: identical seed, serial vs parallel chip execution.
-    let (serial_report, serial_ms) = timed_run(false)?;
-    let (parallel_report, parallel_ms) = timed_run(true)?;
-    let results_identical = serial_report == parallel_report;
+    // Headline timed pair: identical seed, retained reference path vs. the
+    // shipped optimized defaults. No recorder attached — these are the clean
+    // wall-clock numbers. Each side runs PIPELINE_REPS times and keeps the
+    // fastest, which suppresses scheduler noise on shared hosts; every
+    // repetition's report must agree.
+    const PIPELINE_REPS: usize = 5;
+    let mut serial_ms = f64::INFINITY;
+    let mut parallel_ms = f64::INFINITY;
+    let mut baseline_report = None;
+    for _ in 0..PIPELINE_REPS {
+        let (report, ms) = timed_run(ParallelMode::Never, KernelMode::Reference, None)?;
+        serial_ms = serial_ms.min(ms);
+        if *baseline_report.get_or_insert_with(|| report.clone()) != report {
+            return Err("baseline pipeline runs disagree between repetitions".into());
+        }
+    }
+    let baseline_report = baseline_report.expect("at least one baseline repetition ran");
+    let mut results_identical = true;
+    for _ in 0..PIPELINE_REPS {
+        let (report, ms) = timed_run(ParallelMode::Auto, KernelMode::Stencil, None)?;
+        parallel_ms = parallel_ms.min(ms);
+        results_identical &= report == baseline_report;
+    }
     if !results_identical {
-        return Err("serial and parallel pipeline runs disagree".into());
+        return Err("baseline and optimized pipeline runs disagree".into());
     }
 
-    // Recorded run for the counter/phase summary (parallel path, as shipped).
-    let recorder = InMemoryRecorder::handle();
-    let rec = RecorderHandle::from(recorder.clone());
-    let mut module = build_module(Some(rec.clone()))?;
-    let report = Parbor::new(ParborConfig::default())
-        .with_recorder(rec)
-        .run(&mut module)
-        .map_err(|e| e.to_string())?;
+    // Recorded pair for the stage-level breakdown (timings perturbed by the
+    // recorder, so kept separate from the headline numbers). Best-of is
+    // picked per mode by total pipeline wall-clock.
+    let mut base_best: Option<RunSummary> = None;
+    let mut opt_best: Option<RunSummary> = None;
+    for _ in 0..PIPELINE_REPS {
+        let base_rec = InMemoryRecorder::handle();
+        let (base_report, _) = timed_run(
+            ParallelMode::Never,
+            KernelMode::Reference,
+            Some(RecorderHandle::from(base_rec.clone())),
+        )?;
+        let opt_rec = InMemoryRecorder::handle();
+        let (opt_report, _) = timed_run(
+            ParallelMode::Auto,
+            KernelMode::Stencil,
+            Some(RecorderHandle::from(opt_rec.clone())),
+        )?;
+        if base_report != opt_report || base_report != baseline_report {
+            return Err("recorded pipeline runs disagree with unrecorded runs".into());
+        }
+        let base = RunSummary::from_recorder(&base_rec);
+        let opt = RunSummary::from_recorder(&opt_rec);
+        if base_best
+            .as_ref()
+            .is_none_or(|b| phase_ms(&base, "pipeline.run") < phase_ms(b, "pipeline.run"))
+        {
+            base_best = Some(base);
+        }
+        if opt_best
+            .as_ref()
+            .is_none_or(|b| phase_ms(&opt, "pipeline.run") < phase_ms(b, "pipeline.run"))
+        {
+            opt_best = Some(opt);
+        }
+    }
+    let base_summary = base_best.expect("at least one recorded repetition ran");
+    let opt_summary = opt_best.expect("at least one recorded repetition ran");
+    let stages = [
+        "pipeline.discover",
+        "pipeline.recursion",
+        "pipeline.chipwide",
+        "pipeline.run",
+    ]
+    .iter()
+    .map(|&name| {
+        let baseline_ms = phase_ms(&base_summary, name);
+        let optimized_ms = phase_ms(&opt_summary, name);
+        StageSpeedup {
+            name: name.to_string(),
+            baseline_ms,
+            optimized_ms,
+            speedup: if optimized_ms > 0.0 {
+                baseline_ms / optimized_ms
+            } else {
+                0.0
+            },
+        }
+    })
+    .collect::<Vec<_>>();
+
+    let kernels = kernel_benches();
+
     println!(
         "pipeline: {} victims, distances {:?}, {} failures, {} rounds",
-        report.victim_count,
-        report.distances(),
-        report.failure_count(),
-        report.total_rounds(),
+        baseline_report.victim_count,
+        baseline_report.distances(),
+        baseline_report.failure_count(),
+        baseline_report.total_rounds(),
     );
     println!(
-        "multi-chip (8 chips): serial {serial_ms:.1} ms, parallel {parallel_ms:.1} ms, speedup {:.2}x",
+        "multi-chip (8 chips): baseline {serial_ms:.1} ms, optimized {parallel_ms:.1} ms, speedup {:.2}x",
         serial_ms / parallel_ms
     );
+    for k in &kernels {
+        println!(
+            "kernel {}: {:.2} ms -> {:.2} ms ({:.2}x, {:.0} rows/s, {:.2e} cells/s)",
+            k.name, k.baseline_ms, k.optimized_ms, k.speedup, k.rows_per_s, k.cells_per_s
+        );
+    }
+    for s in &stages {
+        println!(
+            "stage {}: {:.1} ms -> {:.1} ms ({:.2}x)",
+            s.name, s.baseline_ms, s.optimized_ms, s.speedup
+        );
+    }
+
+    let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
     Ok(BenchDoc {
         multi_chip: MultiChipBench {
             chips: 8,
+            threads_available,
+            baseline_mode: "ParallelMode::Never + KernelMode::Reference".to_string(),
+            optimized_mode: "ParallelMode::Auto + KernelMode::Stencil".to_string(),
             serial_ms,
             parallel_ms,
             speedup: serial_ms / parallel_ms,
             results_identical,
         },
-        summary: RunSummary::from_recorder(&recorder),
+        kernels,
+        stages,
+        summary: opt_summary,
     })
 }
 

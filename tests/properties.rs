@@ -221,6 +221,106 @@ proptest! {
     }
 
     #[test]
+    fn sparse_fault_map_build_is_bit_identical_to_reference(
+        seed in any::<u64>(),
+        vendor_idx in 0usize..3,
+        bank in 0u32..4,
+        row in 0u32..4096,
+    ) {
+        // The geometric-screen sampler must reproduce the reference
+        // per-stream sampler exactly: same entries, same order, same floats.
+        use parbor_dram::{RetentionModel, RowFaultMap, RowId};
+
+        let vendor = Vendor::ALL[vendor_idx];
+        let scrambler = vendor.scrambler(1024);
+        let rates = vendor.default_rates();
+        let retention = RetentionModel::default();
+        let id = RowId::new(bank, row);
+        let fast = RowFaultMap::build(seed, id, scrambler.as_ref(), &rates, &retention);
+        let reference =
+            RowFaultMap::build_reference(seed, id, scrambler.as_ref(), &rates, &retention);
+        prop_assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn stencil_eval_is_bit_identical_to_scalar_kernel(
+        seed in any::<u64>(),
+        vendor_idx in 0usize..3,
+        row in 0u32..256,
+        data_seed in any::<u64>(),
+        shift_milli in -900i32..900,
+    ) {
+        // The compiled word-parallel stencil must report exactly the scalar
+        // walk's failing system columns, in the same ascending order.
+        use parbor_dram::{CouplingStencil, RetentionModel, RowFaultMap, RowId};
+
+        let vendor = Vendor::ALL[vendor_idx];
+        let scrambler = vendor.scrambler(1024);
+        let map = RowFaultMap::build(
+            seed,
+            RowId::new(0, row),
+            scrambler.as_ref(),
+            &vendor.default_rates(),
+            &RetentionModel::default(),
+        );
+        let theta_shift = f64::from(shift_milli) / 1000.0;
+        let stencil = CouplingStencil::compile(&map, theta_shift);
+        let data = PatternKind::Random { seed: data_seed }.row_bits(row, 1024);
+        prop_assert_eq!(
+            stencil.eval(&data),
+            map.coupling_fail_indices(&data, theta_shift)
+        );
+    }
+
+    #[test]
+    fn optimized_module_run_matches_full_reference_path(
+        seed in 1u64..64,
+        vendor_idx in 0usize..3,
+        chips in 2usize..4,
+        pattern_seed in any::<u64>(),
+    ) {
+        // Strongest end-to-end equivalence: every optimization enabled at
+        // once (sparse sampler + compiled stencil + chip- and row-level
+        // threads) against the fully retained reference path (scalar
+        // kernel, reference sampler, serial execution). Flip streams and
+        // cache/counter-visible behavior must match bit for bit.
+        use parbor_dram::{
+            ChipGeometry, KernelMode, ModuleConfig, ParallelMode, RoundPlan, RowId, TestPort,
+        };
+
+        let vendor = Vendor::ALL[vendor_idx];
+        let build = |mode: ParallelMode, kernel: KernelMode| {
+            let mut module = ModuleConfig::new(vendor)
+                .geometry(ChipGeometry::new(1, 24, 1024).unwrap())
+                .chips(chips)
+                .seed(seed)
+                .build()
+                .unwrap();
+            module.set_parallel_mode(mode);
+            module.set_kernel_mode(kernel);
+            module
+        };
+        let plans = |module: &parbor_dram::DramModule| {
+            let units = module.units();
+            (0..6u64)
+                .map(|round| {
+                    RoundPlan::broadcast(units, &(0..24).map(|r| RowId::new(0, r)).collect::<Vec<_>>(), |row| {
+                        PatternKind::Random { seed: pattern_seed ^ round ^ u64::from(row.row) }
+                            .row_bits(row.row, 1024)
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let mut fast = build(ParallelMode::Always, KernelMode::Stencil);
+        let mut reference = build(ParallelMode::Never, KernelMode::Reference);
+        let fast_flips = fast.run_rounds(plans(&fast)).unwrap();
+        let ref_flips = reference.run_rounds(plans(&reference)).unwrap();
+        prop_assert_eq!(fast_flips, ref_flips);
+        prop_assert_eq!(fast.rounds_run(), reference.rounds_run());
+    }
+
+    #[test]
     fn tile_walk_round_trips(groups in 1usize..5, stride in 1usize..4) {
         // A small valid walk: identity over span/stride.
         let span = 24 * stride;
