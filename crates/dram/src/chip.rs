@@ -319,6 +319,19 @@ impl DramChip {
         self.rec.incr("dram.rounds", 1);
     }
 
+    /// Advances the round clock by `rounds` refresh intervals without
+    /// writing or reading anything — the resume hook for checkpointed scans.
+    ///
+    /// Every round-dependent fault population (marginal windows, VRT
+    /// epochs, soft-error draws) keys on the chip seed and the round
+    /// counter alone, so a chip rebuilt from its seed and fast-forwarded by
+    /// the number of rounds a previous process ran is bit-identical, for
+    /// all future rounds, to the chip that process held in memory.
+    pub fn fast_forward(&mut self, rounds: u64) {
+        self.round += rounds;
+        self.rec.incr("dram.rounds", rounds);
+    }
+
     /// The last data written to a row, without fault effects.
     ///
     /// # Errors

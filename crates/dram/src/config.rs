@@ -184,6 +184,76 @@ impl ModuleConfig {
     }
 }
 
+/// A serializable description of a module — everything [`ModuleConfig`]
+/// needs to rebuild the *same* simulated device in another process.
+///
+/// Module behavior is a pure function of this spec plus the round counter,
+/// so a checkpointed scan can persist the spec, rebuild the module later
+/// with [`ModuleSpec::build`], and fast-forward it with
+/// [`DramModule::fast_forward`] to resume bit-identically. The vendor's
+/// default scrambler is always used (custom scramblers are runtime objects
+/// and are not spec-addressable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleSpec {
+    /// Chip vendor (selects default rates and the scrambler).
+    pub vendor: Vendor,
+    /// Per-chip geometry.
+    pub geometry: ChipGeometry,
+    /// Number of chips in the module.
+    pub chips: usize,
+    /// Module fault seed; chips derive their seeds from it.
+    pub seed: u64,
+    /// Module identifier used in reports.
+    pub module_id: u32,
+    /// Fault-rate override; `None` uses the vendor defaults.
+    pub rates: Option<FaultRates>,
+    /// Retention/margin model override; `None` uses the default model.
+    pub retention: Option<RetentionModel>,
+    /// Operating temperature.
+    pub temperature: Celsius,
+    /// Refresh interval between write and read of each round.
+    pub refresh_interval: Seconds,
+}
+
+impl ModuleSpec {
+    /// A spec with the same defaults as [`ModuleConfig::new`].
+    pub fn new(vendor: Vendor) -> Self {
+        ModuleSpec {
+            vendor,
+            geometry: ChipGeometry::experiment_slice(),
+            chips: 8,
+            seed: 1,
+            module_id: 0,
+            rates: None,
+            retention: None,
+            temperature: Celsius(45.0),
+            refresh_interval: Seconds(4.0),
+        }
+    }
+
+    /// Builds the module this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModuleConfig::build`].
+    pub fn build(&self) -> Result<DramModule, DramError> {
+        let mut config = ModuleConfig::new(self.vendor)
+            .geometry(self.geometry)
+            .chips(self.chips)
+            .seed(self.seed)
+            .module_id(ModuleId(self.module_id))
+            .temperature(self.temperature)
+            .refresh_interval(self.refresh_interval);
+        if let Some(rates) = self.rates {
+            config = config.fault_rates(rates);
+        }
+        if let Some(retention) = self.retention {
+            config = config.retention(retention);
+        }
+        config.build()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -70,7 +70,7 @@ pub use bits::RowBits;
 pub use cell::{CellClass, CellFault, CellProfile, CellRef, FaultKind, FaultRates, RowFaultMap};
 pub use census::CellCensus;
 pub use chip::{BitFlip, DramChip, DEFAULT_EVAL_CACHE_CAPACITY, DEFAULT_FAULT_MAP_CAPACITY};
-pub use config::{Celsius, ModuleConfig, Seconds};
+pub use config::{Celsius, ModuleConfig, ModuleSpec, Seconds};
 pub use engine::{RoundExecutor, RoundPlan};
 pub use error::DramError;
 pub use geometry::{BitAddr, ChipGeometry, RowId};

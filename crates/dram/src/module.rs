@@ -200,7 +200,7 @@ pub struct DramModule {
 }
 
 /// How a [`DramModule`] schedules its chips within a round batch.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ParallelMode {
     /// Scoped threads when the host has more than one hardware thread (the
     /// default): parallel where it helps, serial where it would only add
@@ -212,6 +212,31 @@ pub enum ParallelMode {
     Always,
     /// Always run chips serially (for measurement baselines).
     Never,
+}
+
+impl std::str::FromStr for ParallelMode {
+    type Err = DramError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(ParallelMode::Auto),
+            "always" => Ok(ParallelMode::Always),
+            "never" => Ok(ParallelMode::Never),
+            _ => Err(DramError::InvalidConfig(format!(
+                "unknown parallel mode {s:?} (expected auto|always|never)"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for ParallelMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ParallelMode::Auto => "auto",
+            ParallelMode::Always => "always",
+            ParallelMode::Never => "never",
+        })
+    }
 }
 
 impl DramModule {
@@ -340,6 +365,20 @@ impl DramModule {
         for c in &mut self.chips {
             c.set_kernel_mode(mode);
         }
+    }
+
+    /// Advances every chip's round clock by `rounds` refresh intervals
+    /// without running any test rounds — the resume hook for checkpointed
+    /// scans (see [`DramChip::fast_forward`]).
+    ///
+    /// A module rebuilt from its spec and fast-forwarded by the number of
+    /// port rounds a previous process ran behaves, for all future rounds,
+    /// bit-identically to the module that process held in memory.
+    pub fn fast_forward(&mut self, rounds: u64) {
+        for c in &mut self.chips {
+            c.fast_forward(rounds);
+        }
+        self.rounds += rounds;
     }
 
     /// Convenience round: writes the same pattern to the given rows of every

@@ -30,11 +30,14 @@
 //! for every possible row content, not just statistically equivalent. That
 //! equivalence is pinned by unit tests here and proptests in the suite.
 
+use serde::{Deserialize, Serialize};
+
 use crate::bits::RowBits;
 use crate::cell::{FaultKind, RowFaultMap};
+use crate::error::DramError;
 
 /// Which coupling kernel a chip evaluates reads with.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum KernelMode {
     /// The compiled word-parallel stencil plus the sparse fault-map sampler
     /// (the shipped default).
@@ -44,6 +47,29 @@ pub enum KernelMode {
     /// before the stencil existed. Results are bit-identical to `Stencil`;
     /// this mode exists as the measurement baseline and equivalence oracle.
     Reference,
+}
+
+impl std::str::FromStr for KernelMode {
+    type Err = DramError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "stencil" => Ok(KernelMode::Stencil),
+            "reference" => Ok(KernelMode::Reference),
+            _ => Err(DramError::InvalidConfig(format!(
+                "unknown kernel mode {s:?} (expected stencil|reference)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            KernelMode::Stencil => "stencil",
+            KernelMode::Reference => "reference",
+        })
+    }
 }
 
 /// Sentinel in the neighbor gather arrays for "no neighbor on this side".

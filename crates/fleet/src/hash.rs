@@ -1,0 +1,42 @@
+//! Content hashing for journal records and store segments.
+//!
+//! FNV-1a (64-bit) — not cryptographic, but exactly what torn-write and
+//! bit-rot *detection* needs: fast, dependency-free, and stable across
+//! platforms and processes (the store's byte-identity checks compare these
+//! hashes between independent runs).
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The 64-bit FNV-1a hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Renders a hash the way the store index records it (`fnv64:<16 hex>`).
+pub fn format_hash(hash: u64) -> String {
+    format!("fnv64:{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn format_is_stable() {
+        assert_eq!(format_hash(0xdead_beef), "fnv64:00000000deadbeef");
+    }
+}

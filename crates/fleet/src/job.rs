@@ -1,0 +1,59 @@
+//! Scan job descriptions.
+
+use serde::{Deserialize, Serialize};
+
+use parbor_core::ParborConfig;
+use parbor_dram::ModuleSpec;
+
+/// One unit of fleet work: scan one module under one pipeline config.
+///
+/// The job is fully serializable — it is journaled in the job's `Start`
+/// record so a resumed process can rebuild the identical device and config
+/// without the caller re-supplying them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanJob {
+    /// Unique job name; also the store segment name (e.g. `A1`). Must be a
+    /// valid file stem: no path separators.
+    pub name: String,
+    /// The module to scan (rebuilt from spec on every (re)start).
+    pub module: ModuleSpec,
+    /// Pipeline configuration for the scan.
+    pub config: ParborConfig,
+}
+
+impl ScanJob {
+    /// A job with the default pipeline config.
+    pub fn new(name: impl Into<String>, module: ModuleSpec) -> Self {
+        ScanJob {
+            name: name.into(),
+            module,
+            config: ParborConfig::default(),
+        }
+    }
+
+    /// Whether the name is safe to use as a file stem.
+    pub fn name_is_valid(&self) -> bool {
+        !self.name.is_empty()
+            && self
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+            && !self.name.starts_with('.')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbor_dram::Vendor;
+
+    #[test]
+    fn name_validation() {
+        let spec = ModuleSpec::new(Vendor::A);
+        assert!(ScanJob::new("A1", spec.clone()).name_is_valid());
+        assert!(ScanJob::new("mod-3_b.2", spec.clone()).name_is_valid());
+        assert!(!ScanJob::new("", spec.clone()).name_is_valid());
+        assert!(!ScanJob::new("a/b", spec.clone()).name_is_valid());
+        assert!(!ScanJob::new("..", spec).name_is_valid());
+    }
+}

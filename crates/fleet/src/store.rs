@@ -1,0 +1,471 @@
+//! The versioned on-disk profile store.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! index.json             {"version":1,"segments":{"<module>":{meta…}}}
+//! segments/<name>.jsonl  line 1: segment header (version, module, count)
+//!                        line 2: profile summary (failures elided)
+//!                        line 3…: one failing cell per line
+//! ```
+//!
+//! Both the index and every segment are written with the temp-file + rename
+//! idiom, so readers never observe a half-written file. The index records an
+//! FNV-1a content hash per segment; [`ProfileStore::get`] re-hashes the
+//! segment on read and, on mismatch, salvages the valid line prefix instead
+//! of failing the whole lookup (surfacing a `fleet.recovery` event).
+//!
+//! The store is deliberately free of timestamps and absolute paths: two
+//! independent runs over the same modules produce byte-identical stores,
+//! which is what the kill-and-resume determinism checks compare.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use parbor_core::{FailingCell, FailureProfile};
+use parbor_obs::{metrics, RecorderHandle};
+
+use crate::hash::{fnv1a64, format_hash};
+use crate::FleetError;
+
+/// Current store format version, recorded in `index.json` and every
+/// segment header. Bump on any incompatible layout change.
+pub const STORE_VERSION: u32 = 1;
+
+/// Index entry for one stored segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentMeta {
+    /// Segment file name, relative to `segments/`.
+    pub file: String,
+    /// Content hash of the whole segment file (`fnv64:…`).
+    pub hash: String,
+    /// Number of failing cells the segment records.
+    pub failures: usize,
+    /// Segment file size in bytes.
+    pub bytes: u64,
+}
+
+/// First line of every segment file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SegmentHeader {
+    segment_version: u32,
+    module: String,
+    failures: usize,
+}
+
+/// `index.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct IndexDoc {
+    version: u32,
+    segments: BTreeMap<String, SegmentMeta>,
+}
+
+/// A profile read back from the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredProfile {
+    /// The stored failure profile (possibly a salvaged prefix, see
+    /// [`complete`](StoredProfile::complete)).
+    pub profile: FailureProfile,
+    /// Whether every failing cell the header promised was readable.
+    pub complete: bool,
+    /// Whether reading required salvage (checksum mismatch on the segment).
+    pub recovered: bool,
+}
+
+/// The versioned profile store.
+#[derive(Debug)]
+pub struct ProfileStore {
+    root: PathBuf,
+    index: IndexDoc,
+    rec: RecorderHandle,
+}
+
+impl ProfileStore {
+    /// Opens (or initialises) the store rooted at `root`. An existing
+    /// `index.json` is loaded and its version checked.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Corrupt`] on an unreadable or wrong-version index;
+    /// I/O errors.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, FleetError> {
+        let root = root.into();
+        fs::create_dir_all(root.join("segments"))?;
+        let index_path = root.join("index.json");
+        let index = if index_path.exists() {
+            let text = fs::read_to_string(&index_path)?;
+            let doc: IndexDoc = serde_json::from_str(&text).map_err(|e| FleetError::Corrupt {
+                path: index_path.clone(),
+                detail: format!("index does not parse: {}", e.0),
+            })?;
+            if doc.version != STORE_VERSION {
+                return Err(FleetError::Corrupt {
+                    path: index_path,
+                    detail: format!(
+                        "store version {} unsupported (expected {STORE_VERSION})",
+                        doc.version
+                    ),
+                });
+            }
+            doc
+        } else {
+            IndexDoc {
+                version: STORE_VERSION,
+                segments: BTreeMap::new(),
+            }
+        };
+        Ok(ProfileStore {
+            root,
+            index,
+            rec: RecorderHandle::null(),
+        })
+    }
+
+    /// Attaches a recorder (for `fleet.recovery` events on salvage reads).
+    #[must_use]
+    pub fn with_recorder(mut self, rec: RecorderHandle) -> Self {
+        self.rec = rec;
+        self
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Stored module names, sorted.
+    pub fn modules(&self) -> Vec<&str> {
+        self.index.segments.keys().map(String::as_str).collect()
+    }
+
+    /// Index entry for `name`, if stored.
+    pub fn meta(&self, name: &str) -> Option<&SegmentMeta> {
+        self.index.segments.get(name)
+    }
+
+    /// Whether a profile for `name` is stored.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.segments.contains_key(name)
+    }
+
+    /// Writes `profile` as the segment for `name` (replacing any previous
+    /// one) and updates the index. Both writes are atomic (temp + rename).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::InvalidConfig`] for names that are not valid file
+    /// stems; I/O and serialization errors.
+    pub fn put(&mut self, name: &str, profile: &FailureProfile) -> Result<SegmentMeta, FleetError> {
+        if !valid_name(name) {
+            return Err(FleetError::InvalidConfig(format!(
+                "'{name}' is not a valid segment name"
+            )));
+        }
+        let body = render_segment(name, profile)?;
+        let file = format!("{name}.jsonl");
+        let seg_path = self.root.join("segments").join(&file);
+        write_atomic(&seg_path, body.as_bytes())?;
+        let meta = SegmentMeta {
+            file,
+            hash: format_hash(fnv1a64(body.as_bytes())),
+            failures: profile.failures.len(),
+            bytes: body.len() as u64,
+        };
+        self.index.segments.insert(name.to_string(), meta.clone());
+        self.write_index()?;
+        Ok(meta)
+    }
+
+    /// Reads the profile for `name` back, verifying the segment's content
+    /// hash against the index. On mismatch the valid line prefix is
+    /// salvaged: the result is marked [`recovered`](StoredProfile::recovered)
+    /// (and [`complete`](StoredProfile::complete) only if every promised
+    /// cell survived), and a `fleet.recovery` counter increment is emitted.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::InvalidConfig`] for unknown modules;
+    /// [`FleetError::Corrupt`] when even the header/summary lines are
+    /// unreadable; I/O errors.
+    pub fn get(&self, name: &str) -> Result<StoredProfile, FleetError> {
+        let meta = self.meta(name).ok_or_else(|| {
+            FleetError::InvalidConfig(format!("module '{name}' not in store index"))
+        })?;
+        let seg_path = self.root.join("segments").join(&meta.file);
+        let bytes = fs::read(&seg_path)?;
+        let intact = format_hash(fnv1a64(&bytes)) == meta.hash;
+        let text = String::from_utf8_lossy(&bytes);
+        let parsed = parse_segment(&seg_path, name, &text, intact)?;
+        if !intact {
+            self.rec.incr(metrics::fleet::RECOVERY, 1);
+        }
+        Ok(StoredProfile {
+            profile: parsed.0,
+            complete: parsed.1,
+            recovered: !intact,
+        })
+    }
+
+    /// Re-hashes every segment against the index: `(module, intact)` pairs,
+    /// sorted by module name. Missing files count as not intact.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors other than a missing segment file.
+    pub fn verify(&self) -> Result<Vec<(String, bool)>, FleetError> {
+        let mut out = Vec::with_capacity(self.index.segments.len());
+        for (name, meta) in &self.index.segments {
+            let seg_path = self.root.join("segments").join(&meta.file);
+            let intact = match fs::read(&seg_path) {
+                Ok(bytes) => format_hash(fnv1a64(&bytes)) == meta.hash,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+                Err(e) => return Err(e.into()),
+            };
+            out.push((name.clone(), intact));
+        }
+        Ok(out)
+    }
+
+    fn write_index(&self) -> Result<(), FleetError> {
+        let text = serde_json::to_string_pretty(&self.index)?;
+        write_atomic(&self.root.join("index.json"), text.as_bytes())
+    }
+}
+
+/// Renders the segment body: header line, summary line, one cell per line.
+fn render_segment(name: &str, profile: &FailureProfile) -> Result<String, FleetError> {
+    let header = SegmentHeader {
+        segment_version: STORE_VERSION,
+        module: name.to_string(),
+        failures: profile.failures.len(),
+    };
+    let summary = FailureProfile {
+        failures: Vec::new(),
+        ..profile.clone()
+    };
+    let mut body = String::new();
+    body.push_str(&serde_json::to_string(&header)?);
+    body.push('\n');
+    body.push_str(&serde_json::to_string(&summary)?);
+    body.push('\n');
+    for cell in &profile.failures {
+        body.push_str(&serde_json::to_string(cell)?);
+        body.push('\n');
+    }
+    Ok(body)
+}
+
+/// Parses a segment body. With `strict` (hash verified) any malformed line
+/// is corruption; without it, cell parsing stops at the first bad line and
+/// the prefix is salvaged. Returns the profile and whether it is complete.
+fn parse_segment(
+    path: &Path,
+    name: &str,
+    text: &str,
+    strict: bool,
+) -> Result<(FailureProfile, bool), FleetError> {
+    let corrupt = |detail: String| FleetError::Corrupt {
+        path: path.to_path_buf(),
+        detail,
+    };
+    let mut lines = text.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| corrupt("empty segment".into()))?;
+    let header: SegmentHeader = serde_json::from_str(header_line)
+        .map_err(|e| corrupt(format!("segment header does not parse: {}", e.0)))?;
+    if header.segment_version != STORE_VERSION {
+        return Err(corrupt(format!(
+            "segment version {} unsupported (expected {STORE_VERSION})",
+            header.segment_version
+        )));
+    }
+    if header.module != name {
+        return Err(corrupt(format!(
+            "segment claims module '{}' but is indexed as '{name}'",
+            header.module
+        )));
+    }
+    let summary_line = lines
+        .next()
+        .ok_or_else(|| corrupt("segment has no summary line".into()))?;
+    let mut profile: FailureProfile = serde_json::from_str(summary_line)
+        .map_err(|e| corrupt(format!("segment summary does not parse: {}", e.0)))?;
+    let mut cells: Vec<FailingCell> = Vec::new();
+    for line in lines {
+        match serde_json::from_str(line) {
+            Ok(cell) => cells.push(cell),
+            Err(e) if strict => {
+                return Err(corrupt(format!(
+                    "failing-cell line does not parse: {}",
+                    e.0
+                )))
+            }
+            Err(_) => break, // salvage: keep the valid prefix
+        }
+    }
+    if strict && cells.len() != header.failures {
+        return Err(corrupt(format!(
+            "segment promises {} failures but records {}",
+            header.failures,
+            cells.len()
+        )));
+    }
+    let complete = cells.len() == header.failures;
+    profile.failures = cells;
+    Ok((profile, complete))
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// then rename over the destination.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), FleetError> {
+    let dir = path.parent().ok_or_else(|| {
+        FleetError::InvalidConfig(format!("path {} has no parent", path.display()))
+    })?;
+    let stem = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("segment");
+    let tmp = dir.join(format!(".tmp-{stem}"));
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbor_obs::InMemoryRecorder;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "parbor-fleet-store-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn sample_profile() -> FailureProfile {
+        FailureProfile {
+            victim_count: 2,
+            discovery_rounds: 10,
+            tests_per_level: vec![18, 24],
+            recursion_tests: 42,
+            distances: vec![-8, 1, 8],
+            chipwide_rounds: 6,
+            failures: vec![
+                FailingCell {
+                    unit: 0,
+                    bank: 1,
+                    row: 7,
+                    col: 100,
+                    value: true,
+                },
+                FailingCell {
+                    unit: 3,
+                    bank: 0,
+                    row: 2,
+                    col: 5,
+                    value: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let root = temp_root("roundtrip");
+        let mut store = ProfileStore::open(&root).expect("open");
+        let profile = sample_profile();
+        let meta = store.put("A1", &profile).expect("put");
+        assert_eq!(meta.failures, 2);
+        assert!(meta.hash.starts_with("fnv64:"));
+        let got = store.get("A1").expect("get");
+        assert_eq!(got.profile, profile);
+        assert!(got.complete);
+        assert!(!got.recovered);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn reopen_sees_index() {
+        let root = temp_root("reopen");
+        let profile = sample_profile();
+        {
+            let mut store = ProfileStore::open(&root).expect("open");
+            store.put("B2", &profile).expect("put");
+        }
+        let store = ProfileStore::open(&root).expect("reopen");
+        assert_eq!(store.modules(), vec!["B2"]);
+        assert_eq!(store.get("B2").expect("get").profile, profile);
+        assert_eq!(store.verify().expect("verify"), vec![("B2".into(), true)]);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn identical_profiles_hash_identically() {
+        let root_a = temp_root("hash-a");
+        let root_b = temp_root("hash-b");
+        let profile = sample_profile();
+        let meta_a = ProfileStore::open(&root_a)
+            .expect("open")
+            .put("M", &profile)
+            .expect("put");
+        let meta_b = ProfileStore::open(&root_b)
+            .expect("open")
+            .put("M", &profile)
+            .expect("put");
+        assert_eq!(meta_a, meta_b);
+        fs::remove_dir_all(&root_a).ok();
+        fs::remove_dir_all(&root_b).ok();
+    }
+
+    #[test]
+    fn corrupt_tail_is_salvaged() {
+        let root = temp_root("salvage");
+        let rec = InMemoryRecorder::handle();
+        let mut store = ProfileStore::open(&root)
+            .expect("open")
+            .with_recorder(RecorderHandle::new(rec.clone()));
+        let profile = sample_profile();
+        let meta = store.put("C3", &profile).expect("put");
+        let seg = root.join("segments").join(&meta.file);
+        // Tear the final line mid-record, as a crash during a partial write
+        // would.
+        let bytes = fs::read(&seg).expect("read segment");
+        fs::write(&seg, &bytes[..bytes.len() - 10]).expect("truncate");
+        let got = store.get("C3").expect("salvage get");
+        assert!(got.recovered);
+        assert!(!got.complete);
+        assert_eq!(got.profile.failures, profile.failures[..1].to_vec());
+        assert_eq!(got.profile.distances, profile.distances);
+        assert_eq!(rec.counter(metrics::fleet::RECOVERY), 1);
+        assert_eq!(store.verify().expect("verify"), vec![("C3".into(), false)]);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        let root = temp_root("names");
+        let mut store = ProfileStore::open(&root).expect("open");
+        let profile = sample_profile();
+        assert!(store.put("../evil", &profile).is_err());
+        assert!(store.put("", &profile).is_err());
+        fs::remove_dir_all(&root).ok();
+    }
+}

@@ -38,6 +38,7 @@
 //! assert_eq!(spans[0].parent, Some(spans[1].id));
 //! ```
 
+pub mod metrics;
 mod recorder;
 mod summary;
 

@@ -1,0 +1,32 @@
+//! Canonical metric names shared across crates.
+//!
+//! Metric names are plain strings at the recording site; the constants here
+//! exist so producers (the fleet orchestrator) and consumers (dashboards,
+//! tests, `bench_report`) agree on spelling without a string literal in
+//! every call site. Stage-level names (`discover.*`, `recursion.*`,
+//! `chipwide.*`, `dram.*`) predate this module and stay literal in their
+//! crates; new subsystems should add their names here.
+
+/// Names recorded by the `parbor-fleet` scan orchestrator.
+pub mod fleet {
+    /// Counter: jobs accepted into the queue (excludes jobs already in the
+    /// profile store).
+    pub const JOBS_QUEUED: &str = "fleet.jobs_queued";
+    /// Gauge: jobs currently executing on a worker.
+    pub const JOBS_RUNNING: &str = "fleet.jobs_running";
+    /// Counter: jobs that finished and landed a profile in the store.
+    pub const JOBS_DONE: &str = "fleet.jobs_done";
+    /// Counter: jobs that errored (no profile landed).
+    pub const JOBS_FAILED: &str = "fleet.jobs_failed";
+    /// Counter: checkpoint records appended to job journals.
+    pub const CHECKPOINTS: &str = "fleet.checkpoints";
+    /// Counter: bytes of checkpoint records written (framing included).
+    pub const CHECKPOINT_BYTES: &str = "fleet.checkpoint_bytes";
+    /// Counter: jobs resumed from a journal instead of started fresh.
+    pub const RESUMES: &str = "fleet.resumes";
+    /// Counter: recovery events — a journal tail or store segment failed
+    /// its checksum and was rolled back to the last valid record.
+    pub const RECOVERY: &str = "fleet.recovery";
+    /// Span: one scan job from claim to completion.
+    pub const JOB_SPAN: &str = "fleet.job";
+}

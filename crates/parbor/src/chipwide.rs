@@ -243,6 +243,22 @@ impl ChipwideTest {
         self.schedule.rounds_per_polarity() * 2
     }
 
+    /// The full round batch — the true-cell polarity pass followed by the
+    /// inverse pass, fixed up front and mutually independent.
+    /// [`run`](ChipwideTest::run) submits the whole batch; a checkpointed
+    /// scan ([`ScanMachine`](crate::ScanMachine)) re-derives it on resume
+    /// and runs the remaining suffix.
+    pub fn round_plans(&self, units: u32, rows: &[RowId], width: usize) -> Vec<RoundPlan> {
+        let mut plans = Vec::with_capacity(self.rounds());
+        for invert in [false, true] {
+            for round in 0..self.schedule.rounds_per_polarity() {
+                let image = self.schedule.round_pattern(round, width, invert);
+                plans.push(RoundPlan::broadcast(units, rows, |_| image.clone()));
+            }
+        }
+        plans
+    }
+
     /// Runs the full test over the given rows of every unit, returning every
     /// distinct failing bit.
     ///
@@ -258,13 +274,7 @@ impl ChipwideTest {
         let units = port.units();
         // The whole schedule is fixed up front — both polarities — so it is
         // submitted to the engine as one independent batch.
-        let mut plans = Vec::with_capacity(self.rounds());
-        for invert in [false, true] {
-            for round in 0..self.schedule.rounds_per_polarity() {
-                let image = self.schedule.round_pattern(round, width, invert);
-                plans.push(RoundPlan::broadcast(units, rows, |_| image.clone()));
-            }
-        }
+        let plans = self.round_plans(units, rows, width);
         let mut exec = RoundExecutor::new(port)
             .with_recorder(self.rec.clone())
             .count_rounds_as("chipwide.rounds")

@@ -55,6 +55,7 @@ mod pipeline;
 mod recursion;
 mod region;
 mod report;
+mod scan;
 mod victim;
 
 pub use aggregate::{DistanceHistogram, RankedDistances};
@@ -68,7 +69,13 @@ pub use error::ParborError;
 pub use mitigation::{FailureDirectory, MitigationPlan};
 pub use online::{OnlinePhase, OnlineProgress, OnlineTester};
 pub use pipeline::{Parbor, ParborConfig, ParborReport};
-pub use recursion::{LevelOutcome, NeighborRecursion, RecursionConfig, RecursionOutcome};
+pub use recursion::{
+    LevelOutcome, NeighborRecursion, RecursionConfig, RecursionOutcome, RecursionState,
+};
 pub use region::LevelPlan;
 pub use report::{naive_test_time, parbor_module_time, ReductionReport, TestTime};
+pub use scan::{
+    CellKey, ChipwideState, DiscoverState, FailingCell, FailureProfile, ScanMachine, ScanState,
+    SeenCell, StageState,
+};
 pub use victim::{Victim, VictimKey, VictimScout, VictimSet};

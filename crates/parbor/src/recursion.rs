@@ -11,7 +11,7 @@
 //! region*, which is what makes rows testable in parallel and results
 //! aggregatable across the whole chip (§5.2.2).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -120,11 +120,124 @@ impl NeighborRecursion {
         port: &mut P,
         victims: &[Victim],
     ) -> Result<RecursionOutcome, ParborError> {
+        let width = port.geometry().cols_per_row as usize;
+        let mut state = RecursionState::start(&self.config, width, victims)?;
+        while !state.is_done() {
+            state.step(&self.config, &self.rec, port, victims, usize::MAX)?;
+        }
+        Ok(state.outcome())
+    }
+}
+
+/// Checkpointable progress of the recursion: everything the level loop
+/// accumulates across rounds, and nothing derivable from the config and
+/// victim list.
+///
+/// [`NeighborRecursion::run`] drives one of these to completion in a single
+/// call; a checkpointed scan ([`ScanMachine`](crate::ScanMachine))
+/// serializes the state between [`step`](RecursionState::step) calls and
+/// later resumes against a port fast-forwarded by the rounds already run —
+/// the remaining rounds and the final outcome are bit-identical to the
+/// uninterrupted run because every round's content is a pure function of
+/// (config, victims, kept distances so far).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecursionState {
+    /// Current level (index into the level plan).
+    level: usize,
+    /// Rounds of the current level already executed.
+    next_round: usize,
+    /// Per-victim liveness (false once discarded as marginal).
+    alive: Vec<bool>,
+    /// Per-victim fail counts at the current level.
+    fails: Vec<usize>,
+    /// Per-victim distances observed at the current level, sorted and
+    /// deduplicated (set semantics).
+    observed: Vec<Vec<i64>>,
+    /// Completed level outcomes.
+    levels: Vec<LevelOutcome>,
+    /// Distances kept at the previous level.
+    kept_parents: Vec<i64>,
+    /// Rounds executed across all completed levels.
+    total_tests: usize,
+    /// Whether the final level has completed.
+    done: bool,
+}
+
+/// The per-round victim regions and per-victim eligibility counts of one
+/// level — pure functions of (plan, victims, liveness, kept distances).
+struct LevelGeometry {
+    round_regions: Vec<Vec<Option<usize>>>,
+    eligible: Vec<usize>,
+}
+
+impl RecursionState {
+    /// Validates the inputs and positions the state before round 0 of
+    /// level 0.
+    ///
+    /// # Errors
+    ///
+    /// * [`ParborError::NoVictims`] if `victims` is empty.
+    /// * [`ParborError::InvalidConfig`] if two victims share a row or the
+    ///   row width has no valid level plan.
+    pub fn start(
+        config: &RecursionConfig,
+        width: usize,
+        victims: &[Victim],
+    ) -> Result<Self, ParborError> {
         if victims.is_empty() {
             return Err(ParborError::NoVictims);
         }
-        let width = port.geometry().cols_per_row as usize;
-        let plan = match &self.config.plan {
+        Self::resolve_plan(config, width)?;
+        let mut keys = std::collections::HashSet::new();
+        for v in victims {
+            if !keys.insert(v.key()) {
+                return Err(ParborError::InvalidConfig(format!(
+                    "two victims share unit {} {}",
+                    v.unit, v.row
+                )));
+            }
+        }
+        Ok(RecursionState {
+            level: 0,
+            next_round: 0,
+            alive: vec![true; victims.len()],
+            fails: vec![0; victims.len()],
+            observed: vec![Vec::new(); victims.len()],
+            levels: Vec::new(),
+            kept_parents: Vec::new(),
+            total_tests: 0,
+            done: false,
+        })
+    }
+
+    /// Whether the final level has completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Rounds executed so far (completed levels plus the current level's
+    /// progress).
+    pub fn rounds_done(&self) -> usize {
+        self.total_tests + self.next_round
+    }
+
+    /// The finished outcome. Meaningful only once [`is_done`](Self::is_done)
+    /// returns true (levels completed so far otherwise).
+    pub fn outcome(&self) -> RecursionOutcome {
+        let distances = self
+            .levels
+            .last()
+            .map(|l| l.kept.clone())
+            .unwrap_or_default();
+        RecursionOutcome {
+            levels: self.levels.clone(),
+            distances,
+            total_tests: self.total_tests,
+        }
+    }
+
+    fn resolve_plan(config: &RecursionConfig, width: usize) -> Result<LevelPlan, ParborError> {
+        match &config.plan {
             Some(p) => {
                 if p.row_bits() != width {
                     return Err(ParborError::InvalidConfig(format!(
@@ -132,165 +245,227 @@ impl NeighborRecursion {
                         p.row_bits()
                     )));
                 }
-                p.clone()
+                Ok(p.clone())
             }
-            None => LevelPlan::paper(width)?,
-        };
-        let mut lookup: HashMap<VictimKey, usize> = HashMap::new();
-        for (i, v) in victims.iter().enumerate() {
-            if lookup.insert(v.key(), i).is_some() {
-                return Err(ParborError::InvalidConfig(format!(
-                    "two victims share unit {} {}",
-                    v.unit, v.row
-                )));
-            }
+            None => LevelPlan::paper(width),
         }
+    }
 
-        let mut alive = vec![true; victims.len()];
-        let mut levels: Vec<LevelOutcome> = Vec::new();
-        let mut kept_parents: Vec<i64> = Vec::new(); // distances at level - 1
-        let mut total_tests = 0usize;
-        let mut exec = RoundExecutor::new(port)
-            .with_recorder(self.rec.clone())
-            .count_rounds_as("recursion.tests");
-
-        for level in 0..plan.levels() {
-            let fanout = plan.fanout(level);
-            let size = plan.sizes()[level];
-            let _level_span = span!(self.rec, "recursion.level", size);
-            let region_count = plan.region_count(level);
-            // Candidate generators: (parent distance, child offset) pairs.
-            // Level 0 has a single virtual parent covering the whole row.
-            let parents: Vec<Option<i64>> = if level == 0 {
-                vec![None]
-            } else {
-                kept_parents.iter().copied().map(Some).collect()
-            };
-
-            let mut fails = vec![0usize; victims.len()];
-            let mut eligible = vec![0usize; victims.len()];
-            let mut observed: Vec<BTreeSet<i64>> = vec![BTreeSet::new(); victims.len()];
-
-            // Within a level every round's content is fixed by the previous
-            // level's kept distances, so the whole level is one independent
-            // batch for the engine (an empty plan still costs one round —
-            // exactly how the paper counts tests).
-            let mut plans: Vec<RoundPlan> = Vec::new();
-            let mut round_regions: Vec<Vec<Option<usize>>> = Vec::new();
-            for parent in &parents {
-                for child in 0..fanout {
-                    // Determine each victim's test region for this round.
-                    let mut regions: Vec<Option<usize>> = vec![None; victims.len()];
-                    for (i, v) in victims.iter().enumerate() {
-                        if !alive[i] {
-                            continue;
-                        }
-                        let own_parent = match parent {
-                            None => 0i64,
-                            Some(d) => plan.region_of(v.col as usize, level - 1) as i64 + d,
-                        };
-                        if parent.is_some()
-                            && (own_parent < 0
-                                || own_parent as usize >= plan.region_count(level - 1))
-                        {
-                            continue; // parent region off the row edge
-                        }
-                        let region = if level == 0 {
-                            child
-                        } else {
-                            own_parent as usize * fanout + child
-                        };
-                        if region < region_count {
-                            regions[i] = Some(region);
-                            eligible[i] += 1;
-                        }
-                    }
-
-                    let mut round = RoundPlan::new();
-                    for (i, v) in victims.iter().enumerate() {
-                        let Some(region) = regions[i] else { continue };
-                        let (lo, hi) = plan
-                            .region_range(region, level)
-                            .expect("region index validated above");
-                        let mut data = if v.fail_value {
-                            RowBits::ones(width)
-                        } else {
-                            RowBits::zeros(width)
-                        };
-                        data.set_range(lo, hi, !v.fail_value);
-                        data.set(v.col as usize, v.fail_value);
-                        round.write(v.unit, v.row, data);
-                    }
-                    plans.push(round);
-                    round_regions.push(regions);
-                }
-            }
-            let rounds_at_level = plans.len();
-
-            for (flips, regions) in exec.run_batch(plans)?.into_iter().zip(&round_regions) {
-                for flip in flips {
-                    let key = VictimKey {
-                        unit: flip.unit,
-                        row: flip.flip.addr.row(),
-                    };
-                    let Some(&i) = lookup.get(&key) else { continue };
-                    if flip.flip.addr.col != victims[i].col {
+    /// Recomputes each round's victim regions and the per-victim eligible
+    /// counts for the current level. Candidate generators are (parent
+    /// distance, child offset) pairs; level 0 has a single virtual parent
+    /// covering the whole row.
+    fn level_geometry(&self, plan: &LevelPlan, victims: &[Victim]) -> LevelGeometry {
+        let level = self.level;
+        let fanout = plan.fanout(level);
+        let region_count = plan.region_count(level);
+        let parents: Vec<Option<i64>> = if level == 0 {
+            vec![None]
+        } else {
+            self.kept_parents.iter().copied().map(Some).collect()
+        };
+        let mut round_regions = Vec::with_capacity(parents.len() * fanout);
+        let mut eligible = vec![0usize; victims.len()];
+        for parent in &parents {
+            for child in 0..fanout {
+                let mut regions: Vec<Option<usize>> = vec![None; victims.len()];
+                for (i, v) in victims.iter().enumerate() {
+                    if !self.alive[i] {
                         continue;
                     }
-                    let Some(region) = regions[i] else { continue };
-                    fails[i] += 1;
-                    let distance =
-                        region as i64 - plan.region_of(victims[i].col as usize, level) as i64;
-                    observed[i].insert(distance);
+                    let own_parent = match parent {
+                        None => 0i64,
+                        Some(d) => plan.region_of(v.col as usize, level - 1) as i64 + d,
+                    };
+                    if parent.is_some()
+                        && (own_parent < 0 || own_parent as usize >= plan.region_count(level - 1))
+                    {
+                        continue; // parent region off the row edge
+                    }
+                    let region = if level == 0 {
+                        child
+                    } else {
+                        own_parent as usize * fanout + child
+                    };
+                    if region < region_count {
+                        regions[i] = Some(region);
+                        eligible[i] += 1;
+                    }
                 }
+                round_regions.push(regions);
             }
+        }
+        LevelGeometry {
+            round_regions,
+            eligible,
+        }
+    }
 
-            // Victim discard: marginal/weak cells fail in most regions.
-            let mut discarded = 0usize;
-            for i in 0..victims.len() {
-                let cutoff = (self.config.discard_fail_fraction * eligible[i] as f64).max(1.0);
-                if alive[i] && eligible[i] > 0 && fails[i] as f64 > cutoff {
-                    alive[i] = false;
-                    observed[i].clear();
-                    discarded += 1;
-                }
-            }
+    /// Materializes the row images of one round from its victim regions.
+    fn build_round(
+        plan: &LevelPlan,
+        level: usize,
+        width: usize,
+        victims: &[Victim],
+        regions: &[Option<usize>],
+    ) -> RoundPlan {
+        let mut round = RoundPlan::new();
+        for (i, v) in victims.iter().enumerate() {
+            let Some(region) = regions[i] else { continue };
+            let (lo, hi) = plan
+                .region_range(region, level)
+                .expect("region index validated during geometry");
+            let mut data = if v.fail_value {
+                RowBits::ones(width)
+            } else {
+                RowBits::zeros(width)
+            };
+            data.set_range(lo, hi, !v.fail_value);
+            data.set(v.col as usize, v.fail_value);
+            round.write(v.unit, v.row, data);
+        }
+        round
+    }
 
-            // Aggregate the surviving observations and rank.
-            let mut histogram = DistanceHistogram::new();
-            for set in &observed {
-                for &d in set {
-                    histogram.record(d);
-                }
-            }
-            let ranked = histogram.rank(self.config.rank_threshold);
-            self.rec
-                .incr("aggregate.distances_kept", ranked.kept().len() as u64);
-            self.rec
-                .incr("aggregate.distances_dropped", ranked.dropped().len() as u64);
-            self.rec
-                .incr("recursion.victims_discarded", discarded as u64);
-            let kept = ranked.kept().to_vec();
-            total_tests += rounds_at_level;
-            levels.push(LevelOutcome {
-                region_size: size,
-                tests: rounds_at_level,
-                histogram,
-                kept: kept.clone(),
-                discarded_victims: discarded,
-            });
-            if kept.is_empty() {
-                return Err(ParborError::NoDistances);
-            }
-            kept_parents = kept;
+    /// Executes up to `budget` rounds of the current level; when the level's
+    /// last round completes, runs the discard/aggregate/rank step and
+    /// advances to the next level (or marks the recursion done). Returns the
+    /// number of rounds executed.
+    ///
+    /// Within a level every round's content is fixed by the previous level's
+    /// kept distances, so any split of the level into consecutive batches is
+    /// bit-identical to one batch (an empty plan still costs one round —
+    /// exactly how the paper counts tests).
+    ///
+    /// # Errors
+    ///
+    /// * [`ParborError::NoDistances`] if every distance was filtered as
+    ///   noise at the completed level (the state is dead afterwards).
+    /// * Device errors from the port.
+    pub fn step<P: TestPort + ?Sized>(
+        &mut self,
+        config: &RecursionConfig,
+        rec: &RecorderHandle,
+        port: &mut P,
+        victims: &[Victim],
+        budget: usize,
+    ) -> Result<usize, ParborError> {
+        if self.done {
+            return Ok(0);
+        }
+        let width = port.geometry().cols_per_row as usize;
+        let plan = Self::resolve_plan(config, width)?;
+        let level = self.level;
+        let size = plan.sizes()[level];
+        let _level_span = span!(*rec, "recursion.level", size);
+        let geometry = self.level_geometry(&plan, victims);
+        let rounds_at_level = geometry.round_regions.len();
+
+        let mut lookup: HashMap<VictimKey, usize> = HashMap::new();
+        for (i, v) in victims.iter().enumerate() {
+            lookup.insert(v.key(), i);
         }
 
-        let distances = levels.last().map(|l| l.kept.clone()).unwrap_or_default();
-        Ok(RecursionOutcome {
-            levels,
-            distances,
-            total_tests,
-        })
+        let end = self.next_round.saturating_add(budget).min(rounds_at_level);
+        let plans: Vec<RoundPlan> = geometry.round_regions[self.next_round..end]
+            .iter()
+            .map(|regions| Self::build_round(&plan, level, width, victims, regions))
+            .collect();
+        let mut exec = RoundExecutor::new(port)
+            .with_recorder(rec.clone())
+            .count_rounds_as("recursion.tests");
+        for (flips, regions) in exec
+            .run_batch(plans)?
+            .into_iter()
+            .zip(&geometry.round_regions[self.next_round..end])
+        {
+            for flip in flips {
+                let key = VictimKey {
+                    unit: flip.unit,
+                    row: flip.flip.addr.row(),
+                };
+                let Some(&i) = lookup.get(&key) else { continue };
+                if flip.flip.addr.col != victims[i].col {
+                    continue;
+                }
+                let Some(region) = regions[i] else { continue };
+                self.fails[i] += 1;
+                let distance =
+                    region as i64 - plan.region_of(victims[i].col as usize, level) as i64;
+                if let Err(pos) = self.observed[i].binary_search(&distance) {
+                    self.observed[i].insert(pos, distance);
+                }
+            }
+        }
+        let executed = end - self.next_round;
+        self.next_round = end;
+        if end == rounds_at_level {
+            self.complete_level(
+                config,
+                rec,
+                size,
+                rounds_at_level,
+                &geometry.eligible,
+                plan.levels(),
+            )?;
+        }
+        Ok(executed)
+    }
+
+    /// The discard/aggregate/rank step at the end of a level.
+    fn complete_level(
+        &mut self,
+        config: &RecursionConfig,
+        rec: &RecorderHandle,
+        size: usize,
+        rounds_at_level: usize,
+        eligible: &[usize],
+        total_levels: usize,
+    ) -> Result<(), ParborError> {
+        // Victim discard: marginal/weak cells fail in most regions.
+        let mut discarded = 0usize;
+        for (i, &elig) in eligible.iter().enumerate().take(self.alive.len()) {
+            let cutoff = (config.discard_fail_fraction * elig as f64).max(1.0);
+            if self.alive[i] && elig > 0 && self.fails[i] as f64 > cutoff {
+                self.alive[i] = false;
+                self.observed[i].clear();
+                discarded += 1;
+            }
+        }
+
+        // Aggregate the surviving observations and rank.
+        let mut histogram = DistanceHistogram::new();
+        for set in &self.observed {
+            for &d in set {
+                histogram.record(d);
+            }
+        }
+        let ranked = histogram.rank(config.rank_threshold);
+        rec.incr("aggregate.distances_kept", ranked.kept().len() as u64);
+        rec.incr("aggregate.distances_dropped", ranked.dropped().len() as u64);
+        rec.incr("recursion.victims_discarded", discarded as u64);
+        let kept = ranked.kept().to_vec();
+        self.total_tests += rounds_at_level;
+        self.levels.push(LevelOutcome {
+            region_size: size,
+            tests: rounds_at_level,
+            histogram,
+            kept: kept.clone(),
+            discarded_victims: discarded,
+        });
+        self.next_round = 0;
+        self.fails.iter_mut().for_each(|f| *f = 0);
+        self.observed.iter_mut().for_each(Vec::clear);
+        if kept.is_empty() {
+            self.done = true; // dead state: no distances survived
+            return Err(ParborError::NoDistances);
+        }
+        self.kept_parents = kept;
+        self.level += 1;
+        if self.level == total_levels {
+            self.done = true;
+        }
+        Ok(())
     }
 }
 

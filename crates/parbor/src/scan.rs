@@ -1,0 +1,689 @@
+//! A checkpointable, resumable form of the PARBOR pipeline.
+//!
+//! [`Parbor::run`](crate::Parbor::run) drives the five steps to completion
+//! inside one process. A *deployed* profiler (paper §VII) instead runs as a
+//! long campaign that must survive interruption: the orchestrator in
+//! `parbor-fleet` periodically persists a [`ScanState`] and, after a crash,
+//! rebuilds the device from its spec, fast-forwards its round clock, and
+//! continues from the exact round where the checkpoint was taken.
+//!
+//! [`ScanMachine`] makes that possible by exposing the pipeline as a state
+//! machine advanced in bounded round batches. Resume is bit-identical
+//! because every round's content is a pure function of the config and the
+//! state accumulated so far, and the simulated device's behavior is a pure
+//! function of its spec plus the round counter (see
+//! [`DramModule::fast_forward`](parbor_dram::DramModule::fast_forward)).
+//!
+//! ```
+//! use parbor_core::{ParborConfig, ScanMachine};
+//! use parbor_dram::{ChipGeometry, DramChip, Vendor};
+//!
+//! # fn main() -> Result<(), parbor_core::ParborError> {
+//! let mut chip = DramChip::new(ChipGeometry::new(1, 64, 8192)?, Vendor::A, 1)?;
+//! let mut machine = ScanMachine::new(ParborConfig::default());
+//! while !machine.is_done() {
+//!     machine.advance(&mut chip, 8)?; // checkpoint machine.state() here
+//! }
+//! assert!(!machine.profile().expect("done").failures.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use parbor_dram::{BitAddr, RoundExecutor, RowId, TestPort};
+use parbor_obs::RecorderHandle;
+
+use crate::chipwide::{ChipwideOutcome, ChipwideTest};
+use crate::error::ParborError;
+use crate::pipeline::{ParborConfig, ParborReport};
+use crate::recursion::{RecursionOutcome, RecursionState};
+use crate::victim::{Victim, VictimScout};
+
+/// Address of one cell across the whole port: unit (chip) plus bit address.
+///
+/// Orderable and usable as a serialized map key, so checkpointed per-cell
+/// accumulations serialize deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellKey {
+    /// Unit (chip) index within the test port.
+    pub unit: u32,
+    /// Bank index.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// System column (bit) index within the row.
+    pub col: u32,
+}
+
+impl CellKey {
+    /// Builds the key of one flip location.
+    pub fn new(unit: u32, addr: BitAddr) -> Self {
+        CellKey {
+            unit,
+            bank: addr.bank,
+            row: addr.row,
+            col: addr.col,
+        }
+    }
+
+    /// The bit address part of the key.
+    pub fn addr(&self) -> BitAddr {
+        BitAddr::new(self.bank, self.row, self.col)
+    }
+}
+
+// Lets `CellKey` key serialized maps (JSON object keys must be strings).
+impl serde::MapKey for CellKey {
+    fn to_key(&self) -> String {
+        format!("{}:{}:{}:{}", self.unit, self.bank, self.row, self.col)
+    }
+
+    fn from_key(s: &str) -> Result<Self, serde::Error> {
+        let bad = || serde::Error::msg(format!("invalid CellKey map key {s:?}"));
+        let mut parts = s.splitn(4, ':');
+        let mut next = || parts.next().and_then(|p| p.parse().ok()).ok_or_else(bad);
+        Ok(CellKey {
+            unit: next()?,
+            bank: next()?,
+            row: next()?,
+            col: next()?,
+        })
+    }
+}
+
+/// Per-cell accumulation of the discovery stage: how often the cell failed
+/// and the value written at its first failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeenCell {
+    /// Rounds in which the cell flipped.
+    pub fails: usize,
+    /// The value written at the first observed failure (the cell's charged
+    /// polarity).
+    pub value: bool,
+}
+
+/// Checkpointable progress of the discovery stage.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiscoverState {
+    next_round: usize,
+    seen: BTreeMap<CellKey, SeenCell>,
+}
+
+impl DiscoverState {
+    /// Executes up to `budget` of the scout's remaining rounds; returns the
+    /// number executed. Complete when it returns less than asked and
+    /// [`is_done`](Self::is_done) is true.
+    fn step<P: TestPort + ?Sized>(
+        &mut self,
+        scout: &VictimScout,
+        rec: &RecorderHandle,
+        port: &mut P,
+        rows: &[RowId],
+        budget: usize,
+    ) -> Result<usize, ParborError> {
+        let width = port.geometry().cols_per_row as usize;
+        let units = port.units();
+        let plans = scout.round_plans(units, rows, width);
+        let end = self.next_round.saturating_add(budget).min(plans.len());
+        let batch: Vec<_> = plans
+            .into_iter()
+            .skip(self.next_round)
+            .take(end - self.next_round)
+            .collect();
+        let mut exec = RoundExecutor::new(port)
+            .with_recorder(rec.clone())
+            .count_rounds_as("discover.rounds")
+            .observe_flips_as("discover.round_flips");
+        for flips in exec.run_batch(batch)? {
+            for flip in flips {
+                self.seen
+                    .entry(CellKey::new(flip.unit, flip.flip.addr))
+                    .or_insert(SeenCell {
+                        fails: 0,
+                        value: flip.flip.expected,
+                    })
+                    .fails += 1;
+            }
+        }
+        let executed = end - self.next_round;
+        self.next_round = end;
+        Ok(executed)
+    }
+
+    fn is_done(&self, scout: &VictimScout) -> bool {
+        self.next_round >= scout.rounds()
+    }
+}
+
+/// Checkpointable progress of the chip-wide test.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChipwideState {
+    next_round: usize,
+    /// First-failure polarity per failing cell. Only rounds executed so far
+    /// contribute, and stepping preserves round order, so the "first
+    /// failure wins" rule matches the batched run exactly.
+    failing: BTreeMap<CellKey, bool>,
+}
+
+impl ChipwideState {
+    fn step<P: TestPort + ?Sized>(
+        &mut self,
+        test: &ChipwideTest,
+        rec: &RecorderHandle,
+        port: &mut P,
+        rows: &[RowId],
+        budget: usize,
+    ) -> Result<usize, ParborError> {
+        let width = port.geometry().cols_per_row as usize;
+        let units = port.units();
+        let plans = test.round_plans(units, rows, width);
+        let end = self.next_round.saturating_add(budget).min(plans.len());
+        let batch: Vec<_> = plans
+            .into_iter()
+            .skip(self.next_round)
+            .take(end - self.next_round)
+            .collect();
+        let mut exec = RoundExecutor::new(port)
+            .with_recorder(rec.clone())
+            .count_rounds_as("chipwide.rounds")
+            .observe_flips_as("chipwide.round_flips");
+        for flips in exec.run_batch(batch)? {
+            for flip in flips {
+                self.failing
+                    .entry(CellKey::new(flip.unit, flip.flip.addr))
+                    .or_insert(flip.flip.expected);
+            }
+        }
+        let executed = end - self.next_round;
+        self.next_round = end;
+        Ok(executed)
+    }
+
+    fn into_outcome(self) -> ChipwideOutcome {
+        ChipwideOutcome {
+            rounds: self.next_round,
+            failing: self
+                .failing
+                .into_iter()
+                .map(|(k, v)| ((k.unit, k.addr()), v))
+                .collect(),
+        }
+    }
+}
+
+/// One failing cell of a finished scan, with the polarity it failed under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FailingCell {
+    /// Unit (chip) index.
+    pub unit: u32,
+    /// Bank index.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// System column of the cell.
+    pub col: u32,
+    /// The data the cell held when it failed (its charged polarity) — what
+    /// DC-REF's content check needs.
+    pub value: bool,
+}
+
+/// The serializable end product of one scan — what the fleet's profile
+/// store persists and the DC-REF/mitigation path reads back.
+///
+/// Equivalent to a [`ParborReport`] with the failing set flattened into a
+/// deterministically sorted list (reports hold a hash map, which neither
+/// serializes nor compares bytewise).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureProfile {
+    /// Victims found by discovery.
+    pub victim_count: usize,
+    /// Rounds spent on discovery (10 in the paper's setup).
+    pub discovery_rounds: usize,
+    /// Recursion rounds per level, coarsest first (one Table 1 row).
+    pub tests_per_level: Vec<usize>,
+    /// Total recursion rounds (Table 1's rightmost column).
+    pub recursion_tests: usize,
+    /// Final signed neighbor distances in bits.
+    pub distances: Vec<i64>,
+    /// Chip-wide test rounds including the inverse-polarity pass.
+    pub chipwide_rounds: usize,
+    /// Every distinct failing cell, sorted by (unit, bank, row, col).
+    pub failures: Vec<FailingCell>,
+}
+
+impl FailureProfile {
+    /// Flattens a pipeline report into a profile.
+    pub fn from_report(report: &ParborReport) -> Self {
+        let mut failures: Vec<FailingCell> = report
+            .chipwide
+            .failing
+            .iter()
+            .map(|(&(unit, addr), &value)| FailingCell {
+                unit,
+                bank: addr.bank,
+                row: addr.row,
+                col: addr.col,
+                value,
+            })
+            .collect();
+        failures.sort();
+        FailureProfile {
+            victim_count: report.victim_count,
+            discovery_rounds: report.discovery_rounds,
+            tests_per_level: report.recursion.tests_per_level(),
+            recursion_tests: report.recursion.total_tests,
+            distances: report.recursion.distances.clone(),
+            chipwide_rounds: report.chipwide.rounds,
+            failures,
+        }
+    }
+
+    /// Total rounds across all phases (the paper's test budget).
+    pub fn total_rounds(&self) -> usize {
+        self.discovery_rounds + self.recursion_tests + self.chipwide_rounds
+    }
+
+    /// Number of distinct failing cells.
+    pub fn failure_count(&self) -> usize {
+        self.failures.len()
+    }
+}
+
+/// Which pipeline stage a [`ScanState`] is in, with that stage's progress.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StageState {
+    /// Step 1: victim discovery.
+    Discover {
+        /// Discovery progress.
+        state: DiscoverState,
+    },
+    /// Steps 2–4: the recursion over the selected victims.
+    Recursion {
+        /// Victims found by discovery (the full population's size).
+        victim_count: usize,
+        /// Victims selected for the recursion (one per unit/row).
+        selected: Vec<Victim>,
+        /// Recursion progress.
+        state: RecursionState,
+    },
+    /// Step 5: the neighbor-aware chip-wide test.
+    Chipwide {
+        /// Victims found by discovery.
+        victim_count: usize,
+        /// The finished recursion outcome.
+        recursion: RecursionOutcome,
+        /// Chip-wide progress.
+        state: ChipwideState,
+    },
+    /// All stages finished.
+    Done {
+        /// The final profile.
+        profile: FailureProfile,
+    },
+}
+
+/// The complete checkpointable state of one scan: the config it runs under,
+/// the port rounds executed so far, and the active stage's progress.
+///
+/// Serializing this (the shims' `serde` derives) and deserializing it in
+/// another process loses nothing: a [`ScanMachine`] rebuilt from the state —
+/// against a port fast-forwarded by [`rounds_done`](Self::rounds_done) —
+/// continues bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanState {
+    /// The scan's pipeline configuration.
+    pub config: ParborConfig,
+    /// Port rounds executed so far (the device fast-forward amount on
+    /// resume).
+    pub rounds_done: u64,
+    /// The active stage and its progress.
+    pub stage: StageState,
+}
+
+impl ScanState {
+    /// A fresh state positioned before discovery round 0.
+    pub fn new(config: ParborConfig) -> Self {
+        ScanState {
+            config,
+            rounds_done: 0,
+            stage: StageState::Discover {
+                state: DiscoverState::default(),
+            },
+        }
+    }
+
+    /// Short name of the active stage (`discover`, `recursion`, `chipwide`,
+    /// `done`).
+    pub fn stage_name(&self) -> &'static str {
+        match &self.stage {
+            StageState::Discover { .. } => "discover",
+            StageState::Recursion { .. } => "recursion",
+            StageState::Chipwide { .. } => "chipwide",
+            StageState::Done { .. } => "done",
+        }
+    }
+}
+
+/// Drives a [`ScanState`] against a [`TestPort`] in bounded round batches.
+///
+/// Behaves exactly like [`Parbor::run`](crate::Parbor::run) — same rounds in
+/// the same order, same outcome — but can stop between any two rounds and
+/// continue later, in this process or another (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ScanMachine {
+    state: ScanState,
+    rec: RecorderHandle,
+}
+
+impl ScanMachine {
+    /// A machine at the start of a fresh scan.
+    pub fn new(config: ParborConfig) -> Self {
+        ScanMachine {
+            state: ScanState::new(config),
+            rec: RecorderHandle::null(),
+        }
+    }
+
+    /// A machine resuming from a checkpointed state.
+    ///
+    /// The port passed to [`advance`](Self::advance) must be in the same
+    /// device state as when the checkpoint was taken — for a simulated
+    /// module, rebuilt from its spec and fast-forwarded by
+    /// [`ScanState::rounds_done`].
+    pub fn from_state(state: ScanState) -> Self {
+        ScanMachine {
+            state,
+            rec: RecorderHandle::null(),
+        }
+    }
+
+    /// Attaches a metrics recorder (stage counters, as in the one-shot
+    /// pipeline).
+    pub fn with_recorder(mut self, rec: RecorderHandle) -> Self {
+        self.rec = rec;
+        self
+    }
+
+    /// The current state (what a checkpoint persists).
+    pub fn state(&self) -> &ScanState {
+        &self.state
+    }
+
+    /// Consumes the machine, returning the state.
+    pub fn into_state(self) -> ScanState {
+        self.state
+    }
+
+    /// Port rounds executed so far.
+    pub fn rounds_done(&self) -> u64 {
+        self.state.rounds_done
+    }
+
+    /// Whether every stage has finished.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state.stage, StageState::Done { .. })
+    }
+
+    /// The final profile, once [`is_done`](Self::is_done).
+    pub fn profile(&self) -> Option<&FailureProfile> {
+        match &self.state.stage {
+            StageState::Done { profile } => Some(profile),
+            _ => None,
+        }
+    }
+
+    fn rows_for<P: TestPort + ?Sized>(&self, port: &P) -> Vec<RowId> {
+        match &self.state.config.rows {
+            Some(rows) => rows.clone(),
+            None => port.geometry().rows().collect(),
+        }
+    }
+
+    /// Executes up to `budget` rounds of the active stage; when a stage's
+    /// last round completes, transitions to the next stage (transitions
+    /// cost zero rounds, so the checkpoint after a transition already holds
+    /// the next stage's initial state). Returns the rounds executed — `0`
+    /// once done.
+    ///
+    /// # Errors
+    ///
+    /// * [`ParborError::NoVictims`] when discovery completes empty.
+    /// * [`ParborError::NoDistances`] when the recursion filters everything.
+    /// * Device errors from the port. The state is dead after an error.
+    pub fn advance<P: TestPort + ?Sized>(
+        &mut self,
+        port: &mut P,
+        budget: usize,
+    ) -> Result<usize, ParborError> {
+        let rows = self.rows_for(port);
+        let executed = match &mut self.state.stage {
+            StageState::Discover { state } => {
+                let scout = VictimScout::new(self.state.config.discovery_seed)
+                    .with_recorder(self.rec.clone());
+                let executed = state.step(&scout, &self.rec, port, &rows, budget)?;
+                if state.is_done(&scout) {
+                    let victims = scout.finish(
+                        state
+                            .seen
+                            .iter()
+                            .map(|(k, s)| ((k.unit, k.addr()), (s.fails, s.value))),
+                    );
+                    if victims.is_empty() {
+                        return Err(ParborError::NoVictims);
+                    }
+                    let selected = victims.select_for_recursion(self.state.config.sample_limit);
+                    let width = port.geometry().cols_per_row as usize;
+                    let rec_state =
+                        RecursionState::start(&self.state.config.recursion, width, &selected)?;
+                    self.state.stage = StageState::Recursion {
+                        victim_count: victims.len(),
+                        selected,
+                        state: rec_state,
+                    };
+                }
+                executed
+            }
+            StageState::Recursion {
+                victim_count,
+                selected,
+                state,
+            } => {
+                let executed = state.step(
+                    &self.state.config.recursion,
+                    &self.rec,
+                    port,
+                    selected,
+                    budget,
+                )?;
+                if state.is_done() {
+                    let recursion = state.outcome();
+                    let width = port.geometry().cols_per_row as usize;
+                    ChipwideTest::new(&recursion.distances, width)?;
+                    self.state.stage = StageState::Chipwide {
+                        victim_count: *victim_count,
+                        recursion,
+                        state: ChipwideState::default(),
+                    };
+                }
+                executed
+            }
+            StageState::Chipwide {
+                victim_count,
+                recursion,
+                state,
+            } => {
+                let width = port.geometry().cols_per_row as usize;
+                let test =
+                    ChipwideTest::new(&recursion.distances, width)?.with_recorder(self.rec.clone());
+                let executed = state.step(&test, &self.rec, port, &rows, budget)?;
+                let total = test.rounds();
+                if state.next_round >= total {
+                    let chipwide = std::mem::take(state).into_outcome();
+                    self.rec
+                        .incr("chipwide.failures", chipwide.failure_count() as u64);
+                    let report = ParborReport {
+                        victim_count: *victim_count,
+                        discovery_rounds: VictimScout::new(self.state.config.discovery_seed)
+                            .rounds(),
+                        recursion: recursion.clone(),
+                        chipwide,
+                    };
+                    self.state.stage = StageState::Done {
+                        profile: FailureProfile::from_report(&report),
+                    };
+                }
+                executed
+            }
+            StageState::Done { .. } => 0,
+        };
+        self.state.rounds_done += executed as u64;
+        Ok(executed)
+    }
+
+    /// Runs the remaining stages to completion and returns the profile.
+    ///
+    /// # Errors
+    ///
+    /// See [`advance`](Self::advance).
+    pub fn run_to_completion<P: TestPort + ?Sized>(
+        &mut self,
+        port: &mut P,
+    ) -> Result<&FailureProfile, ParborError> {
+        while !self.is_done() {
+            self.advance(port, usize::MAX)?;
+        }
+        Ok(self.profile().expect("machine is done"))
+    }
+}
+
+// Compile-time guard: checkpoint lookups key on `CellKey`, whose `HashMap`
+// twin in reports keys on `(u32, BitAddr)`; keep the conversion total.
+#[allow(dead_code)]
+fn _cellkey_roundtrip(map: HashMap<(u32, BitAddr), bool>) -> Vec<CellKey> {
+    map.keys().map(|&(u, a)| CellKey::new(u, a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Parbor;
+    use parbor_dram::{ChipGeometry, DramChip, ModuleSpec, Vendor};
+
+    fn fresh_chip(vendor: Vendor, seed: u64) -> DramChip {
+        DramChip::new(ChipGeometry::new(1, 64, 8192).unwrap(), vendor, seed).unwrap()
+    }
+
+    #[test]
+    fn machine_matches_one_shot_pipeline() {
+        for (vendor, seed) in [(Vendor::A, 1), (Vendor::B, 1), (Vendor::C, 2)] {
+            let config = ParborConfig::default();
+            let report = Parbor::new(config.clone())
+                .run(&mut fresh_chip(vendor, seed))
+                .unwrap();
+            let expected = FailureProfile::from_report(&report);
+
+            let mut machine = ScanMachine::new(config);
+            let profile = machine
+                .run_to_completion(&mut fresh_chip(vendor, seed))
+                .unwrap();
+            assert_eq!(profile, &expected, "vendor {vendor:?}");
+        }
+    }
+
+    #[test]
+    fn single_round_stepping_matches_batched() {
+        let config = ParborConfig::default();
+        let mut machine = ScanMachine::new(config.clone());
+        let batched = machine
+            .run_to_completion(&mut fresh_chip(Vendor::A, 3))
+            .unwrap()
+            .clone();
+
+        let mut stepped = ScanMachine::new(config);
+        let mut chip = fresh_chip(Vendor::A, 3);
+        let mut rounds = 0u64;
+        while !stepped.is_done() {
+            rounds += stepped.advance(&mut chip, 1).unwrap() as u64;
+        }
+        assert_eq!(stepped.rounds_done(), rounds);
+        assert_eq!(chip.rounds_run(), rounds);
+        assert_eq!(stepped.profile().unwrap(), &batched);
+    }
+
+    #[test]
+    fn checkpoint_resume_mid_scan_is_bit_identical() {
+        // Interrupt after an arbitrary prefix, serialize the state, rebuild
+        // a *fresh* device fast-forwarded by the rounds run, and finish.
+        let spec = ModuleSpec {
+            chips: 2,
+            geometry: ChipGeometry::new(1, 48, 8192).unwrap(),
+            seed: 77,
+            ..ModuleSpec::new(Vendor::B)
+        };
+        let config = ParborConfig::default();
+        let mut clean = ScanMachine::new(config.clone());
+        let expected = clean
+            .run_to_completion(&mut spec.build().unwrap())
+            .unwrap()
+            .clone();
+
+        for k in [1usize, 7, 11, 40] {
+            let mut machine = ScanMachine::new(config.clone());
+            let mut module = spec.build().unwrap();
+            let mut left = k;
+            while left > 0 && !machine.is_done() {
+                left -= machine.advance(&mut module, left).unwrap().min(left);
+                if machine.rounds_done() as usize >= k {
+                    break;
+                }
+            }
+            // "Crash": keep only the serialized state.
+            let json = serde_json::to_string(machine.state()).unwrap();
+            drop(machine);
+            drop(module);
+
+            let state: ScanState = serde_json::from_str(&json).unwrap();
+            let mut resumed = ScanMachine::from_state(state);
+            let mut module = spec.build().unwrap();
+            module.fast_forward(resumed.rounds_done());
+            let profile = resumed.run_to_completion(&mut module).unwrap();
+            assert_eq!(profile, &expected, "resume after {k} rounds diverged");
+        }
+    }
+
+    #[test]
+    fn state_json_roundtrip_is_lossless() {
+        let mut machine = ScanMachine::new(ParborConfig::default());
+        let mut chip = fresh_chip(Vendor::C, 4);
+        machine.advance(&mut chip, 5).unwrap();
+        let json = serde_json::to_string(machine.state()).unwrap();
+        let back: ScanState = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, machine.state());
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn empty_discovery_reports_no_victims() {
+        // A single row cannot produce victims on a clean geometry with an
+        // absurd config? Use rows: a region with no faults is unlikely on
+        // simulated chips, so instead check the machine surfaces NoVictims
+        // by scanning one row (too few cells for discovery on vendor B's
+        // sparse rates at this seed).
+        let config = ParborConfig {
+            rows: Some(vec![RowId::new(0, 0)]),
+            ..ParborConfig::default()
+        };
+        let mut machine = ScanMachine::new(config);
+        let mut chip = fresh_chip(Vendor::B, 1);
+        let result = machine.run_to_completion(&mut chip);
+        if let Err(e) = result {
+            assert!(matches!(
+                e,
+                ParborError::NoVictims | ParborError::NoDistances
+            ));
+        }
+    }
+}

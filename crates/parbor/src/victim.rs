@@ -152,6 +152,50 @@ impl VictimScout {
         self.patterns.round_count()
     }
 
+    /// The scout's full round batch: every pattern and its inverse, fixed up
+    /// front and mutually independent. [`discover`](VictimScout::discover)
+    /// runs the whole batch; a checkpointed scan
+    /// ([`ScanMachine`](crate::ScanMachine)) re-derives it on resume and
+    /// runs the remaining suffix.
+    pub fn round_plans(&self, units: u32, rows: &[RowId], width: usize) -> Vec<RoundPlan> {
+        let mut plans = Vec::with_capacity(self.rounds());
+        for pattern in self.patterns.patterns() {
+            for invert in [false, true] {
+                plans.push(RoundPlan::broadcast(units, rows, |row| {
+                    if invert {
+                        pattern.inverse().row_bits(row.row, width)
+                    } else {
+                        pattern.row_bits(row.row, width)
+                    }
+                }));
+            }
+        }
+        plans
+    }
+
+    /// Turns the accumulated per-cell observations — (fail count, value
+    /// written at first failure) per cell — into the victim set: a cell
+    /// qualifies if it failed under *some* pattern but passed under another.
+    pub fn finish(
+        &self,
+        seen: impl IntoIterator<Item = ((u32, BitAddr), (usize, bool))>,
+    ) -> VictimSet {
+        let total_rounds = self.rounds();
+        let victims = seen
+            .into_iter()
+            .filter(|&(_, (fails, _))| fails >= 1 && fails < total_rounds)
+            .map(|((unit, addr), (_, fail_value))| Victim {
+                unit,
+                row: addr.row(),
+                col: addr.col,
+                fail_value,
+            })
+            .collect();
+        let set = VictimSet::from_victims(victims);
+        self.rec.incr("discover.victims", set.len() as u64);
+        set
+    }
+
     /// Runs discovery over the given rows of every unit.
     ///
     /// A cell becomes a victim if it failed in at least one round *and*
@@ -168,23 +212,11 @@ impl VictimScout {
     ) -> Result<VictimSet, ParborError> {
         let width = port.geometry().cols_per_row as usize;
         let units = port.units();
-        let total_rounds = self.rounds();
 
         // The scout's rounds are all fixed up front and mutually
         // independent, so they go to the port as one batch — a multi-chip
         // module runs them chip-parallel across the whole batch.
-        let mut plans = Vec::with_capacity(total_rounds);
-        for pattern in self.patterns.patterns() {
-            for invert in [false, true] {
-                plans.push(RoundPlan::broadcast(units, rows, |row| {
-                    if invert {
-                        pattern.inverse().row_bits(row.row, width)
-                    } else {
-                        pattern.row_bits(row.row, width)
-                    }
-                }));
-            }
-        }
+        let plans = self.round_plans(units, rows, width);
         let mut exec = RoundExecutor::new(port)
             .with_recorder(self.rec.clone())
             .count_rounds_as("discover.rounds")
@@ -199,20 +231,7 @@ impl VictimScout {
                     .0 += 1;
             }
         }
-
-        let victims = seen
-            .into_iter()
-            .filter(|&(_, (fails, _))| fails >= 1 && fails < total_rounds)
-            .map(|((unit, addr), (_, fail_value))| Victim {
-                unit,
-                row: addr.row(),
-                col: addr.col,
-                fail_value,
-            })
-            .collect();
-        let set = VictimSet::from_victims(victims);
-        self.rec.incr("discover.victims", set.len() as u64);
-        Ok(set)
+        Ok(self.finish(seen))
     }
 }
 

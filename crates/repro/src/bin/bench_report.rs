@@ -21,14 +21,16 @@
 //! kernel work alone — `threads_available` records which regime produced the
 //! numbers.
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use parbor_core::{Parbor, ParborConfig, ParborReport};
 use parbor_dram::{
-    ChipGeometry, CouplingStencil, DramModule, KernelMode, ModuleConfig, ModuleId, ParallelMode,
-    PatternKind, RetentionModel, RowFaultMap, RowId, Vendor,
+    ChipGeometry, CouplingStencil, DramModule, KernelMode, ModuleConfig, ModuleId, ModuleSpec,
+    ParallelMode, PatternKind, RetentionModel, RowFaultMap, RowId, Vendor,
 };
+use parbor_fleet::{Fleet, FleetConfig, ScanJob};
 use parbor_obs::{InMemoryRecorder, RecorderHandle, RunSummary};
 use serde::Serialize;
 
@@ -74,12 +76,35 @@ struct StageSpeedup {
     speedup: f64,
 }
 
+/// Fleet orchestrator throughput: the same multi-module campaign run
+/// checkpoint-free and with periodic journaling, stores compared byte for
+/// byte.
+#[derive(Debug, Serialize)]
+struct FleetBench {
+    jobs: usize,
+    workers: usize,
+    checkpoint_every: usize,
+    /// Best-of wall-clock of the checkpoint-free campaign, ms.
+    baseline_ms: f64,
+    /// Best-of wall-clock of the checkpointed campaign, ms.
+    checkpointed_ms: f64,
+    /// Campaign throughput with checkpointing on, in modules per second.
+    modules_per_s: f64,
+    /// Journaling cost relative to the checkpoint-free run, in percent.
+    checkpoint_overhead_pct: f64,
+    /// Journal bytes the checkpointed campaign wrote.
+    checkpoint_bytes: u64,
+    /// Whether every repetition's store was byte-identical across modes.
+    stores_identical: bool,
+}
+
 /// The full benchmark document written to `results/BENCH_pipeline.json`.
 #[derive(Debug, Serialize)]
 struct BenchDoc {
     multi_chip: MultiChipBench,
     kernels: Vec<KernelBench>,
     stages: Vec<StageSpeedup>,
+    fleet: FleetBench,
     summary: RunSummary,
 }
 
@@ -221,6 +246,108 @@ fn kernel_benches() -> Vec<KernelBench> {
     ]
 }
 
+/// Every file under `root`, as sorted (relative path, contents) pairs.
+fn dir_snapshot(root: &Path) -> Result<Vec<(String, Vec<u8>)>, String> {
+    fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, Vec<u8>)>) -> Result<(), String> {
+        for entry in std::fs::read_dir(dir).map_err(|e| e.to_string())? {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            if path.is_dir() {
+                walk(&path, root, out)?;
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| e.to_string())?
+                    .to_string_lossy()
+                    .into_owned();
+                out.push((rel, std::fs::read(&path).map_err(|e| e.to_string())?));
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+/// Times the same three-module campaign with checkpointing off and on;
+/// every repetition's store must be byte-identical across both modes.
+fn fleet_bench() -> Result<FleetBench, String> {
+    const WORKERS: usize = 2;
+    const CHECKPOINT_EVERY: usize = 32; // the FleetConfig default cadence
+    const REPS: usize = 3;
+    let jobs = || -> Result<Vec<ScanJob>, String> {
+        [Vendor::A, Vendor::B, Vendor::C]
+            .iter()
+            .enumerate()
+            .map(|(i, &vendor)| {
+                Ok(ScanJob::new(
+                    format!("{vendor}0"),
+                    ModuleSpec {
+                        chips: 1,
+                        geometry: ChipGeometry::new(1, 96, COLS as u32)
+                            .map_err(|e| e.to_string())?,
+                        seed: 1 + i as u64 * 131_071,
+                        ..ModuleSpec::new(vendor)
+                    },
+                ))
+            })
+            .collect()
+    };
+    let n_jobs = jobs()?.len();
+    let scratch = std::env::temp_dir().join(format!("parbor-bench-fleet-{}", std::process::id()));
+
+    let mut baseline_ms = f64::INFINITY;
+    let mut checkpointed_ms = f64::INFINITY;
+    let mut checkpoint_bytes = 0u64;
+    let mut stores_identical = true;
+    let mut reference_store = None;
+    for rep in 0..REPS {
+        for (mode, checkpoint_every) in [("free", 0usize), ("ckpt", CHECKPOINT_EVERY)] {
+            let root = scratch.join(format!("{mode}-{rep}"));
+            let fleet = Fleet::new(
+                &root,
+                FleetConfig {
+                    workers: WORKERS,
+                    checkpoint_every,
+                    ..FleetConfig::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            let start = Instant::now();
+            let report = fleet.run(jobs()?).map_err(|e| e.to_string())?;
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            if !report.is_clean() {
+                return Err(format!("fleet bench run failed: {report:?}"));
+            }
+            if checkpoint_every == 0 {
+                baseline_ms = baseline_ms.min(ms);
+            } else {
+                checkpointed_ms = checkpointed_ms.min(ms);
+                checkpoint_bytes = report.checkpoint_bytes();
+            }
+            let snapshot = dir_snapshot(&fleet.store_dir())?;
+            stores_identical &=
+                *reference_store.get_or_insert_with(|| snapshot.clone()) == snapshot;
+        }
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+    if !stores_identical {
+        return Err("fleet stores differ between checkpointed and free runs".into());
+    }
+    Ok(FleetBench {
+        jobs: n_jobs,
+        workers: WORKERS,
+        checkpoint_every: CHECKPOINT_EVERY,
+        baseline_ms,
+        checkpointed_ms,
+        modules_per_s: n_jobs as f64 / (checkpointed_ms / 1e3),
+        checkpoint_overhead_pct: (checkpointed_ms / baseline_ms - 1.0) * 100.0,
+        checkpoint_bytes,
+        stores_identical,
+    })
+}
+
 fn phase_ms(summary: &RunSummary, name: &str) -> f64 {
     summary
         .phases
@@ -319,6 +446,7 @@ fn run() -> Result<BenchDoc, String> {
     .collect::<Vec<_>>();
 
     let kernels = kernel_benches();
+    let fleet = fleet_bench()?;
 
     println!(
         "pipeline: {} victims, distances {:?}, {} failures, {} rounds",
@@ -343,6 +471,17 @@ fn run() -> Result<BenchDoc, String> {
             s.name, s.baseline_ms, s.optimized_ms, s.speedup
         );
     }
+    println!(
+        "fleet ({} jobs, {} workers): {:.1} ms free -> {:.1} ms checkpointed \
+         ({:.2} modules/s, {:+.1}% overhead, {} journal bytes)",
+        fleet.jobs,
+        fleet.workers,
+        fleet.baseline_ms,
+        fleet.checkpointed_ms,
+        fleet.modules_per_s,
+        fleet.checkpoint_overhead_pct,
+        fleet.checkpoint_bytes,
+    );
 
     let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
     Ok(BenchDoc {
@@ -358,6 +497,7 @@ fn run() -> Result<BenchDoc, String> {
         },
         kernels,
         stages,
+        fleet,
         summary: opt_summary,
     })
 }

@@ -6,19 +6,23 @@
 //! parbor compare [--vendor A|B|C] [--seed N] [--rows N]
 //! parbor profile [--vendor A|B|C] [--seed N] [--rows N] [--base-interval S]
 //! parbor dcref   [--cycles N] [--mixes N] [--density 8|16|32]
+//! parbor fleet   <run|resume|status|show> [--dir D] [--flag value]...
 //! ```
 //!
-//! Every subcommand operates on the simulated devices; see the fig*/table*
-//! binaries for the exact paper reproductions.
+//! `--parallel auto|always|never` and `--kernel stencil|reference` apply to
+//! every device-building subcommand. Every subcommand operates on the
+//! simulated devices; see the fig*/table* binaries for the exact paper
+//! reproductions.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use parbor_core::{random_pattern_test, Parbor, ParborConfig};
 use parbor_dram::{
-    CellCensus, Celsius, ChipGeometry, ModuleConfig, ModuleId, RetentionProfiler, RowId, Seconds,
-    Vendor,
+    CellCensus, Celsius, ChipGeometry, KernelMode, ModuleConfig, ModuleId, ModuleSpec,
+    ParallelMode, RetentionProfiler, RowId, Seconds, Vendor,
 };
+use parbor_fleet::{Fleet, FleetConfig, ProfileStore, ScanJob};
 use parbor_memsim::{Density, RefreshPolicyKind, Simulation, SystemConfig};
 use parbor_obs::{InMemoryRecorder, RecorderHandle, RunSummary};
 use parbor_workloads::paper_mixes;
@@ -65,34 +69,51 @@ impl Args {
             Some(v) => v.parse().map_err(|_| format!("--{name} must be a number")),
         }
     }
+
+    fn u64_opt(&self, name: &str) -> Result<Option<u64>, String> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} must be a number")),
+        }
+    }
+
+    fn parallel_mode(&self) -> Result<ParallelMode, String> {
+        match self.flags.get("parallel") {
+            None => Ok(ParallelMode::Auto),
+            Some(v) => v.parse().map_err(|e: parbor_dram::DramError| e.to_string()),
+        }
+    }
+
+    fn kernel_mode(&self) -> Result<KernelMode, String> {
+        match self.flags.get("kernel") {
+            None => Ok(KernelMode::Stencil),
+            Some(v) => v.parse().map_err(|e: parbor_dram::DramError| e.to_string()),
+        }
+    }
 }
 
-fn build(
-    vendor: Vendor,
-    seed: u64,
-    rows: u64,
-    chips: u64,
-) -> Result<parbor_dram::DramModule, String> {
-    ModuleConfig::new(vendor)
+fn build(args: &Args, default_chips: u64) -> Result<parbor_dram::DramModule, String> {
+    let rows = args.u64_or("rows", 128)?;
+    let mut module = ModuleConfig::new(args.vendor()?)
         .geometry(ChipGeometry::new(1, rows as u32, 8192).map_err(|e| e.to_string())?)
-        .chips(chips as usize)
-        .seed(seed)
+        .chips(args.u64_or("chips", default_chips)? as usize)
+        .seed(args.u64_or("seed", 1)?)
         .module_id(ModuleId(1))
         .build()
-        .map_err(|e| e.to_string())
+        .map_err(|e| e.to_string())?;
+    module.set_parallel_mode(args.parallel_mode()?);
+    module.set_kernel_mode(args.kernel_mode()?);
+    Ok(module)
 }
 
 fn cmd_detect(args: &Args) -> Result<(), String> {
     let vendor = args.vendor()?;
     let recorder = InMemoryRecorder::handle();
     let rec = RecorderHandle::from(recorder.clone());
-    let mut module = build(
-        vendor,
-        args.u64_or("seed", 1)?,
-        args.u64_or("rows", 128)?,
-        args.u64_or("chips", 8)?,
-    )?
-    .with_recorder(rec.clone());
+    let mut module = build(args, 8)?.with_recorder(rec.clone());
     let report = Parbor::new(ParborConfig::default())
         .with_recorder(rec)
         .run(&mut module)
@@ -120,7 +141,7 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
 fn cmd_census(args: &Args) -> Result<(), String> {
     let vendor = args.vendor()?;
     let rows_n = args.u64_or("rows", 128)?;
-    let mut module = build(vendor, args.u64_or("seed", 1)?, rows_n, 8)?;
+    let mut module = build(args, 8)?;
     let rows: Vec<RowId> = (0..rows_n as u32).map(|r| RowId::new(0, r)).collect();
     let mut census = CellCensus::default();
     for chip in module.chips_mut() {
@@ -139,13 +160,12 @@ fn cmd_census(args: &Args) -> Result<(), String> {
 
 fn cmd_compare(args: &Args) -> Result<(), String> {
     let vendor = args.vendor()?;
-    let seed = args.u64_or("seed", 1)?;
     let rows_n = args.u64_or("rows", 128)?;
-    let mut module = build(vendor, seed, rows_n, 8)?;
+    let mut module = build(args, 8)?;
     let parbor = Parbor::new(ParborConfig::default());
     let report = parbor.run(&mut module).map_err(|e| e.to_string())?;
     let budget = report.total_rounds();
-    let mut fresh = build(vendor, seed, rows_n, 8)?;
+    let mut fresh = build(args, 8)?;
     let rows: Vec<RowId> = (0..rows_n as u32).map(|r| RowId::new(0, r)).collect();
     let random = random_pattern_test(&mut fresh, &rows, budget, 0xC0).map_err(|e| e.to_string())?;
     let p = report.chipwide.failing_bits();
@@ -165,7 +185,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     let vendor = args.vendor()?;
     let rows_n = args.u64_or("rows", 128)?;
     let base = Seconds(args.f64_or("base-interval", 2.0)?);
-    let mut module = build(vendor, args.u64_or("seed", 1)?, rows_n, 1)?;
+    let mut module = build(args, 1)?;
     let rows: Vec<RowId> = (0..rows_n as u32).map(|r| RowId::new(0, r)).collect();
     let profiler = RetentionProfiler::raidr(base, 3).map_err(|e| e.to_string())?;
     let profile = profiler
@@ -226,35 +246,247 @@ fn cmd_dcref(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: parbor <detect|census|compare|profile|dcref> [--flag value]...
+/// Parses a comma-separated vendor list like `A,B,C`.
+fn parse_vendors(list: &str) -> Result<Vec<Vendor>, String> {
+    list.split(',')
+        .map(|v| match v.trim() {
+            "A" | "a" => Ok(Vendor::A),
+            "B" | "b" => Ok(Vendor::B),
+            "C" | "c" => Ok(Vendor::C),
+            other => Err(format!("unknown vendor {other} (use A, B, or C)")),
+        })
+        .collect()
+}
+
+/// Builds the job list for `fleet run` from the CLI flags.
+fn fleet_jobs(args: &Args) -> Result<Vec<ScanJob>, String> {
+    let vendors = parse_vendors(
+        args.flags
+            .get("vendors")
+            .map(String::as_str)
+            .unwrap_or("A,B,C"),
+    )?;
+    let modules = args.u64_or("modules", 1)?;
+    let chips = args.u64_or("chips", 1)? as usize;
+    let rows = args.u64_or("rows", 48)? as u32;
+    let cols = args.u64_or("cols", 8192)? as u32;
+    let base_seed = args.u64_or("seed", 1)?;
+    let geometry = ChipGeometry::new(1, rows, cols).map_err(|e| e.to_string())?;
+    let mut jobs = Vec::new();
+    for vendor in vendors {
+        let vendor_code = match vendor {
+            Vendor::A => 0u64,
+            Vendor::B => 1,
+            Vendor::C => 2,
+        };
+        for idx in 0..modules {
+            let spec = ModuleSpec {
+                chips,
+                geometry,
+                seed: base_seed + idx * 997 + vendor_code * 131_071,
+                ..ModuleSpec::new(vendor)
+            };
+            jobs.push(ScanJob::new(format!("{vendor}{idx}"), spec));
+        }
+    }
+    Ok(jobs)
+}
+
+fn fleet_config(args: &Args) -> Result<FleetConfig, String> {
+    Ok(FleetConfig {
+        workers: args.u64_or("workers", 2)? as usize,
+        checkpoint_every: args.u64_or("checkpoint-every", 32)? as usize,
+        parallel: args.parallel_mode()?,
+        kernel: args.kernel_mode()?,
+        crash_after_checkpoints: args.u64_opt("crash-after")?,
+        halt_after_checkpoints: None,
+    })
+}
+
+fn fleet_print_report(report: &parbor_fleet::FleetReport, store_dir: &std::path::Path) {
+    for job in &report.jobs {
+        let outcome = if let Some(err) = &job.error {
+            format!("FAILED  {err}")
+        } else if job.skipped {
+            "skipped (already stored)".to_string()
+        } else if job.halted {
+            format!("halted  rounds {}", job.rounds)
+        } else {
+            format!(
+                "done    rounds {:>5}  checkpoints {:>3}  failures {:>4}  {}{}",
+                job.rounds,
+                job.checkpoints,
+                job.failures.unwrap_or(0),
+                job.profile_hash.as_deref().unwrap_or("-"),
+                if job.resumed { "  (resumed)" } else { "" },
+            )
+        };
+        println!("  {:<8} {outcome}", job.name);
+    }
+    println!(
+        "completed {}, skipped {}, failed {}, halted {}; {} rounds, {} checkpoint bytes",
+        report.completed(),
+        report.jobs.iter().filter(|j| j.skipped).count(),
+        report.failed(),
+        report.halted(),
+        report.total_rounds(),
+        report.checkpoint_bytes(),
+    );
+    println!("store: {}", store_dir.display());
+}
+
+fn cmd_fleet(argv: &[String]) -> Result<(), String> {
+    let Some(sub) = argv.first() else {
+        return Err("fleet needs a subcommand: run, resume, status, or show".into());
+    };
+    let args = Args::parse(&argv[1..])?;
+    let dir = args
+        .flags
+        .get("dir")
+        .cloned()
+        .unwrap_or_else(|| "results/fleet".to_string());
+    match sub.as_str() {
+        "run" | "resume" => {
+            let jobs = if sub == "run" {
+                fleet_jobs(&args)?
+            } else {
+                Vec::new()
+            };
+            let fleet = Fleet::new(&dir, fleet_config(&args)?)
+                .map_err(|e| e.to_string())?
+                .with_recorder(RecorderHandle::from(InMemoryRecorder::handle()));
+            println!(
+                "fleet {sub}: {} under {dir}",
+                if sub == "run" {
+                    format!("{} jobs", jobs.len())
+                } else {
+                    "journaled jobs".to_string()
+                }
+            );
+            let report = if sub == "run" {
+                fleet.run(jobs).map_err(|e| e.to_string())?
+            } else {
+                fleet.resume().map_err(|e| e.to_string())?
+            };
+            fleet_print_report(&report, &fleet.store_dir());
+            if report.failed() > 0 {
+                return Err(format!("{} job(s) failed", report.failed()));
+            }
+            Ok(())
+        }
+        "status" => {
+            let fleet = Fleet::new(&dir, FleetConfig::default()).map_err(|e| e.to_string())?;
+            let statuses = fleet.status().map_err(|e| e.to_string())?;
+            if statuses.is_empty() {
+                println!("no jobs under {dir}");
+                return Ok(());
+            }
+            for status in statuses {
+                match status.state {
+                    parbor_fleet::JobState::Done => println!(
+                        "  {:<8} done       rounds {:>5}  failures {}",
+                        status.name,
+                        status.rounds,
+                        status.failures.unwrap_or(0)
+                    ),
+                    parbor_fleet::JobState::InFlight => println!(
+                        "  {:<8} in-flight  rounds {:>5}  stage {}",
+                        status.name, status.rounds, status.stage
+                    ),
+                }
+            }
+            Ok(())
+        }
+        "show" => {
+            let name = args
+                .flags
+                .get("module")
+                .ok_or("fleet show needs --module <name>")?;
+            let store = ProfileStore::open(std::path::Path::new(&dir).join("store"))
+                .map_err(|e| e.to_string())?;
+            let stored = store.get(name).map_err(|e| e.to_string())?;
+            let profile = &stored.profile;
+            println!("module           : {name}");
+            println!("victims          : {}", profile.victim_count);
+            println!("distances        : {:?}", profile.distances);
+            println!("tests per level  : {:?}", profile.tests_per_level);
+            println!("chip-wide rounds : {}", profile.chipwide_rounds);
+            println!("failures         : {}", profile.failures.len());
+            println!("total budget     : {} rounds", profile.total_rounds());
+            if stored.recovered {
+                println!(
+                    "WARNING: segment was recovered from corruption ({})",
+                    if stored.complete {
+                        "complete"
+                    } else {
+                        "partial"
+                    }
+                );
+            }
+            for cell in profile.failures.iter().take(10) {
+                println!(
+                    "  unit {} bank {} row {:>5} col {:>5} value {}",
+                    cell.unit, cell.bank, cell.row, cell.col, cell.value as u8
+                );
+            }
+            if profile.failures.len() > 10 {
+                println!("  … {} more", profile.failures.len() - 10);
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown fleet subcommand {other} (use run, resume, status, or show)"
+        )),
+    }
+}
+
+const USAGE: &str = "usage: parbor <detect|census|compare|profile|dcref|fleet> [--flag value]...
   detect   run the full PARBOR pipeline on a simulated module
   census   device-side cell-class census (ground truth)
   compare  PARBOR vs equal-budget random-pattern testing
   profile  RAIDR-style retention-interval ladder
   dcref    refresh-policy performance comparison
+  fleet    sharded scan campaigns with checkpoint/resume:
+             fleet run    --dir D [--vendors A,B,C] [--modules N] [--chips N]
+                          [--rows N] [--cols N] [--seed N] [--workers N]
+                          [--checkpoint-every N] [--crash-after N]
+             fleet resume --dir D [--workers N] [--checkpoint-every N]
+             fleet status --dir D
+             fleet show   --dir D --module NAME
 common flags: --vendor A|B|C  --seed N  --rows N  --chips N
-dcref flags : --cycles N  --mixes N  --density 8|16|32";
+              --parallel auto|always|never   row-level parallelism policy
+              --kernel stencil|reference     coupling kernel implementation
+dcref flags : --cycles N  --mixes N  --density 8|16|32
+help        : parbor --help (or -h) prints this message";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = argv.first() else {
+    if argv.is_empty() {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
-    };
-    let args = match Args::parse(&argv[1..]) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}\n{USAGE}");
-            return ExitCode::FAILURE;
+    }
+    if argv
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let cmd = &argv[0];
+    let result = if cmd == "fleet" {
+        cmd_fleet(&argv[1..])
+    } else {
+        match Args::parse(&argv[1..]) {
+            Err(e) => Err(e),
+            Ok(args) => match cmd.as_str() {
+                "detect" => cmd_detect(&args),
+                "census" => cmd_census(&args),
+                "compare" => cmd_compare(&args),
+                "profile" => cmd_profile(&args),
+                "dcref" => cmd_dcref(&args),
+                other => Err(format!("unknown command {other}")),
+            },
         }
-    };
-    let result = match cmd.as_str() {
-        "detect" => cmd_detect(&args),
-        "census" => cmd_census(&args),
-        "compare" => cmd_compare(&args),
-        "profile" => cmd_profile(&args),
-        "dcref" => cmd_dcref(&args),
-        other => Err(format!("unknown command {other}")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -1,0 +1,176 @@
+//! Integration tests for the `parbor` CLI: flag handling, `--help`, and the
+//! fleet crash/resume workflow driven through the real binary.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BIN: &str = env!("CARGO_BIN_EXE_parbor");
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn parbor binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("parbor-cli-{}-{tag}-{n}", std::process::id()))
+}
+
+/// Every file under `root`, as sorted (relative path, contents) pairs.
+fn dir_snapshot(root: &Path) -> Vec<(String, Vec<u8>)> {
+    fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, Vec<u8>)>) {
+        for entry in fs::read_dir(dir).expect("read_dir") {
+            let path = entry.expect("entry").path();
+            if path.is_dir() {
+                walk(&path, root, out);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("under root")
+                    .to_string_lossy()
+                    .into_owned();
+                out.push((rel, fs::read(&path).expect("read file")));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(root, root, &mut out);
+    out.sort();
+    out
+}
+
+#[test]
+fn help_documents_the_mode_flags() {
+    for args in [&["--help"][..], &["-h"], &["detect", "--help"]] {
+        let out = run(args);
+        assert!(out.status.success(), "{args:?} must exit 0");
+        let text = stdout(&out);
+        assert!(text.contains("--parallel auto|always|never"), "{args:?}");
+        assert!(text.contains("--kernel stencil|reference"), "{args:?}");
+        assert!(text.contains("fleet run"), "{args:?}");
+    }
+}
+
+#[test]
+fn mode_flags_are_accepted_and_do_not_change_results() {
+    let base = run(&["detect", "--vendor", "B", "--rows", "48", "--chips", "1"]);
+    assert!(base.status.success());
+    let base_head: Vec<String> = stdout(&base).lines().take(7).map(String::from).collect();
+    assert!(base_head.iter().any(|l| l.starts_with("victims")));
+
+    for modes in [
+        &["--parallel", "never", "--kernel", "reference"][..],
+        &["--parallel", "always", "--kernel", "stencil"],
+        &["--parallel", "auto"],
+    ] {
+        let mut args = vec!["detect", "--vendor", "B", "--rows", "48", "--chips", "1"];
+        args.extend_from_slice(modes);
+        let out = run(&args);
+        assert!(out.status.success(), "{modes:?} must succeed");
+        let head: Vec<String> = stdout(&out).lines().take(7).map(String::from).collect();
+        assert_eq!(head, base_head, "{modes:?} changed detection results");
+    }
+}
+
+#[test]
+fn bad_mode_values_are_rejected() {
+    for args in [
+        &["detect", "--rows", "48", "--parallel", "sometimes"][..],
+        &["detect", "--rows", "48", "--kernel", "magic"],
+    ] {
+        let out = run(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+    }
+}
+
+#[test]
+fn fleet_crash_resume_store_is_byte_identical_to_clean_run() {
+    let clean = temp_dir("fleet-clean");
+    let crashed = temp_dir("fleet-crash");
+    let jobs = |dir: &Path| {
+        vec![
+            "fleet".to_string(),
+            "run".to_string(),
+            "--dir".to_string(),
+            dir.display().to_string(),
+            "--vendors".to_string(),
+            "A,B".to_string(),
+            "--modules".to_string(),
+            "1".to_string(),
+            "--rows".to_string(),
+            "48".to_string(),
+            "--workers".to_string(),
+            "1".to_string(),
+            "--checkpoint-every".to_string(),
+            "16".to_string(),
+        ]
+    };
+
+    let out = Command::new(BIN)
+        .args(jobs(&clean))
+        .output()
+        .expect("clean run");
+    assert!(out.status.success(), "clean run failed: {out:?}");
+
+    // Kill the fleet after two checkpoints, mid-scan.
+    let mut crash_args = jobs(&crashed);
+    crash_args.extend(["--crash-after".to_string(), "2".to_string()]);
+    let out = Command::new(BIN)
+        .args(crash_args)
+        .output()
+        .expect("crash run");
+    assert_eq!(
+        out.status.code(),
+        Some(42),
+        "crash hook must exit with the sentinel code"
+    );
+
+    // The journal survives and status sees the in-flight jobs.
+    let out = run(&["fleet", "status", "--dir", &crashed.display().to_string()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("in-flight"), "{}", stdout(&out));
+
+    // Resume and compare the stores byte for byte.
+    let out = run(&[
+        "fleet",
+        "resume",
+        "--dir",
+        &crashed.display().to_string(),
+        "--workers",
+        "1",
+        "--checkpoint-every",
+        "16",
+    ]);
+    assert!(out.status.success(), "resume failed: {out:?}");
+    assert!(stdout(&out).contains("(resumed)"));
+
+    assert_eq!(
+        dir_snapshot(&crashed.join("store")),
+        dir_snapshot(&clean.join("store")),
+        "resumed store differs from the uninterrupted run"
+    );
+
+    // Show reads a stored profile back.
+    let out = run(&[
+        "fleet",
+        "show",
+        "--dir",
+        &crashed.display().to_string(),
+        "--module",
+        "A0",
+    ]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("total budget"));
+
+    fs::remove_dir_all(&clean).ok();
+    fs::remove_dir_all(&crashed).ok();
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Diffs every repro binary's stdout against its archive under results/.
+# Run from the repo root after `cargo build --release`. Any drift between
+# the code and the committed archives fails the script.
+set -euo pipefail
+
+BIN=target/release
+fail=0
+
+check() {
+    local archive="results/$1"
+    shift
+    local tmp
+    tmp=$(mktemp)
+    "$BIN/$1" "${@:2}" >"$tmp" 2>/dev/null
+    if ! diff -u "$archive" "$tmp" >/dev/null; then
+        echo "ARCHIVE DRIFT: $archive does not match $* output"
+        diff -u "$archive" "$tmp" | head -20 || true
+        fail=1
+    fi
+    rm -f "$tmp"
+}
+
+# No-argument binaries archive as results/<binary>.txt.
+for bin in ablation_llc ablation_mapping ablation_ranking ablation_scheduler \
+    appendix_test_time cell_census dcref_content_check deployment_plan \
+    derive_weak_fraction ecc_analysis fig11_distances fig12_extra_failures \
+    fig13_coverage fig14_ranking fig15_sample_size sensitivity_temperature \
+    table1_test_counts; do
+    check "$bin.txt" "$bin"
+done
+
+# fig16 archives the reduced-cycle invocation used since PR 0.
+check fig16.txt fig16_dcref 400000 32
+
+if [ "$fail" -ne 0 ]; then
+    echo "archive check FAILED"
+    exit 1
+fi
+echo "all archives match"

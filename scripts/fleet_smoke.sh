@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Kill-and-resume determinism smoke: start a multi-module fleet scan, kill
+# the process mid-flight (the --crash-after hook exits 42 right after a
+# checkpoint lands), resume from the journals, and fail if the resumed
+# profile store differs byte-for-byte from an uninterrupted run's.
+# Run from the repo root after `cargo build --release`.
+set -euo pipefail
+
+BIN=target/release/parbor
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+common=(--vendors A,B,C --modules 1 --rows 48 --workers 2 --checkpoint-every 16)
+
+"$BIN" fleet run --dir "$work/clean" "${common[@]}" >/dev/null
+
+set +e
+"$BIN" fleet run --dir "$work/crash" "${common[@]}" --crash-after 2 >/dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 42 ]; then
+    echo "expected the crash hook's exit code 42, got $code"
+    exit 1
+fi
+
+echo "-- status after kill --"
+"$BIN" fleet status --dir "$work/crash"
+echo "-- resume --"
+"$BIN" fleet resume --dir "$work/crash" --workers 2 --checkpoint-every 16
+
+diff -r "$work/clean/store" "$work/crash/store"
+echo "fleet smoke OK: resumed store is byte-identical to the clean run"

@@ -333,3 +333,82 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume invariants (the parbor-fleet contract): a scan state
+// survives JSON losslessly at any point, and a scan interrupted after an
+// arbitrary number of rounds finishes with the exact same profile.
+// ---------------------------------------------------------------------------
+
+mod checkpointing {
+    use super::*;
+    use parbor_core::{FailureProfile, ScanMachine, ScanState};
+    use parbor_dram::{ChipGeometry, ModuleSpec};
+    use std::sync::OnceLock;
+
+    fn spec(vendor: Vendor, seed: u64) -> ModuleSpec {
+        ModuleSpec {
+            chips: 1,
+            geometry: ChipGeometry::new(1, 48, 8192).unwrap(),
+            seed,
+            ..ModuleSpec::new(vendor)
+        }
+    }
+
+    /// The uninterrupted reference profile, computed once for the fixed
+    /// module the resume property runs against.
+    fn clean_profile() -> &'static FailureProfile {
+        static CLEAN: OnceLock<FailureProfile> = OnceLock::new();
+        CLEAN.get_or_init(|| {
+            let mut machine = ScanMachine::new(ParborConfig::default());
+            let mut module = spec(Vendor::B, 77).build().unwrap();
+            machine.run_to_completion(&mut module).unwrap().clone()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn scan_state_json_roundtrip_is_lossless_at_any_prefix(
+            vendor_idx in 0usize..3,
+            seed in 1u64..5000,
+            k in 0usize..64,
+        ) {
+            let mut machine = ScanMachine::new(ParborConfig::default());
+            let mut module = spec(Vendor::ALL[vendor_idx], seed).build().unwrap();
+            let mut left = k;
+            while left > 0 && !machine.is_done() {
+                match machine.advance(&mut module, left) {
+                    Ok(0) | Err(_) => break,
+                    Ok(ran) => left -= ran.min(left),
+                }
+            }
+            let json = serde_json::to_string(machine.state()).unwrap();
+            let back: ScanState = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(&back, machine.state());
+            prop_assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        }
+
+        #[test]
+        fn scan_interrupted_after_k_rounds_resumes_bit_identical(k in 0u64..300) {
+            // Run the scan for (up to) k rounds, "crash" keeping only the
+            // serialized checkpoint, rebuild a fresh device fast-forwarded
+            // past the executed rounds, and finish.
+            let mut machine = ScanMachine::new(ParborConfig::default());
+            let mut module = spec(Vendor::B, 77).build().unwrap();
+            while machine.rounds_done() < k && !machine.is_done() {
+                let budget = (k - machine.rounds_done()) as usize;
+                machine.advance(&mut module, budget).unwrap();
+            }
+            let json = serde_json::to_string(machine.state()).unwrap();
+            drop(machine);
+            drop(module);
+
+            let state: ScanState = serde_json::from_str(&json).unwrap();
+            let mut resumed = ScanMachine::from_state(state);
+            let mut module = spec(Vendor::B, 77).build().unwrap();
+            module.fast_forward(resumed.rounds_done());
+            let profile = resumed.run_to_completion(&mut module).unwrap();
+            prop_assert_eq!(profile, clean_profile());
+        }
+    }
+}
