@@ -10,8 +10,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::bits::RowBits;
-use crate::error::DramError;
+use parbor_hal::DramError;
+use parbor_hal::RowBits;
 
 /// Chips per rank (x8 devices on a 64-bit bus).
 pub const CHIPS_PER_RANK: u32 = 8;

@@ -29,14 +29,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::bits::RowBits;
-use crate::error::DramError;
-use crate::geometry::RowId;
 use crate::hash::{
     cell_hash01, finish_tag, hash01, mix64, prefix_col, stream_prefix, unit_threshold,
 };
 use crate::retention::RetentionModel;
 use crate::scrambler::Scrambler;
+use parbor_hal::DramError;
+use parbor_hal::RowBits;
+use parbor_hal::RowId;
 
 // Hash stream tags. Each independent per-cell draw uses its own tag.
 const TAG_INTERESTING: u64 = 1;

@@ -6,8 +6,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::cell::{CellClass, FaultKind};
 use crate::chip::DramChip;
-use crate::error::DramError;
-use crate::geometry::RowId;
+use parbor_hal::DramError;
+use parbor_hal::RowId;
 
 /// Aggregate census of a set of rows on one chip.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -121,8 +121,8 @@ impl CellCensus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::geometry::ChipGeometry;
     use crate::vendor::Vendor;
+    use parbor_hal::ChipGeometry;
 
     fn census_of(vendor: Vendor, rows: u32, seed: u64) -> CellCensus {
         let mut chip =

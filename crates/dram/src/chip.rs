@@ -5,15 +5,15 @@ use std::sync::Arc;
 
 use parbor_obs::RecorderHandle;
 
-use crate::bits::RowBits;
 use crate::cell::{marginal_fails, vrt_leaky, CellClass, FaultKind, FaultRates, RowFaultMap};
 use crate::config::{Celsius, Seconds};
-use crate::error::DramError;
-use crate::geometry::{BitAddr, ChipGeometry, RowId};
 use crate::noise::NoiseModel;
 use crate::retention::RetentionModel;
 use crate::scrambler::Scrambler;
-use crate::stencil::{CouplingStencil, KernelMode};
+use parbor_hal::KernelMode;
+use parbor_hal::{BitAddr, BitFlip, ChipGeometry, DramError, RowBits, RowId};
+
+use crate::stencil::CouplingStencil;
 
 /// Default bound on the per-chip fault-map cache (entries, i.e. rows).
 ///
@@ -28,15 +28,6 @@ pub const DEFAULT_FAULT_MAP_CAPACITY: usize = 8192;
 /// over (discovery runs each pattern twice, chip-wide rounds repeat
 /// per-polarity), so a small cache captures nearly all repeats.
 pub const DEFAULT_EVAL_CACHE_CAPACITY: usize = 512;
-
-/// A bit that read back different from what was written.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct BitFlip {
-    /// System address of the flipped bit.
-    pub addr: BitAddr,
-    /// The value that was written (the read value is its inverse).
-    pub expected: bool,
-}
 
 /// One simulated DRAM chip.
 ///

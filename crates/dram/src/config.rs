@@ -5,12 +5,12 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::cell::FaultRates;
-use crate::error::DramError;
-use crate::geometry::ChipGeometry;
 use crate::module::{DramModule, ModuleId};
 use crate::retention::RetentionModel;
 use crate::scrambler::Scrambler;
 use crate::vendor::Vendor;
+use parbor_hal::ChipGeometry;
+use parbor_hal::DramError;
 
 /// A temperature in degrees Celsius.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]

@@ -44,16 +44,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod bits;
 pub mod burst;
 mod cell;
 mod census;
 mod chip;
 mod config;
 pub mod ecc;
-mod engine;
-mod error;
-mod geometry;
 mod hash;
 mod module;
 mod noise;
@@ -66,21 +62,26 @@ mod stencil;
 mod vendor;
 mod walk;
 
-pub use bits::RowBits;
+// The shared data vocabulary now lives in `parbor-hal` and is re-exported
+// here so geometry-level users keep one import path. The *port and engine*
+// types (`TestPort`, `RowWrite`, `Flip`, `BitFlip`, `RoundPlan`,
+// `RoundExecutor`, `ParallelMode`, `KernelMode`) are deliberately NOT
+// re-exported: backends are interchangeable only if everyone names the
+// interface by its own crate, so importing those from `parbor_dram` is a
+// compile error by design.
+pub use parbor_hal::{BitAddr, ChipGeometry, DramError, RowBits, RowId};
+
 pub use cell::{CellClass, CellFault, CellProfile, CellRef, FaultKind, FaultRates, RowFaultMap};
 pub use census::CellCensus;
-pub use chip::{BitFlip, DramChip, DEFAULT_EVAL_CACHE_CAPACITY, DEFAULT_FAULT_MAP_CAPACITY};
+pub use chip::{DramChip, DEFAULT_EVAL_CACHE_CAPACITY, DEFAULT_FAULT_MAP_CAPACITY};
 pub use config::{Celsius, ModuleConfig, ModuleSpec, Seconds};
-pub use engine::{RoundExecutor, RoundPlan};
-pub use error::DramError;
-pub use geometry::{BitAddr, ChipGeometry, RowId};
-pub use module::{DramModule, Flip, ModuleId, ParallelMode, RowWrite, TestPort};
+pub use module::{DramModule, ModuleId};
 pub use noise::NoiseModel;
 pub use pattern::{PatternKind, PatternSet};
 pub use profiling::{RetentionProfile, RetentionProfiler};
 pub use remap::RemapTable;
 pub use retention::RetentionModel;
 pub use scrambler::{IdentityScrambler, Scrambler, TileWalkScrambler};
-pub use stencil::{CouplingStencil, KernelMode};
+pub use stencil::CouplingStencil;
 pub use vendor::Vendor;
 pub use walk::{hamiltonian_walk, walk_distance_set, WalkError};

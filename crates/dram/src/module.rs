@@ -11,18 +11,18 @@ use std::sync::Arc;
 use parbor_obs::RecorderHandle;
 use serde::{Deserialize, Serialize};
 
-use crate::bits::RowBits;
+use parbor_hal::{
+    BitFlip, ChipGeometry, DramError, Flip, KernelMode, ParallelMode, RoundPlan, RowBits, RowId,
+    RowWrite, TestPort,
+};
+
 use crate::cell::FaultRates;
-use crate::chip::{BitFlip, DramChip};
+use crate::chip::DramChip;
 use crate::config::{Celsius, Seconds};
-use crate::engine::RoundPlan;
-use crate::error::DramError;
-use crate::geometry::{ChipGeometry, RowId};
 use crate::hash::mix64;
 use crate::pattern::PatternKind;
 use crate::retention::RetentionModel;
 use crate::scrambler::Scrambler;
-use crate::stencil::KernelMode;
 use crate::vendor::Vendor;
 
 /// Identifier of a module within an experiment population (e.g. the paper's
@@ -36,72 +36,10 @@ impl fmt::Display for ModuleId {
     }
 }
 
-/// A write of one row image into one unit (chip) of a test port.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RowWrite {
-    /// Unit (chip) index.
-    pub unit: u32,
-    /// Target row.
-    pub row: RowId,
-    /// Row image in system bit order.
-    pub data: RowBits,
-}
-
-/// A bit flip observed through a test port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Flip {
-    /// Unit (chip) index the flip occurred in.
-    pub unit: u32,
-    /// The flipped bit.
-    pub flip: BitFlip,
-}
-
-/// The system-level testing interface: write rows, wait one refresh
-/// interval, read back, observe flips.
-///
-/// Implemented by [`DramChip`] (one unit) and [`DramModule`] (one unit per
-/// chip). PARBOR is written against this trait, mirroring the paper's
-/// host-side test harness talking to the memory controller.
-pub trait TestPort {
-    /// Per-unit chip geometry.
-    fn geometry(&self) -> ChipGeometry;
-
-    /// Number of independently writable units (chips).
-    fn units(&self) -> u32;
-
-    /// Executes one test round: writes everything in `writes`, waits one
-    /// refresh interval, reads the written rows back, and returns all flips.
-    ///
-    /// Writes are taken by value so implementations can move row images
-    /// straight into device storage without cloning.
-    ///
-    /// # Errors
-    ///
-    /// Fails on out-of-range units/rows or width mismatches.
-    fn run_round(&mut self, writes: Vec<RowWrite>) -> Result<Vec<Flip>, DramError>;
-
-    /// Executes a batch of *mutually independent* rounds, returning each
-    /// round's flips in plan order.
-    ///
-    /// The default implementation loops [`run_round`](TestPort::run_round),
-    /// so existing `TestPort` implementations keep working unchanged.
-    /// [`DramModule`] overrides it to run its chips in parallel across the
-    /// whole batch; results are bit-identical to the serial loop.
-    ///
-    /// # Errors
-    ///
-    /// Fails on the first round that fails; earlier rounds stay applied.
-    fn run_rounds(&mut self, plans: Vec<RoundPlan>) -> Result<Vec<Vec<Flip>>, DramError> {
-        plans
-            .into_iter()
-            .map(|plan| self.run_round(plan.into_writes()))
-            .collect()
-    }
-
-    /// Number of rounds executed so far (the paper's test-count metric).
-    fn rounds_run(&self) -> u64;
-}
-
+// The simulator side of the HAL contract: [`parbor_hal::TestPort`] is
+// implemented here (rather than in `parbor-hal`) because the trait and the
+// backend now live in different crates, with the backend depending on the
+// interface.
 impl TestPort for DramChip {
     fn geometry(&self) -> ChipGeometry {
         DramChip::geometry(self)
@@ -136,6 +74,18 @@ impl TestPort for DramChip {
 
     fn rounds_run(&self) -> u64 {
         DramChip::rounds_run(self)
+    }
+
+    fn fast_forward(&mut self, rounds: u64) {
+        DramChip::fast_forward(self, rounds);
+    }
+
+    fn set_kernel_mode(&mut self, mode: KernelMode) {
+        DramChip::set_kernel_mode(self, mode);
+    }
+
+    fn set_recorder(&mut self, rec: RecorderHandle) {
+        DramChip::set_recorder(self, rec);
     }
 }
 
@@ -173,7 +123,8 @@ fn chip_rounds(
 /// # Examples
 ///
 /// ```
-/// use parbor_dram::{ModuleConfig, Vendor, ChipGeometry, PatternKind, RowId, TestPort};
+/// use parbor_dram::{ModuleConfig, Vendor, ChipGeometry, PatternKind, RowId};
+/// use parbor_hal::TestPort;
 ///
 /// # fn main() -> Result<(), parbor_dram::DramError> {
 /// let mut m = ModuleConfig::new(Vendor::A)
@@ -197,46 +148,6 @@ pub struct DramModule {
     parallel: ParallelMode,
     kernel: KernelMode,
     rec: RecorderHandle,
-}
-
-/// How a [`DramModule`] schedules its chips within a round batch.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum ParallelMode {
-    /// Scoped threads when the host has more than one hardware thread (the
-    /// default): parallel where it helps, serial where it would only add
-    /// spawn overhead.
-    #[default]
-    Auto,
-    /// Always spawn scoped threads, even on a single-core host. Exists so
-    /// tests can exercise the threaded merge path deterministically.
-    Always,
-    /// Always run chips serially (for measurement baselines).
-    Never,
-}
-
-impl std::str::FromStr for ParallelMode {
-    type Err = DramError;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "auto" => Ok(ParallelMode::Auto),
-            "always" => Ok(ParallelMode::Always),
-            "never" => Ok(ParallelMode::Never),
-            _ => Err(DramError::InvalidConfig(format!(
-                "unknown parallel mode {s:?} (expected auto|always|never)"
-            ))),
-        }
-    }
-}
-
-impl fmt::Display for ParallelMode {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            ParallelMode::Auto => "auto",
-            ParallelMode::Always => "always",
-            ParallelMode::Never => "never",
-        })
-    }
 }
 
 impl DramModule {
@@ -510,13 +421,29 @@ impl TestPort for DramModule {
     fn rounds_run(&self) -> u64 {
         self.rounds
     }
+
+    fn fast_forward(&mut self, rounds: u64) {
+        DramModule::fast_forward(self, rounds);
+    }
+
+    fn set_parallel_mode(&mut self, mode: ParallelMode) {
+        DramModule::set_parallel_mode(self, mode);
+    }
+
+    fn set_kernel_mode(&mut self, mode: KernelMode) {
+        DramModule::set_kernel_mode(self, mode);
+    }
+
+    fn set_recorder(&mut self, rec: RecorderHandle) {
+        DramModule::set_recorder(self, rec);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::ModuleConfig;
-    use crate::engine::RoundPlan;
+    use parbor_hal::RoundPlan;
 
     fn small_module(seed: u64) -> DramModule {
         ModuleConfig::new(Vendor::A)

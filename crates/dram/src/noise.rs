@@ -7,8 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::geometry::RowId;
 use crate::hash::{cell_hash01, hash_words, mix64};
+use parbor_hal::RowId;
 
 /// Soft-error injector: at most one flip per row per round, drawn with
 /// probability `row_bits × per_bit_rate`.

@@ -7,8 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::bits::RowBits;
 use crate::hash::{hash_words, mix64};
+use parbor_hal::RowBits;
 
 /// A row-wise data pattern, materializable for any row index.
 ///

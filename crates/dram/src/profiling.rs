@@ -16,9 +16,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::chip::DramChip;
 use crate::config::Seconds;
-use crate::error::DramError;
-use crate::geometry::RowId;
 use crate::pattern::PatternKind;
+use parbor_hal::DramError;
+use parbor_hal::RowId;
 
 /// Result of profiling a set of rows over an interval ladder.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -174,9 +174,9 @@ impl RetentionProfiler {
 mod tests {
     use super::*;
     use crate::config::Celsius;
-    use crate::geometry::ChipGeometry;
     use crate::pattern::PatternSet;
     use crate::vendor::Vendor;
+    use parbor_hal::ChipGeometry;
 
     fn chip(seed: u64) -> DramChip {
         DramChip::new(ChipGeometry::new(1, 64, 8192).unwrap(), Vendor::A, seed).unwrap()

@@ -10,8 +10,8 @@
 
 use std::sync::Arc;
 
-use crate::error::DramError;
 use crate::scrambler::Scrambler;
+use parbor_hal::DramError;
 
 /// A set of physical position swaps applied on top of a base scrambler.
 ///

@@ -17,8 +17,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::error::DramError;
 use crate::walk::is_permutation;
+use parbor_hal::DramError;
 
 /// A system→physical address mapping for the columns of one DRAM row.
 ///

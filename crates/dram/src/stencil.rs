@@ -30,47 +30,9 @@
 //! for every possible row content, not just statistically equivalent. That
 //! equivalence is pinned by unit tests here and proptests in the suite.
 
-use serde::{Deserialize, Serialize};
+use parbor_hal::RowBits;
 
-use crate::bits::RowBits;
 use crate::cell::{FaultKind, RowFaultMap};
-use crate::error::DramError;
-
-/// Which coupling kernel a chip evaluates reads with.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum KernelMode {
-    /// The compiled word-parallel stencil plus the sparse fault-map sampler
-    /// (the shipped default).
-    #[default]
-    Stencil,
-    /// The retained scalar kernel and reference sampler, exactly as shipped
-    /// before the stencil existed. Results are bit-identical to `Stencil`;
-    /// this mode exists as the measurement baseline and equivalence oracle.
-    Reference,
-}
-
-impl std::str::FromStr for KernelMode {
-    type Err = DramError;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "stencil" => Ok(KernelMode::Stencil),
-            "reference" => Ok(KernelMode::Reference),
-            _ => Err(DramError::InvalidConfig(format!(
-                "unknown kernel mode {s:?} (expected stencil|reference)"
-            ))),
-        }
-    }
-}
-
-impl std::fmt::Display for KernelMode {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            KernelMode::Stencil => "stencil",
-            KernelMode::Reference => "reference",
-        })
-    }
-}
 
 /// Sentinel in the neighbor gather arrays for "no neighbor on this side".
 const NO_NEIGHBOR: u32 = u32::MAX;
@@ -316,10 +278,10 @@ impl CouplingStencil {
 mod tests {
     use super::*;
     use crate::cell::{FaultRates, RowFaultMap};
-    use crate::geometry::RowId;
     use crate::pattern::PatternKind;
     use crate::retention::RetentionModel;
     use crate::vendor::Vendor;
+    use parbor_hal::RowId;
 
     fn dense_map(vendor: Vendor, seed: u64, row: u32) -> RowFaultMap {
         let s = vendor.scrambler(8192);

@@ -45,7 +45,7 @@ pub use hash::{fnv1a64, format_hash};
 pub use job::ScanJob;
 pub use journal::{Journal, JournalRecord, RecoveredJournal};
 pub use orchestrator::{
-    Fleet, FleetConfig, FleetReport, JobReport, JobState, JobStatus, CRASH_EXIT_CODE,
+    Fleet, FleetConfig, FleetReport, JobReport, JobState, JobStatus, PortFactory, CRASH_EXIT_CODE,
 };
 pub use store::{ProfileStore, SegmentMeta, StoredProfile, STORE_VERSION};
 

@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use parbor_core::ScanMachine;
-use parbor_dram::{KernelMode, ParallelMode};
+use parbor_hal::{KernelMode, ParallelMode, TestPort};
 use parbor_obs::{metrics, span, RecorderHandle};
 
 use crate::job::ScanJob;
@@ -188,16 +188,37 @@ pub struct JobStatus {
     pub failures: Option<usize>,
 }
 
+/// Builds the [`TestPort`] a worker drives for one job.
+///
+/// Factories are shared across the worker pool, hence `Send + Sync`; each
+/// call must hand back a freshly built port positioned at round zero (the
+/// orchestrator applies mode settings and fast-forwards it for resume).
+pub type PortFactory = Box<dyn Fn(&ScanJob) -> Result<Box<dyn TestPort>, FleetError> + Send + Sync>;
+
 /// The sharded scan orchestrator.
-#[derive(Debug)]
 pub struct Fleet {
     root: PathBuf,
     config: FleetConfig,
     rec: RecorderHandle,
+    port_factory: PortFactory,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("root", &self.root)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Fleet {
     /// A fleet rooted at `root` (created on first use).
+    ///
+    /// Jobs run against the simulator by default: each worker builds its
+    /// job's module from the embedded [`ModuleSpec`](parbor_dram::ModuleSpec).
+    /// Use [`with_port_factory`](Fleet::with_port_factory) to run against a
+    /// different backend.
     ///
     /// # Errors
     ///
@@ -212,6 +233,7 @@ impl Fleet {
             root: root.into(),
             config,
             rec: RecorderHandle::null(),
+            port_factory: Box::new(|job| Ok(Box::new(job.module.build()?))),
         })
     }
 
@@ -219,6 +241,15 @@ impl Fleet {
     #[must_use]
     pub fn with_recorder(mut self, rec: RecorderHandle) -> Self {
         self.rec = rec;
+        self
+    }
+
+    /// Replaces the backend: `factory` builds the port each worker drives
+    /// for its job — a decorated simulator, a transcript replay, eventually
+    /// real hardware.
+    #[must_use]
+    pub fn with_port_factory(mut self, factory: PortFactory) -> Self {
+        self.port_factory = factory;
         self
     }
 
@@ -472,10 +503,10 @@ impl Fleet {
         };
         let mut machine = machine.with_recorder(self.rec.clone());
 
-        let mut module = job.module.build()?;
-        module.set_parallel_mode(self.config.parallel);
-        module.set_kernel_mode(self.config.kernel);
-        module.fast_forward(machine.rounds_done());
+        let mut port = (self.port_factory)(job)?;
+        port.set_parallel_mode(self.config.parallel);
+        port.set_kernel_mode(self.config.kernel);
+        port.fast_forward(machine.rounds_done());
 
         let rounds_at_start = machine.rounds_done();
         let budget = match self.config.checkpoint_every {
@@ -485,7 +516,7 @@ impl Fleet {
         let mut checkpoints = 0u64;
         let mut checkpoint_bytes = 0u64;
         while !machine.is_done() {
-            machine.advance(&mut module, budget)?;
+            machine.advance(&mut *port, budget)?;
             if self.config.checkpoint_every > 0 && !machine.is_done() {
                 let bytes = journal.append(&JournalRecord::Checkpoint {
                     state: machine.state().clone(),

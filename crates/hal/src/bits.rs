@@ -11,7 +11,7 @@ use std::fmt;
 /// # Examples
 ///
 /// ```
-/// use parbor_dram::RowBits;
+/// use parbor_hal::RowBits;
 ///
 /// let mut row = RowBits::zeros(128);
 /// row.set(3, true);

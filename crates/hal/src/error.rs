@@ -1,9 +1,15 @@
-//! Error type for the DRAM simulator.
+//! Error type shared by every test-port backend.
 
 use std::error::Error;
 use std::fmt;
 
-/// Errors reported by the DRAM device simulator.
+/// Errors reported by a test-port backend.
+///
+/// Named for its origin in the device simulator; every [`TestPort`]
+/// implementation — simulator, replay, or future hardware port — reports
+/// through this type.
+///
+/// [`TestPort`]: crate::TestPort
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum DramError {
@@ -28,6 +34,9 @@ pub enum DramError {
     },
     /// A configuration value was invalid.
     InvalidConfig(String),
+    /// A backend-specific failure (corrupt transcript, replay divergence,
+    /// device I/O) that no structured variant covers.
+    Backend(String),
 }
 
 impl fmt::Display for DramError {
@@ -43,6 +52,7 @@ impl fmt::Display for DramError {
                 write!(f, "row width mismatch: got {got} bits, expected {expected}")
             }
             DramError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DramError::Backend(msg) => write!(f, "backend failure: {msg}"),
         }
     }
 }

@@ -14,7 +14,7 @@ use crate::error::DramError;
 /// # Examples
 ///
 /// ```
-/// use parbor_dram::ChipGeometry;
+/// use parbor_hal::ChipGeometry;
 ///
 /// let g = ChipGeometry::paper();
 /// assert_eq!(g.cols_per_row, 8192);
@@ -174,7 +174,8 @@ impl serde::MapKey for RowId {
 /// bank, row, and system column index within the row.
 ///
 /// The system column is what software sees; the physical position of the cell
-/// in the mat is determined by the chip's [`Scrambler`](crate::Scrambler).
+/// in the mat is determined by the backend's column scrambler (for the
+/// simulator, `parbor_dram::Scrambler`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct BitAddr {
     /// Bank index.

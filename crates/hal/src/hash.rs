@@ -1,0 +1,62 @@
+//! Content hashing for transcript framing (FNV-1a, 64-bit).
+//!
+//! The same construction the fleet journal uses: cheap, dependency-free, and
+//! good enough to detect torn or corrupted records — these are integrity
+//! checks against accidents, not an adversary.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a hash of `bytes`.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer: mixes per-round / per-row coordinates into RNG
+/// seeds for the fault injector. Stateless, so injections are independent of
+/// batching and scheduling.
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Folds a word sequence into one hash (order-sensitive).
+#[inline]
+pub(crate) fn hash_words(words: &[u64]) -> u64 {
+    hash_words_iter(words.iter().copied())
+}
+
+/// Streaming form of [`hash_words`] for word sequences not worth collecting
+/// into a slice (e.g. a whole round's write set on the transcript hot path).
+#[inline]
+pub(crate) fn hash_words_iter(words: impl IntoIterator<Item = u64>) -> u64 {
+    words
+        .into_iter()
+        .fold(0x51ab_dead_beef_0001u64, |acc, w| mix64(acc ^ w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn hash_words_is_order_sensitive() {
+        assert_ne!(hash_words(&[1, 2]), hash_words(&[2, 1]));
+    }
+}

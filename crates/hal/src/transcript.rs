@@ -1,0 +1,580 @@
+//! Record/replay port decorators: round transcripts as framed JSONL.
+//!
+//! [`RecordingPort`] wraps any inner [`TestPort`] and captures every round —
+//! a digest of what was written plus the exact flips observed — into a
+//! transcript file. [`ReplayPort`] plays a transcript back as a `TestPort`
+//! of its own: the pipeline re-issues the same writes (it is deterministic),
+//! the replay port verifies each round's digest against the capture, and
+//! returns the recorded flips. A captured run therefore reproduces
+//! bit-identically **without the simulator** — the same mechanism a future
+//! real-hardware backend would use to make a one-shot physical capture
+//! endlessly re-analyzable.
+//!
+//! # On-disk format
+//!
+//! A transcript is a text file of one framed JSON record per line, in the
+//! fleet journal's defend-the-tail style but line-oriented so transcripts
+//! stay `grep`-able:
+//!
+//! ```text
+//! <len>:<fnv64 hex>:<json>\n
+//! ```
+//!
+//! `len` is the byte length of `<json>`, the checksum is FNV-1a64 of the
+//! same bytes. The first record is a header carrying [`TRANSCRIPT_MAGIC`],
+//! the format version, and the port shape (units + per-unit geometry); every
+//! later record is one round with its write-set digest and flips.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::RoundPlan;
+use crate::error::DramError;
+use crate::geometry::ChipGeometry;
+use crate::hash::{fnv1a64, hash_words_iter};
+use crate::port::{Flip, KernelMode, ParallelMode, RowWrite, TestPort};
+
+/// Magic string identifying a parbor-hal round transcript, format version 1.
+pub const TRANSCRIPT_MAGIC: &str = "PBHALTR1";
+
+/// Current transcript format version.
+const TRANSCRIPT_VERSION: u32 = 1;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct HeaderRecord {
+    magic: String,
+    version: u32,
+    units: u32,
+    geometry: ChipGeometry,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RoundRecord {
+    /// Number of row writes issued this round.
+    writes: u64,
+    /// Digest of the full write set (`mix64:…`), see [`digest_writes`].
+    writes_digest: String,
+    /// Every flip the inner port reported, in report order.
+    flips: Vec<Flip>,
+}
+
+/// Canonical digest of a round's write set: for each write in issue order,
+/// the unit/bank/row coordinates, the bit length, then the row words, all
+/// folded one `u64` at a time. Row *content* is covered, so replay catches
+/// any divergence in what the pipeline writes, not just where. Word-wise
+/// folding (rather than hashing a byte serialization of each row) keeps the
+/// digest cheap enough for the hot path of every recorded and replayed
+/// round.
+fn digest_writes(writes: &[RowWrite]) -> String {
+    let words = writes.iter().flat_map(|w| {
+        [
+            (u64::from(w.unit) << 32) | u64::from(w.row.bank),
+            u64::from(w.row.row),
+            w.data.len() as u64,
+        ]
+        .into_iter()
+        .chain(w.data.words().iter().copied())
+    });
+    format!("mix64:{:016x}", hash_words_iter(words))
+}
+
+fn frame(json: &str) -> String {
+    format!("{}:{:016x}:{json}\n", json.len(), fnv1a64(json.as_bytes()))
+}
+
+fn io_err(path: &Path, what: &str, e: impl std::fmt::Display) -> DramError {
+    DramError::Backend(format!("transcript {}: {what}: {e}", path.display()))
+}
+
+fn corrupt(path: &Path, line: usize, detail: impl Into<String>) -> DramError {
+    DramError::Backend(format!(
+        "transcript {} line {line}: {}",
+        path.display(),
+        detail.into()
+    ))
+}
+
+/// Summary of a parsed transcript (header plus totals), for reporting and
+/// benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranscriptInfo {
+    /// Transcript format version.
+    pub version: u32,
+    /// Number of units the capturing port exposed.
+    pub units: u32,
+    /// Per-unit geometry of the capturing port.
+    pub geometry: ChipGeometry,
+    /// Number of recorded rounds.
+    pub rounds: u64,
+    /// Total row writes across all rounds.
+    pub total_writes: u64,
+    /// Total flips across all rounds.
+    pub total_flips: u64,
+}
+
+/// A [`TestPort`] decorator that records every round to a transcript file.
+///
+/// Transparent by construction: all port behavior comes from the inner port;
+/// this decorator only observes. Each round's record is flushed to the OS
+/// before the flips are returned, so a transcript is valid up to the last
+/// completed round even if the process dies.
+///
+/// Recording starts at round zero of the wrapped port — record fresh runs,
+/// not runs resumed mid-scan ([`fast_forward`](TestPort::fast_forward) on a
+/// recording port is forwarded but leaves the skipped rounds out of the
+/// transcript).
+///
+/// # Examples
+///
+/// ```
+/// use parbor_hal::{
+///     ChipGeometry, LoopbackPort, RecordingPort, ReplayPort, RowBits, RowId, RowWrite,
+///     TestPort,
+/// };
+///
+/// # fn main() -> Result<(), parbor_hal::DramError> {
+/// let path = std::env::temp_dir().join(format!("hal-doc-{}.jsonl", std::process::id()));
+/// let inner = LoopbackPort::new(ChipGeometry::tiny(), 1);
+/// let mut port = RecordingPort::create(inner, &path)?;
+/// let write = || vec![RowWrite { unit: 0, row: RowId::new(0, 0), data: RowBits::ones(1024) }];
+/// port.run_round(write())?;
+///
+/// let mut replay = ReplayPort::open(&path)?;
+/// assert_eq!(replay.run_round(write())?, Vec::new());
+/// # std::fs::remove_file(&path).ok();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RecordingPort<P> {
+    inner: P,
+    out: BufWriter<File>,
+    path: PathBuf,
+    recorded: u64,
+}
+
+impl<P: TestPort> RecordingPort<P> {
+    /// Wraps `inner` and starts a fresh transcript at `path` (truncating any
+    /// existing file), writing the header immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::Backend`] on I/O failure.
+    pub fn create(inner: P, path: impl Into<PathBuf>) -> Result<Self, DramError> {
+        let path = path.into();
+        let file = File::create(&path).map_err(|e| io_err(&path, "create", e))?;
+        let mut port = RecordingPort {
+            inner,
+            out: BufWriter::new(file),
+            path,
+            recorded: 0,
+        };
+        let header = HeaderRecord {
+            magic: TRANSCRIPT_MAGIC.into(),
+            version: TRANSCRIPT_VERSION,
+            units: port.inner.units(),
+            geometry: port.inner.geometry(),
+        };
+        port.append(&serde_json::to_string(&header).map_err(|e| {
+            DramError::Backend(format!("transcript header does not serialize: {}", e.0))
+        })?)?;
+        Ok(port)
+    }
+
+    /// The transcript path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of rounds recorded so far.
+    pub fn rounds_recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Flushes the transcript and returns the wrapped port.
+    ///
+    /// Dropping the decorator also flushes (via the buffered writer); this
+    /// exists for callers that want the I/O error surfaced.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::Backend`] on I/O failure.
+    pub fn finish(mut self) -> Result<P, DramError> {
+        self.out
+            .flush()
+            .map_err(|e| io_err(&self.path, "flush", e))?;
+        Ok(self.inner)
+    }
+
+    fn append(&mut self, json: &str) -> Result<(), DramError> {
+        self.out
+            .write_all(frame(json).as_bytes())
+            .and_then(|()| self.out.flush())
+            .map_err(|e| io_err(&self.path, "append", e))
+    }
+
+    fn record(&mut self, n_writes: u64, digest: String, flips: &[Flip]) -> Result<(), DramError> {
+        let record = RoundRecord {
+            writes: n_writes,
+            writes_digest: digest,
+            flips: flips.to_vec(),
+        };
+        let json = serde_json::to_string(&record).map_err(|e| {
+            DramError::Backend(format!("transcript record does not serialize: {}", e.0))
+        })?;
+        self.append(&json)?;
+        self.recorded += 1;
+        Ok(())
+    }
+}
+
+impl<P: TestPort> TestPort for RecordingPort<P> {
+    fn geometry(&self) -> ChipGeometry {
+        self.inner.geometry()
+    }
+
+    fn units(&self) -> u32 {
+        self.inner.units()
+    }
+
+    fn run_round(&mut self, writes: Vec<RowWrite>) -> Result<Vec<Flip>, DramError> {
+        let digest = digest_writes(&writes);
+        let n_writes = writes.len() as u64;
+        let flips = self.inner.run_round(writes)?;
+        self.record(n_writes, digest, &flips)?;
+        Ok(flips)
+    }
+
+    fn run_rounds(&mut self, plans: Vec<RoundPlan>) -> Result<Vec<Vec<Flip>>, DramError> {
+        // Digest before the plans move into the inner port, then let the
+        // inner port keep its batched (possibly parallel) execution path.
+        let digests: Vec<(u64, String)> = plans
+            .iter()
+            .map(|p| (p.len() as u64, digest_writes(p.writes())))
+            .collect();
+        let rounds = self.inner.run_rounds(plans)?;
+        for ((n_writes, digest), flips) in digests.into_iter().zip(&rounds) {
+            self.record(n_writes, digest, flips)?;
+        }
+        Ok(rounds)
+    }
+
+    fn rounds_run(&self) -> u64 {
+        self.inner.rounds_run()
+    }
+
+    fn fast_forward(&mut self, rounds: u64) {
+        self.inner.fast_forward(rounds);
+    }
+
+    fn set_parallel_mode(&mut self, mode: ParallelMode) {
+        self.inner.set_parallel_mode(mode);
+    }
+
+    fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.inner.set_kernel_mode(mode);
+    }
+
+    fn set_recorder(&mut self, rec: parbor_obs::RecorderHandle) {
+        self.inner.set_recorder(rec);
+    }
+}
+
+/// A [`TestPort`] that replays a recorded transcript instead of testing a
+/// device.
+///
+/// The whole transcript is parsed and checksum-verified eagerly in
+/// [`open`](ReplayPort::open), so corruption surfaces before any round runs.
+/// Each [`run_round`](TestPort::run_round) verifies that the writes the
+/// pipeline issued digest to what was recorded — a mismatch means the replay
+/// diverged from the capture and fails loudly rather than returning flips
+/// for rounds that never happened.
+pub struct ReplayPort {
+    path: PathBuf,
+    units: u32,
+    geometry: ChipGeometry,
+    rounds: Vec<RoundRecord>,
+    cursor: u64,
+}
+
+impl ReplayPort {
+    /// Opens and fully verifies a transcript.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::Backend`] on I/O failure, bad framing or checksums, a
+    /// missing/foreign header, or an unsupported version.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, DramError> {
+        let path = path.into();
+        let text = std::fs::read_to_string(&path).map_err(|e| io_err(&path, "read", e))?;
+        let mut header: Option<HeaderRecord> = None;
+        let mut rounds = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let n = i + 1;
+            let json = unframe(&path, n, line)?;
+            if i == 0 {
+                let h: HeaderRecord = serde_json::from_str(json)
+                    .map_err(|e| corrupt(&path, n, format!("header does not parse: {}", e.0)))?;
+                if h.magic != TRANSCRIPT_MAGIC {
+                    return Err(corrupt(&path, n, format!("bad magic {:?}", h.magic)));
+                }
+                if h.version != TRANSCRIPT_VERSION {
+                    return Err(corrupt(
+                        &path,
+                        n,
+                        format!("unsupported version {}", h.version),
+                    ));
+                }
+                header = Some(h);
+            } else {
+                rounds.push(serde_json::from_str(json).map_err(|e| {
+                    corrupt(&path, n, format!("round record does not parse: {}", e.0))
+                })?);
+            }
+        }
+        let header = header.ok_or_else(|| corrupt(&path, 1, "empty transcript (no header)"))?;
+        Ok(ReplayPort {
+            path,
+            units: header.units,
+            geometry: header.geometry,
+            rounds,
+            cursor: 0,
+        })
+    }
+
+    /// Header and totals of the opened transcript.
+    pub fn info(&self) -> TranscriptInfo {
+        TranscriptInfo {
+            version: TRANSCRIPT_VERSION,
+            units: self.units,
+            geometry: self.geometry,
+            rounds: self.rounds.len() as u64,
+            total_writes: self.rounds.iter().map(|r| r.writes).sum(),
+            total_flips: self.rounds.iter().map(|r| r.flips.len() as u64).sum(),
+        }
+    }
+
+    /// Recorded rounds not yet replayed.
+    pub fn remaining(&self) -> u64 {
+        (self.rounds.len() as u64).saturating_sub(self.cursor)
+    }
+}
+
+impl std::fmt::Debug for ReplayPort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplayPort")
+            .field("path", &self.path)
+            .field("units", &self.units)
+            .field("rounds", &self.rounds.len())
+            .field("cursor", &self.cursor)
+            .finish()
+    }
+}
+
+fn unframe<'a>(path: &Path, n: usize, line: &'a str) -> Result<&'a str, DramError> {
+    let (len_s, rest) = line
+        .split_once(':')
+        .ok_or_else(|| corrupt(path, n, "missing length frame"))?;
+    let (sum_s, json) = rest
+        .split_once(':')
+        .ok_or_else(|| corrupt(path, n, "missing checksum frame"))?;
+    let len: usize = len_s
+        .parse()
+        .map_err(|_| corrupt(path, n, format!("bad length field {len_s:?}")))?;
+    if json.len() != len {
+        return Err(corrupt(
+            path,
+            n,
+            format!("length mismatch: framed {len}, got {}", json.len()),
+        ));
+    }
+    let sum = u64::from_str_radix(sum_s, 16)
+        .map_err(|_| corrupt(path, n, format!("bad checksum field {sum_s:?}")))?;
+    if fnv1a64(json.as_bytes()) != sum {
+        return Err(corrupt(path, n, "checksum mismatch"));
+    }
+    Ok(json)
+}
+
+impl TestPort for ReplayPort {
+    fn geometry(&self) -> ChipGeometry {
+        self.geometry
+    }
+
+    fn units(&self) -> u32 {
+        self.units
+    }
+
+    fn run_round(&mut self, writes: Vec<RowWrite>) -> Result<Vec<Flip>, DramError> {
+        let idx = self.cursor as usize;
+        let record = self.rounds.get(idx).ok_or_else(|| {
+            DramError::Backend(format!(
+                "transcript {} exhausted: round {} requested, {} recorded",
+                self.path.display(),
+                idx + 1,
+                self.rounds.len()
+            ))
+        })?;
+        let digest = digest_writes(&writes);
+        if digest != record.writes_digest {
+            return Err(DramError::Backend(format!(
+                "transcript {} diverged at round {}: issued writes digest {} != recorded {} \
+                 (the replaying pipeline is not the one that was captured)",
+                self.path.display(),
+                idx + 1,
+                digest,
+                record.writes_digest
+            )));
+        }
+        let flips = record.flips.clone();
+        self.cursor += 1;
+        Ok(flips)
+    }
+
+    fn rounds_run(&self) -> u64 {
+        self.cursor
+    }
+
+    fn fast_forward(&mut self, rounds: u64) {
+        // Skipping the cursor keeps a resumed scan aligned with the capture.
+        self.cursor += rounds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::RowBits;
+    use crate::geometry::RowId;
+    use crate::loopback::LoopbackPort;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_transcript(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "parbor-hal-transcript-{}-{tag}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn writes(round: u32) -> Vec<RowWrite> {
+        (0..3)
+            .map(|r| RowWrite {
+                unit: 0,
+                row: RowId::new(0, r),
+                data: RowBits::from_fn(1024, |i| (i as u32).wrapping_add(round).is_multiple_of(3)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn record_then_replay_is_bit_identical() {
+        let path = temp_transcript("roundtrip");
+        let mut rec =
+            RecordingPort::create(LoopbackPort::new(ChipGeometry::tiny(), 2), &path).unwrap();
+        let recorded: Vec<Vec<Flip>> = (0..5).map(|i| rec.run_round(writes(i)).unwrap()).collect();
+        assert_eq!(rec.rounds_recorded(), 5);
+        rec.finish().unwrap();
+
+        let mut replay = ReplayPort::open(&path).unwrap();
+        assert_eq!(replay.units(), 2);
+        assert_eq!(replay.geometry(), ChipGeometry::tiny());
+        let info = replay.info();
+        assert_eq!(info.rounds, 5);
+        assert_eq!(info.total_writes, 15);
+        for (i, expected) in recorded.iter().enumerate() {
+            assert_eq!(&replay.run_round(writes(i as u32)).unwrap(), expected);
+        }
+        assert_eq!(replay.rounds_run(), 5);
+        assert_eq!(replay.remaining(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_rejects_diverging_writes() {
+        let path = temp_transcript("diverge");
+        let mut rec =
+            RecordingPort::create(LoopbackPort::new(ChipGeometry::tiny(), 1), &path).unwrap();
+        rec.run_round(writes(0)).unwrap();
+        rec.finish().unwrap();
+
+        let mut replay = ReplayPort::open(&path).unwrap();
+        let err = replay.run_round(writes(1)).unwrap_err();
+        assert!(matches!(err, DramError::Backend(_)));
+        assert!(err.to_string().contains("diverged"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_rejects_exhaustion_and_corruption() {
+        let path = temp_transcript("exhaust");
+        let mut rec =
+            RecordingPort::create(LoopbackPort::new(ChipGeometry::tiny(), 1), &path).unwrap();
+        rec.run_round(writes(0)).unwrap();
+        rec.finish().unwrap();
+
+        let mut replay = ReplayPort::open(&path).unwrap();
+        replay.run_round(writes(0)).unwrap();
+        assert!(replay
+            .run_round(writes(1))
+            .unwrap_err()
+            .to_string()
+            .contains("exhausted"));
+
+        // Flip one byte inside the last line's JSON payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 4;
+        bytes[at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(ReplayPort::open(&path)
+            .unwrap_err()
+            .to_string()
+            .contains("checksum mismatch"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_and_foreign_files_are_rejected() {
+        let path = temp_transcript("foreign");
+        std::fs::write(&path, "").unwrap();
+        assert!(ReplayPort::open(&path).is_err());
+        std::fs::write(&path, "hello world\n").unwrap();
+        assert!(ReplayPort::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_recording_matches_serial_recording() {
+        let serial_path = temp_transcript("serial");
+        let batched_path = temp_transcript("batched");
+        let plans = |n: u32| -> Vec<RoundPlan> {
+            (0..n).map(|i| RoundPlan::from_writes(writes(i))).collect()
+        };
+
+        let mut serial =
+            RecordingPort::create(LoopbackPort::new(ChipGeometry::tiny(), 1), &serial_path)
+                .unwrap();
+        for plan in plans(4) {
+            serial.run_round(plan.into_writes()).unwrap();
+        }
+        serial.finish().unwrap();
+
+        let mut batched =
+            RecordingPort::create(LoopbackPort::new(ChipGeometry::tiny(), 1), &batched_path)
+                .unwrap();
+        batched.run_rounds(plans(4)).unwrap();
+        batched.finish().unwrap();
+
+        assert_eq!(
+            std::fs::read(&serial_path).unwrap(),
+            std::fs::read(&batched_path).unwrap(),
+            "batched and serial capture must frame identical transcripts"
+        );
+        std::fs::remove_file(&serial_path).ok();
+        std::fs::remove_file(&batched_path).ok();
+    }
+}

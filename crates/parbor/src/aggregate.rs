@@ -220,4 +220,85 @@ mod tests {
         let r = h.rank(1.0);
         assert_eq!(r.kept(), &[1]);
     }
+
+    /// End-to-end filter efficacy: drive the pipeline through a
+    /// [`FaultInjectingPort`](parbor_hal::FaultInjectingPort) at several
+    /// noise rates and score the surviving distance set against the vendor's
+    /// ground-truth neighbor distances.
+    mod filter_efficacy {
+        use crate::{Parbor, ParborConfig};
+        use parbor_dram::{ChipGeometry, ModuleConfig, ModuleId, Vendor};
+        use parbor_hal::{FaultInjectingPort, InjectionConfig};
+
+        fn detected_distances(rate: f64, seed: u64) -> Vec<i64> {
+            let module = ModuleConfig::new(Vendor::A)
+                .geometry(ChipGeometry::new(1, 128, 1024).expect("geometry"))
+                .chips(1)
+                .seed(5)
+                .module_id(ModuleId(1))
+                .build()
+                .expect("module");
+            let mut port =
+                FaultInjectingPort::new(module, InjectionConfig::new(rate, seed).expect("config"));
+            let report = Parbor::new(ParborConfig::default())
+                .run(&mut port)
+                .expect("pipeline");
+            report.distances().to_vec()
+        }
+
+        fn precision_recall(found: &[i64]) -> (f64, f64) {
+            let truth = Vendor::A.paper_distances();
+            let hits = found.iter().filter(|d| truth.contains(d)).count();
+            let precision = if found.is_empty() {
+                1.0
+            } else {
+                hits as f64 / found.len() as f64
+            };
+            (precision, hits as f64 / truth.len() as f64)
+        }
+
+        #[test]
+        fn clean_port_recovers_the_exact_distance_set() {
+            let found = detected_distances(0.0, 1);
+            let (precision, recall) = precision_recall(&found);
+            assert_eq!(
+                (precision, recall),
+                (1.0, 1.0),
+                "clean run must match ground truth exactly, got {found:?}"
+            );
+        }
+
+        #[test]
+        fn moderate_noise_is_filtered_out_entirely() {
+            // 2% of row writes carry one random extra flip: frequency
+            // ranking must still keep exactly the true distances.
+            for seed in [7, 11, 29] {
+                let found = detected_distances(0.02, seed);
+                let (precision, recall) = precision_recall(&found);
+                assert_eq!(
+                    (precision, recall),
+                    (1.0, 1.0),
+                    "rate 0.02 seed {seed}: got {found:?}"
+                );
+            }
+        }
+
+        #[test]
+        fn heavy_noise_degrades_precision_but_not_recall() {
+            // At a 5% per-write injection rate random distances become
+            // frequent enough that some survive ranking (precision drops),
+            // but every true neighbor distance must still be found.
+            let found = detected_distances(0.05, 7);
+            let (precision, recall) = precision_recall(&found);
+            assert_eq!(recall, 1.0, "true distances lost: {found:?}");
+            assert!(
+                precision < 1.0,
+                "expected some noise to survive ranking at rate 0.05"
+            );
+            assert!(
+                precision >= 0.25,
+                "precision collapsed to {precision} with {found:?}"
+            );
+        }
+    }
 }

@@ -11,9 +11,8 @@
 
 use std::collections::HashSet;
 
-use parbor_dram::{
-    BitAddr, PatternKind, PatternSet, RoundExecutor, RoundPlan, RowBits, RowId, TestPort,
-};
+use parbor_dram::{BitAddr, PatternKind, PatternSet, RowBits, RowId};
+use parbor_hal::{RoundExecutor, RoundPlan, TestPort};
 
 use crate::error::ParborError;
 use crate::victim::Victim;

@@ -20,7 +20,8 @@ use std::collections::{HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
-use parbor_dram::{BitAddr, RoundExecutor, RoundPlan, RowBits, RowId, TestPort};
+use parbor_dram::{BitAddr, RowBits, RowId};
+use parbor_hal::{RoundExecutor, RoundPlan, TestPort};
 use parbor_obs::RecorderHandle;
 
 use crate::error::ParborError;

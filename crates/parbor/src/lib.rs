@@ -22,7 +22,7 @@
 //!    worst case while testing independent cells in parallel.
 //!
 //! The [`Parbor`] orchestrator runs all five against any
-//! [`TestPort`](parbor_dram::TestPort) — the write / wait-one-refresh-interval
+//! [`TestPort`](parbor_hal::TestPort) — the write / wait-one-refresh-interval
 //! / read-back primitive of a system-level tester.
 //!
 //! ## Example

@@ -12,7 +12,8 @@
 //! Discovery(10 rounds) → Recursion(66-90) → Chipwide(28-40) → Done
 //! ```
 
-use parbor_dram::{RowId, TestPort};
+use parbor_dram::RowId;
+use parbor_hal::TestPort;
 use serde::{Deserialize, Serialize};
 
 use crate::error::ParborError;
@@ -166,7 +167,8 @@ impl OnlineTester {
     }
 
     fn step_discovery<P: TestPort + ?Sized>(&mut self, port: &mut P) -> Result<(), ParborError> {
-        use parbor_dram::{PatternSet, RoundExecutor, RoundPlan};
+        use parbor_dram::PatternSet;
+        use parbor_hal::{RoundExecutor, RoundPlan};
         let patterns = PatternSet::discovery(self.config.discovery_seed);
         let total = patterns.round_count();
         let pattern = &patterns.patterns()[self.discovery_round / 2];

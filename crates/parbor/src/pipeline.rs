@@ -2,7 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use parbor_dram::{RowId, TestPort};
+use parbor_dram::RowId;
+use parbor_hal::TestPort;
 use parbor_obs::{span, RecorderHandle};
 
 use crate::chipwide::{ChipwideOutcome, ChipwideTest};

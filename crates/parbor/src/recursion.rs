@@ -15,7 +15,8 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use parbor_dram::{RoundExecutor, RoundPlan, RowBits, TestPort};
+use parbor_dram::RowBits;
+use parbor_hal::{RoundExecutor, RoundPlan, TestPort};
 use parbor_obs::{span, RecorderHandle};
 
 use crate::aggregate::DistanceHistogram;

@@ -33,7 +33,8 @@ use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
-use parbor_dram::{BitAddr, RoundExecutor, RowId, TestPort};
+use parbor_dram::{BitAddr, RowId};
+use parbor_hal::{RoundExecutor, TestPort};
 use parbor_obs::RecorderHandle;
 
 use crate::chipwide::{ChipwideOutcome, ChipwideTest};

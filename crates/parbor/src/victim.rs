@@ -12,7 +12,8 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use parbor_dram::{BitAddr, PatternSet, RoundExecutor, RoundPlan, RowId, TestPort};
+use parbor_dram::{BitAddr, PatternSet, RowId};
+use parbor_hal::{RoundExecutor, RoundPlan, TestPort};
 use parbor_obs::RecorderHandle;
 
 use crate::error::ParborError;

@@ -10,19 +10,26 @@
 //! ```
 //!
 //! `--parallel auto|always|never` and `--kernel stencil|reference` apply to
-//! every device-building subcommand. Every subcommand operates on the
-//! simulated devices; see the fig*/table* binaries for the exact paper
-//! reproductions.
+//! every device-building subcommand. `detect` and `fleet run`/`fleet resume`
+//! additionally accept `--backend sim|replay:<path>`, `--record <path>`, and
+//! `--inject rate=<p>,seed=<s>` to swap or decorate the test-port backend.
+//! Every subcommand defaults to the simulated devices; see the fig*/table*
+//! binaries for the exact paper reproductions.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use parbor_core::{random_pattern_test, Parbor, ParborConfig};
 use parbor_dram::{
-    CellCensus, Celsius, ChipGeometry, KernelMode, ModuleConfig, ModuleId, ModuleSpec,
-    ParallelMode, RetentionProfiler, RowId, Seconds, Vendor,
+    CellCensus, Celsius, ChipGeometry, ModuleConfig, ModuleId, ModuleSpec, RetentionProfiler,
+    RowId, Seconds, Vendor,
 };
 use parbor_fleet::{Fleet, FleetConfig, ProfileStore, ScanJob};
+use parbor_hal::{
+    FaultInjectingPort, InjectionConfig, KernelMode, ParallelMode, RecordingPort, ReplayPort,
+    TestPort,
+};
 use parbor_memsim::{Density, RefreshPolicyKind, Simulation, SystemConfig};
 use parbor_obs::{InMemoryRecorder, RecorderHandle, RunSummary};
 use parbor_workloads::paper_mixes;
@@ -93,6 +100,34 @@ impl Args {
             Some(v) => v.parse().map_err(|e: parbor_dram::DramError| e.to_string()),
         }
     }
+
+    fn backend(&self) -> Result<Backend, String> {
+        match self.flags.get("backend").map(String::as_str) {
+            None | Some("sim") => Ok(Backend::Sim),
+            Some(v) => match v.strip_prefix("replay:") {
+                Some(path) if !path.is_empty() => Ok(Backend::Replay(PathBuf::from(path))),
+                _ => Err(format!("unknown backend {v} (use sim or replay:<path>)")),
+            },
+        }
+    }
+
+    fn inject(&self) -> Result<Option<InjectionConfig>, String> {
+        match self.flags.get("inject") {
+            None => Ok(None),
+            Some(spec) => InjectionConfig::parse(spec)
+                .map(Some)
+                .map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// Which [`TestPort`] implementation backs a run.
+enum Backend {
+    /// The deterministic DRAM simulator (the default).
+    Sim,
+    /// A recorded transcript — a file for `detect`, a directory of
+    /// `<job>.jsonl` transcripts for `fleet`.
+    Replay(PathBuf),
 }
 
 fn build(args: &Args, default_chips: u64) -> Result<parbor_dram::DramModule, String> {
@@ -109,14 +144,32 @@ fn build(args: &Args, default_chips: u64) -> Result<parbor_dram::DramModule, Str
     Ok(module)
 }
 
+/// Builds the stack of port decorators selected by `--backend`, `--inject`,
+/// and `--record` around the base backend (innermost to outermost:
+/// backend → fault injection → recording).
+fn build_port(args: &Args, default_chips: u64) -> Result<Box<dyn TestPort>, String> {
+    let mut port: Box<dyn TestPort> = match args.backend()? {
+        Backend::Sim => Box::new(build(args, default_chips)?),
+        Backend::Replay(path) => Box::new(ReplayPort::open(path).map_err(|e| e.to_string())?),
+    };
+    if let Some(config) = args.inject()? {
+        port = Box::new(FaultInjectingPort::new(port, config));
+    }
+    if let Some(path) = args.flags.get("record") {
+        port = Box::new(RecordingPort::create(port, path).map_err(|e| e.to_string())?);
+    }
+    Ok(port)
+}
+
 fn cmd_detect(args: &Args) -> Result<(), String> {
     let vendor = args.vendor()?;
     let recorder = InMemoryRecorder::handle();
     let rec = RecorderHandle::from(recorder.clone());
-    let mut module = build(args, 8)?.with_recorder(rec.clone());
+    let mut port = build_port(args, 8)?;
+    port.set_recorder(rec.clone());
     let report = Parbor::new(ParborConfig::default())
         .with_recorder(rec)
-        .run(&mut module)
+        .run(&mut *port)
         .map_err(|e| e.to_string())?;
     println!("vendor           : {vendor}");
     println!("victims          : {}", report.victim_count);
@@ -335,6 +388,41 @@ fn fleet_print_report(report: &parbor_fleet::FleetReport, store_dir: &std::path:
     println!("store: {}", store_dir.display());
 }
 
+/// Builds the per-job port factory for `fleet run`/`fleet resume` when any
+/// backend flag is present; `None` keeps the orchestrator's built-in
+/// simulator factory. Transcripts live at `<dir>/<job-name>.jsonl` for both
+/// `--record` and `--backend replay:<dir>`.
+fn fleet_port_factory(args: &Args) -> Result<Option<parbor_fleet::PortFactory>, String> {
+    let backend = args.backend()?;
+    let inject = args.inject()?;
+    let record = args.flags.get("record").map(PathBuf::from);
+    if matches!(backend, Backend::Sim) && inject.is_none() && record.is_none() {
+        return Ok(None);
+    }
+    if let Some(dir) = &record {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("creating record dir {}: {e}", dir.display()))?;
+    }
+    Ok(Some(Box::new(move |job: &ScanJob| {
+        let mut port: Box<dyn TestPort> = match &backend {
+            Backend::Sim => Box::new(job.module.build()?),
+            Backend::Replay(dir) => {
+                Box::new(ReplayPort::open(dir.join(format!("{}.jsonl", job.name)))?)
+            }
+        };
+        if let Some(config) = inject {
+            port = Box::new(FaultInjectingPort::new(port, config));
+        }
+        if let Some(dir) = &record {
+            port = Box::new(RecordingPort::create(
+                port,
+                dir.join(format!("{}.jsonl", job.name)),
+            )?);
+        }
+        Ok(port)
+    })))
+}
+
 fn cmd_fleet(argv: &[String]) -> Result<(), String> {
     let Some(sub) = argv.first() else {
         return Err("fleet needs a subcommand: run, resume, status, or show".into());
@@ -352,9 +440,12 @@ fn cmd_fleet(argv: &[String]) -> Result<(), String> {
             } else {
                 Vec::new()
             };
-            let fleet = Fleet::new(&dir, fleet_config(&args)?)
+            let mut fleet = Fleet::new(&dir, fleet_config(&args)?)
                 .map_err(|e| e.to_string())?
                 .with_recorder(RecorderHandle::from(InMemoryRecorder::handle()));
+            if let Some(factory) = fleet_port_factory(&args)? {
+                fleet = fleet.with_port_factory(factory);
+            }
             println!(
                 "fleet {sub}: {} under {dir}",
                 if sub == "run" {
@@ -456,6 +547,15 @@ const USAGE: &str = "usage: parbor <detect|census|compare|profile|dcref|fleet> [
 common flags: --vendor A|B|C  --seed N  --rows N  --chips N
               --parallel auto|always|never   row-level parallelism policy
               --kernel stencil|reference     coupling kernel implementation
+backend flags (detect, fleet run/resume):
+              --backend sim|replay:PATH      test-port backend; replay reads a
+                                             transcript (detect: file, fleet:
+                                             directory of <job>.jsonl files)
+              --record PATH                  record a transcript while running
+                                             (detect: file, fleet: directory)
+              --inject rate=P,seed=S[,intermittent=Q]
+                                             decorate the port with seeded
+                                             random + intermittent bit flips
 dcref flags : --cycles N  --mixes N  --density 8|16|32
 help        : parbor --help (or -h) prints this message";
 

@@ -92,6 +92,174 @@ fn bad_mode_values_are_rejected() {
     }
 }
 
+/// A scratch working directory with a `results/` subdir so `detect` can
+/// write its trace without touching the repo checkout.
+fn scratch_cwd(tag: &str) -> PathBuf {
+    let dir = temp_dir(tag);
+    fs::create_dir_all(dir.join("results")).expect("create scratch cwd");
+    dir
+}
+
+fn run_in(cwd: &Path, args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn parbor binary")
+}
+
+#[test]
+fn help_documents_the_backend_flags() {
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("--backend sim|replay:PATH"), "{text}");
+    assert!(text.contains("--record PATH"), "{text}");
+    assert!(text.contains("--inject rate=P,seed=S"), "{text}");
+}
+
+#[test]
+fn detect_record_then_replay_reproduces_the_report() {
+    let cwd = scratch_cwd("detect-replay");
+    let transcript = cwd.join("run.jsonl");
+    let base = &["detect", "--vendor", "B", "--rows", "32", "--chips", "1"][..];
+
+    let mut args = base.to_vec();
+    let t = transcript.display().to_string();
+    args.extend_from_slice(&["--record", &t]);
+    let recorded = run_in(&cwd, &args);
+    assert!(recorded.status.success(), "record run failed: {recorded:?}");
+    let header = fs::read_to_string(&transcript).expect("transcript written");
+    assert!(header.contains("PBHALTR1"), "transcript missing magic");
+
+    let replay_backend = format!("replay:{t}");
+    let mut args = base.to_vec();
+    args.extend_from_slice(&["--backend", &replay_backend]);
+    let replayed = run_in(&cwd, &args);
+    assert!(replayed.status.success(), "replay run failed: {replayed:?}");
+
+    let head =
+        |out: &Output| -> Vec<String> { stdout(out).lines().take(7).map(String::from).collect() };
+    assert_eq!(
+        head(&recorded),
+        head(&replayed),
+        "replayed report differs from the recorded run"
+    );
+
+    fs::remove_dir_all(&cwd).ok();
+}
+
+#[test]
+fn fleet_record_then_replay_produces_a_byte_identical_store() {
+    let cwd = scratch_cwd("fleet-replay");
+    let transcripts = cwd.join("transcripts");
+    let base = |dir: &str| -> Vec<String> {
+        [
+            "fleet",
+            "run",
+            "--dir",
+            dir,
+            "--vendors",
+            "A,B",
+            "--rows",
+            "32",
+            "--workers",
+            "1",
+        ]
+        .map(String::from)
+        .to_vec()
+    };
+
+    let mut args = base("recorded");
+    args.extend(["--record".to_string(), transcripts.display().to_string()]);
+    let out = Command::new(BIN)
+        .args(&args)
+        .current_dir(&cwd)
+        .output()
+        .expect("recorded fleet run");
+    assert!(out.status.success(), "recorded run failed: {out:?}");
+    assert!(transcripts.join("A0.jsonl").is_file());
+    assert!(transcripts.join("B0.jsonl").is_file());
+
+    let mut args = base("replayed");
+    args.extend([
+        "--backend".to_string(),
+        format!("replay:{}", transcripts.display()),
+    ]);
+    let out = Command::new(BIN)
+        .args(&args)
+        .current_dir(&cwd)
+        .output()
+        .expect("replayed fleet run");
+    assert!(out.status.success(), "replayed run failed: {out:?}");
+
+    assert_eq!(
+        dir_snapshot(&cwd.join("recorded").join("store")),
+        dir_snapshot(&cwd.join("replayed").join("store")),
+        "replayed store differs from the recorded run"
+    );
+
+    fs::remove_dir_all(&cwd).ok();
+}
+
+#[test]
+fn inject_changes_results_deterministically() {
+    let cwd = scratch_cwd("inject");
+    let base = &["detect", "--vendor", "B", "--rows", "32", "--chips", "1"][..];
+    let clean = run_in(&cwd, base);
+    assert!(clean.status.success());
+
+    let mut args = base.to_vec();
+    args.extend_from_slice(&["--inject", "rate=0.002,seed=11"]);
+    let injected = run_in(&cwd, &args);
+    assert!(
+        injected.status.success(),
+        "injected run failed: {injected:?}"
+    );
+    let injected_again = run_in(&cwd, &args);
+    assert!(injected_again.status.success());
+
+    let failures = |out: &Output| -> String {
+        stdout(out)
+            .lines()
+            .find(|l| l.starts_with("failures found"))
+            .expect("failures line")
+            .to_string()
+    };
+    assert_ne!(
+        failures(&clean),
+        failures(&injected),
+        "injection at rate=0.002 must change the failure count"
+    );
+    assert_eq!(
+        failures(&injected),
+        failures(&injected_again),
+        "same injection seed must reproduce the same failures"
+    );
+
+    fs::remove_dir_all(&cwd).ok();
+}
+
+#[test]
+fn bad_backend_and_inject_specs_are_rejected() {
+    for args in [
+        &["detect", "--rows", "32", "--backend", "fpga"][..],
+        &["detect", "--rows", "32", "--backend", "replay:"],
+        &["detect", "--rows", "32", "--inject", "rate=2,seed=1"],
+        &["detect", "--rows", "32", "--inject", "seed=1"],
+        &[
+            "detect",
+            "--rows",
+            "32",
+            "--inject",
+            "rate=0.1,seed=1,volume=9",
+        ],
+    ] {
+        let out = run(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+    }
+}
+
 #[test]
 fn fleet_crash_resume_store_is_byte_identical_to_clean_run() {
     let clean = temp_dir("fleet-clean");

@@ -2,7 +2,8 @@
 //! against the paper's Table 1 and Figure 11 ground truth.
 
 use parbor_core::{Parbor, ParborConfig};
-use parbor_dram::{ChipGeometry, DramChip, ModuleConfig, Scrambler, TestPort, Vendor};
+use parbor_dram::{ChipGeometry, DramChip, ModuleConfig, Scrambler, Vendor};
+use parbor_hal::TestPort;
 
 fn run_vendor_chip(vendor: Vendor, seed: u64) -> parbor_core::ParborReport {
     let mut chip = DramChip::new(ChipGeometry::new(1, 192, 8192).unwrap(), vendor, seed).unwrap();

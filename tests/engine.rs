@@ -11,10 +11,8 @@ use parbor_core::{
     exhaustive_neighbor_search, linear_neighbor_search, random_pattern_test, solid_pattern_test,
     walking_pattern_test, OnlinePhase, OnlineTester, Parbor, ParborConfig, Victim,
 };
-use parbor_dram::{
-    ChipGeometry, DramError, DramModule, Flip, ModuleConfig, ModuleId, ParallelMode, RoundExecutor,
-    RoundPlan, RowId, RowWrite, TestPort, Vendor,
-};
+use parbor_dram::{ChipGeometry, DramError, DramModule, ModuleConfig, ModuleId, RowId, Vendor};
+use parbor_hal::{Flip, ParallelMode, RoundExecutor, RoundPlan, RowWrite, TestPort};
 
 /// Forwards everything except `run_rounds`, so batches fall back to the
 /// trait's default loop over [`TestPort::run_round`].

@@ -183,9 +183,8 @@ proptest! {
         // same order as the serial path — not just the same set. ParallelMode
         // is forced (Always / Never) so the comparison is meaningful even on
         // single-core hosts where Auto degrades to serial.
-        use parbor_dram::{
-            ChipGeometry, ModuleConfig, ParallelMode, RoundPlan, RowId, TestPort,
-        };
+        use parbor_hal::{ParallelMode, RoundPlan, TestPort};
+use parbor_dram::{ChipGeometry, ModuleConfig, RowId};
 
         let vendor = Vendor::ALL[vendor_idx];
         let build = |mode: ParallelMode| {
@@ -284,9 +283,8 @@ proptest! {
         // threads) against the fully retained reference path (scalar
         // kernel, reference sampler, serial execution). Flip streams and
         // cache/counter-visible behavior must match bit for bit.
-        use parbor_dram::{
-            ChipGeometry, KernelMode, ModuleConfig, ParallelMode, RoundPlan, RowId, TestPort,
-        };
+        use parbor_hal::{KernelMode, ParallelMode, RoundPlan, TestPort};
+use parbor_dram::{ChipGeometry, ModuleConfig, RowId};
 
         let vendor = Vendor::ALL[vendor_idx];
         let build = |mode: ParallelMode, kernel: KernelMode| {
@@ -409,6 +407,133 @@ mod checkpointing {
             module.fast_forward(resumed.rounds_done());
             let profile = resumed.run_to_completion(&mut module).unwrap();
             prop_assert_eq!(profile, clean_profile());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HAL transcript invariants (the parbor-hal contract): wrapping a backend in
+// a RecordingPort never changes what the pipeline observes, and replaying
+// the transcript reproduces the run bit for bit — including the bytes the
+// fleet store persists.
+// ---------------------------------------------------------------------------
+
+mod hal_transcripts {
+    use super::*;
+    use parbor_core::{FailureProfile, ScanMachine};
+    use parbor_dram::{ChipGeometry, ModuleSpec};
+    use parbor_fleet::{Fleet, FleetConfig, ScanJob};
+    use parbor_hal::{RecordingPort, ReplayPort, TestPort};
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn spec(vendor: Vendor, seed: u64) -> ModuleSpec {
+        ModuleSpec {
+            chips: 1,
+            geometry: ChipGeometry::new(1, 48, 1024).unwrap(),
+            seed,
+            ..ModuleSpec::new(vendor)
+        }
+    }
+
+    fn scan<P: TestPort + ?Sized>(port: &mut P) -> FailureProfile {
+        let mut machine = ScanMachine::new(ParborConfig::default());
+        machine.run_to_completion(port).unwrap().clone()
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("parbor-hal-prop-{}-{tag}-{n}", std::process::id()))
+    }
+
+    /// Every file under `root`, as sorted (relative path, contents) pairs.
+    fn dir_snapshot(root: &Path) -> Vec<(String, Vec<u8>)> {
+        fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, Vec<u8>)>) {
+            for entry in std::fs::read_dir(dir).expect("read_dir") {
+                let path = entry.expect("entry").path();
+                if path.is_dir() {
+                    walk(&path, root, out);
+                } else {
+                    let rel = path
+                        .strip_prefix(root)
+                        .expect("under root")
+                        .to_string_lossy()
+                        .into_owned();
+                    out.push((rel, std::fs::read(&path).expect("read file")));
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(root, root, &mut out);
+        out.sort();
+        out
+    }
+
+    proptest! {
+        #[test]
+        fn recording_is_transparent_and_replay_is_bit_identical(
+            vendor_idx in 0usize..3,
+            seed in 1u64..5000,
+        ) {
+            let vendor = Vendor::ALL[vendor_idx];
+            let bare = scan(&mut spec(vendor, seed).build().unwrap());
+
+            let path = temp_path("transcript");
+            let mut recording =
+                RecordingPort::create(spec(vendor, seed).build().unwrap(), &path).unwrap();
+            let recorded = scan(&mut recording);
+            recording.finish().unwrap();
+            prop_assert_eq!(&recorded, &bare);
+
+            let mut replay = ReplayPort::open(&path).unwrap();
+            let replayed = scan(&mut replay);
+            std::fs::remove_file(&path).ok();
+            prop_assert_eq!(&replayed, &bare);
+        }
+
+        #[test]
+        fn fleet_replay_reproduces_the_store_bytes(seed in 1u64..2000) {
+            let transcripts = temp_path("fleet-tr");
+            std::fs::create_dir_all(&transcripts).unwrap();
+            let config = || FleetConfig {
+                workers: 1,
+                ..FleetConfig::default()
+            };
+            let jobs = || vec![ScanJob::new("j0", spec(Vendor::B, seed))];
+
+            let rec_root = temp_path("fleet-rec");
+            let rec_dir = transcripts.clone();
+            let fleet = Fleet::new(&rec_root, config())
+                .unwrap()
+                .with_port_factory(Box::new(move |job| {
+                    Ok(Box::new(RecordingPort::create(
+                        job.module.build()?,
+                        rec_dir.join(format!("{}.jsonl", job.name)),
+                    )?))
+                }));
+            let report = fleet.run(jobs()).unwrap();
+            prop_assert_eq!(report.failed(), 0);
+
+            let replay_root = temp_path("fleet-replay");
+            let replay_dir = transcripts.clone();
+            let fleet = Fleet::new(&replay_root, config())
+                .unwrap()
+                .with_port_factory(Box::new(move |job| {
+                    Ok(Box::new(ReplayPort::open(
+                        replay_dir.join(format!("{}.jsonl", job.name)),
+                    )?))
+                }));
+            let report = fleet.run(jobs()).unwrap();
+            prop_assert_eq!(report.failed(), 0);
+
+            let rec_store = dir_snapshot(&rec_root.join("store"));
+            let replay_store = dir_snapshot(&replay_root.join("store"));
+            for dir in [&transcripts, &rec_root, &replay_root] {
+                std::fs::remove_dir_all(dir).ok();
+            }
+            prop_assert!(!rec_store.is_empty(), "recorded store is empty");
+            prop_assert_eq!(rec_store, replay_store);
         }
     }
 }
