@@ -3,6 +3,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
+use parbor_obs::metrics;
 use parbor_obs::RecorderHandle;
 
 use crate::cell::{marginal_fails, vrt_leaky, CellClass, FaultKind, FaultRates, RowFaultMap};
@@ -262,7 +263,7 @@ impl DramChip {
             }
         }
         self.rec
-            .gauge("dram.eval_cache", self.eval_cache.len() as i64);
+            .gauge(metrics::dram::EVAL_CACHE, self.eval_cache.len() as i64);
     }
 
     /// Changes operating temperature and refresh interval. Fault maps are
@@ -281,7 +282,7 @@ impl DramChip {
         // Stencils are compiled against the margin shift, so they are stale
         // now; fault maps are shift-independent and survive.
         self.stencils.clear();
-        self.rec.gauge("dram.eval_cache", 0);
+        self.rec.gauge(metrics::dram::EVAL_CACHE, 0);
     }
 
     /// Writes a full row (system bit order).
@@ -299,7 +300,7 @@ impl DramChip {
             });
         }
         self.rows.insert(row, data);
-        self.rec.incr("dram.row_writes", 1);
+        self.rec.incr(metrics::dram::ROW_WRITES, 1);
         Ok(())
     }
 
@@ -307,7 +308,7 @@ impl DramChip {
     /// read of a test round).
     pub fn advance_round(&mut self) {
         self.round += 1;
-        self.rec.incr("dram.rounds", 1);
+        self.rec.incr(metrics::dram::ROUNDS, 1);
     }
 
     /// Advances the round clock by `rounds` refresh intervals without
@@ -320,7 +321,7 @@ impl DramChip {
     /// all future rounds, to the chip that process held in memory.
     pub fn fast_forward(&mut self, rounds: u64) {
         self.round += rounds;
-        self.rec.incr("dram.rounds", rounds);
+        self.rec.incr(metrics::dram::ROUNDS, rounds);
     }
 
     /// The last data written to a row, without fault effects.
@@ -510,14 +511,14 @@ impl DramChip {
 
         // Serial merge: counters and cache insertions in first-occurrence
         // order, flips in write order.
-        self.rec.incr("dram.row_reads", rows.len() as u64);
+        self.rec.incr(metrics::dram::ROW_READS, rows.len() as u64);
         let mut per_row: HashMap<RowId, Vec<BitFlip>> = HashMap::with_capacity(unique.len());
         for (&(key, hit), (flips, computed)) in jobs.iter().zip(results) {
             if self.eval_cap > 0 {
                 if hit {
-                    self.rec.incr("dram.eval_cache_hits", 1);
+                    self.rec.incr(metrics::dram::EVAL_CACHE_HITS, 1);
                 } else {
-                    self.rec.incr("dram.eval_cache_misses", 1);
+                    self.rec.incr(metrics::dram::EVAL_CACHE_MISSES, 1);
                     let data = self.rows[&key.0].clone();
                     self.insert_eval(key, data, computed.expect("miss was evaluated"));
                 }
@@ -529,7 +530,7 @@ impl DramChip {
         if self.eval_cap > 0 {
             let dup = (rows.len() - unique.len()) as u64;
             if dup > 0 {
-                self.rec.incr("dram.eval_cache_hits", dup);
+                self.rec.incr(metrics::dram::EVAL_CACHE_HITS, dup);
             }
         }
         let mut out = Vec::new();
@@ -564,7 +565,7 @@ impl DramChip {
         self.geometry.check_row(row)?;
         self.ensure_fault_map(row);
         self.ensure_stencil(row);
-        self.rec.incr("dram.row_reads", 1);
+        self.rec.incr(metrics::dram::ROW_READS, 1);
         let data = self
             .rows
             .get(&row)
@@ -588,7 +589,7 @@ impl DramChip {
         };
         let (flips, computed) = match cached {
             Some(indices) => {
-                self.rec.incr("dram.eval_cache_hits", 1);
+                self.rec.incr(metrics::dram::EVAL_CACHE_HITS, 1);
                 (self.assemble_flips(map, data, indices, row), None)
             }
             None => {
@@ -602,7 +603,7 @@ impl DramChip {
         };
         if let Some((coupled, data)) = computed {
             if self.eval_cap > 0 {
-                self.rec.incr("dram.eval_cache_misses", 1);
+                self.rec.incr(metrics::dram::EVAL_CACHE_MISSES, 1);
                 self.insert_eval(key, data, coupled);
             }
         }
@@ -623,7 +624,7 @@ impl DramChip {
             }
         }
         self.rec
-            .gauge("dram.eval_cache", self.eval_cache.len() as i64);
+            .gauge(metrics::dram::EVAL_CACHE, self.eval_cache.len() as i64);
     }
 
     /// Expands failing coupling indices plus the round-dependent populations
@@ -747,15 +748,15 @@ impl DramChip {
         // Building a fault map translates every system column through
         // the scrambler once.
         self.rec.incr(
-            "dram.scrambler_translations",
+            metrics::dram::SCRAMBLER_TRANSLATIONS,
             u64::from(self.geometry.cols_per_row),
         );
-        self.rec.incr("dram.fault_maps_built", 1);
+        self.rec.incr(metrics::dram::FAULT_MAPS_BUILT, 1);
         self.fault_maps.insert(row, map);
         self.fault_map_order.push_back(row);
         self.evict_fault_maps();
         self.rec
-            .gauge("dram.fault_map_cache", self.fault_maps.len() as i64);
+            .gauge(metrics::dram::FAULT_MAP_CACHE, self.fault_maps.len() as i64);
     }
 
     /// Compiles the row's coupling stencil if the stencil kernel is active
@@ -775,7 +776,7 @@ impl DramChip {
                 self.fault_maps.remove(&old);
                 // A stencil is only valid alongside its fault map.
                 self.stencils.remove(&old);
-                self.rec.incr("dram.fault_maps_evicted", 1);
+                self.rec.incr(metrics::dram::FAULT_MAPS_EVICTED, 1);
             } else {
                 break;
             }

@@ -8,6 +8,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use parbor_obs::metrics;
 use parbor_obs::RecorderHandle;
 use serde::{Deserialize, Serialize};
 
@@ -66,9 +67,9 @@ impl TestPort for DramChip {
             .map(|flip| Flip { unit: 0, flip })
             .collect();
         let rec = self.recorder();
-        rec.incr("dram.port_rounds", 1);
-        rec.observe("dram.port_round_writes", n_writes as u64);
-        rec.observe("dram.port_round_flips", flips.len() as u64);
+        rec.incr(metrics::dram::PORT_ROUNDS, 1);
+        rec.observe(metrics::dram::PORT_ROUND_WRITES, n_writes as u64);
+        rec.observe(metrics::dram::PORT_ROUND_FLIPS, flips.len() as u64);
         Ok(flips)
     }
 
@@ -391,10 +392,10 @@ impl DramModule {
         }
         self.rounds += n_rounds as u64;
         for (&writes, flips) in write_counts.iter().zip(&merged) {
-            self.rec.incr("dram.port_rounds", 1);
-            self.rec.observe("dram.port_round_writes", writes);
+            self.rec.incr(metrics::dram::PORT_ROUNDS, 1);
+            self.rec.observe(metrics::dram::PORT_ROUND_WRITES, writes);
             self.rec
-                .observe("dram.port_round_flips", flips.len() as u64);
+                .observe(metrics::dram::PORT_ROUND_FLIPS, flips.len() as u64);
         }
         Ok(merged)
     }

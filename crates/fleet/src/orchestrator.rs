@@ -17,13 +17,14 @@ use std::collections::{BTreeSet, VecDeque};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use parbor_core::ScanMachine;
 use parbor_hal::{KernelMode, ParallelMode, TestPort};
-use parbor_obs::{metrics, span, RecorderHandle};
+use parbor_obs::{metrics, span, FleetStatus, RecorderHandle};
 
 use crate::job::ScanJob;
 use crate::journal::{Journal, JournalRecord};
@@ -188,6 +189,133 @@ pub struct JobStatus {
     pub failures: Option<usize>,
 }
 
+/// Shared accounting behind the live `status.json` surface.
+///
+/// Workers bump the atomics as they claim jobs, finish advance chunks, and
+/// land checkpoints; every significant event atomically swaps a fresh
+/// [`FleetStatus`] document so a watcher (`parbor fleet top`, a dashboard)
+/// always reads a consistent snapshot. Rates come from the same clock the
+/// recorded telemetry uses, never re-derived elsewhere. A publish failure
+/// is deliberately ignored: the status surface is advisory and must never
+/// fail a campaign.
+struct StatusBoard {
+    path: PathBuf,
+    started: Instant,
+    jobs_total: u64,
+    queued: AtomicU64,
+    running: AtomicU64,
+    done: AtomicU64,
+    failed: AtomicU64,
+    skipped: AtomicU64,
+    rounds_done: AtomicU64,
+    rows_written: AtomicU64,
+    /// Fleet-wide rounds at the most recent checkpoint (lag approximation:
+    /// with several workers the true per-job lag varies, but the global
+    /// delta bounds the work at risk).
+    rounds_at_ckpt: AtomicU64,
+    /// Milliseconds since `started` when the last checkpoint landed.
+    ckpt_at_ms: AtomicU64,
+}
+
+impl StatusBoard {
+    fn new(path: PathBuf, jobs_total: u64, skipped: u64, queued: u64) -> Self {
+        StatusBoard {
+            path,
+            started: Instant::now(),
+            jobs_total,
+            queued: AtomicU64::new(queued),
+            running: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            skipped: AtomicU64::new(skipped),
+            rounds_done: AtomicU64::new(0),
+            rows_written: AtomicU64::new(0),
+            rounds_at_ckpt: AtomicU64::new(0),
+            ckpt_at_ms: AtomicU64::new(0),
+        }
+    }
+
+    fn claim(&self) {
+        self.queued.fetch_sub(1, Ordering::SeqCst);
+        self.running.fetch_add(1, Ordering::SeqCst);
+        self.publish("running");
+    }
+
+    fn advanced(&self, rounds: u64, rows_per_round: u64) {
+        self.rounds_done.fetch_add(rounds, Ordering::SeqCst);
+        self.rows_written
+            .fetch_add(rounds.saturating_mul(rows_per_round), Ordering::SeqCst);
+    }
+
+    fn checkpointed(&self) {
+        self.rounds_at_ckpt
+            .store(self.rounds_done.load(Ordering::SeqCst), Ordering::SeqCst);
+        self.ckpt_at_ms
+            .store(self.started.elapsed().as_millis() as u64, Ordering::SeqCst);
+        self.publish("running");
+    }
+
+    fn finished(&self, report: &JobReport) {
+        self.running.fetch_sub(1, Ordering::SeqCst);
+        let bucket = if report.error.is_some() {
+            &self.failed
+        } else if report.skipped {
+            &self.skipped
+        } else if report.halted {
+            // Halted jobs go back to the queue conceptually; the final
+            // "halted" publish tells the watcher why progress stopped.
+            &self.queued
+        } else {
+            &self.done
+        };
+        bucket.fetch_add(1, Ordering::SeqCst);
+        self.publish("running");
+    }
+
+    fn snapshot(&self, state: &str) -> FleetStatus {
+        let elapsed_ms = self.started.elapsed().as_millis() as u64;
+        let elapsed_s = (elapsed_ms as f64 / 1000.0).max(1e-9);
+        let rounds_done = self.rounds_done.load(Ordering::SeqCst);
+        let done = self.done.load(Ordering::SeqCst);
+        let failed = self.failed.load(Ordering::SeqCst);
+        let skipped = self.skipped.load(Ordering::SeqCst);
+        let settled = done + failed + skipped;
+        let remaining = self.jobs_total.saturating_sub(settled);
+        // ETA extrapolates jobs-per-second of the jobs that actually ran;
+        // skipped jobs cost nothing, so they are excluded from the rate.
+        let eta_s = if remaining == 0 {
+            Some(0.0)
+        } else if done + failed > 0 {
+            Some(remaining as f64 * elapsed_s / (done + failed) as f64)
+        } else {
+            None
+        };
+        FleetStatus {
+            state: state.to_string(),
+            jobs_total: self.jobs_total,
+            jobs_queued: self.queued.load(Ordering::SeqCst),
+            jobs_running: self.running.load(Ordering::SeqCst),
+            jobs_done: done,
+            jobs_failed: failed,
+            jobs_skipped: skipped,
+            rounds_done,
+            rows_written: self.rows_written.load(Ordering::SeqCst),
+            elapsed_ms,
+            rounds_per_s: rounds_done as f64 / elapsed_s,
+            rows_per_s: self.rows_written.load(Ordering::SeqCst) as f64 / elapsed_s,
+            checkpoint_lag_rounds: rounds_done
+                .saturating_sub(self.rounds_at_ckpt.load(Ordering::SeqCst)),
+            checkpoint_lag_ms: elapsed_ms.saturating_sub(self.ckpt_at_ms.load(Ordering::SeqCst)),
+            eta_s,
+            updated_ms: elapsed_ms,
+        }
+    }
+
+    fn publish(&self, state: &str) {
+        let _ = self.snapshot(state).write_atomic(&self.path);
+    }
+}
+
 /// Builds the [`TestPort`] a worker drives for one job.
 ///
 /// Factories are shared across the worker pool, hence `Send + Sync`; each
@@ -268,6 +396,12 @@ impl Fleet {
         self.root.join("store")
     }
 
+    /// Path of the live status surface this fleet swaps while running
+    /// (readable any time with [`FleetStatus::load`]).
+    pub fn status_path(&self) -> PathBuf {
+        self.root.join(FleetStatus::FILE_NAME)
+    }
+
     /// Runs `jobs` to completion across the worker pool. Already-stored
     /// jobs are skipped; jobs with surviving journals are resumed. Job
     /// failures land in the report, not in `Err` — the rest of the queue
@@ -322,7 +456,15 @@ impl Fleet {
         }
         self.rec
             .incr(metrics::fleet::JOBS_QUEUED, pending.len() as u64);
+        let board = StatusBoard::new(
+            self.status_path(),
+            (reports.len() + pending.len()) as u64,
+            reports.len() as u64,
+            pending.len() as u64,
+        );
+        board.publish("running");
 
+        let _campaign = span!(self.rec, metrics::fleet::CAMPAIGN_SPAN);
         let workers = self.config.workers.min(pending.len()).max(1);
         let queue = Mutex::new(pending);
         let store = Mutex::new(store);
@@ -344,8 +486,9 @@ impl Fleet {
                         metrics::fleet::JOBS_RUNNING,
                         running.fetch_add(1, Ordering::SeqCst) + 1,
                     );
+                    board.claim();
                     let report = self
-                        .run_job(&job, &journal_dir, &store, &checkpoints, &halt)
+                        .run_job(&job, &journal_dir, &store, &checkpoints, &halt, &board)
                         .unwrap_or_else(|e| {
                             self.rec.incr(metrics::fleet::JOBS_FAILED, 1);
                             JobReport {
@@ -353,6 +496,7 @@ impl Fleet {
                                 ..JobReport::empty(&job.name)
                             }
                         });
+                    board.finished(&report);
                     done_reports.lock().push(report);
                     self.rec.gauge(
                         metrics::fleet::JOBS_RUNNING,
@@ -365,7 +509,13 @@ impl Fleet {
 
         reports.append(&mut done_reports.into_inner());
         reports.sort_by(|a, b| a.name.cmp(&b.name));
-        Ok(FleetReport { jobs: reports })
+        let report = FleetReport { jobs: reports };
+        board.publish(if report.halted() > 0 {
+            "halted"
+        } else {
+            "done"
+        });
+        Ok(report)
     }
 
     /// Resumes every job with a surviving journal (after a crash or halt).
@@ -461,8 +611,10 @@ impl Fleet {
         store: &Mutex<ProfileStore>,
         fleet_checkpoints: &AtomicU64,
         halt: &AtomicBool,
+        board: &StatusBoard,
     ) -> Result<JobReport, FleetError> {
         let _span = span!(self.rec, metrics::fleet::JOB_SPAN);
+        let job_start = Instant::now();
         let wal = journal_dir.join(format!("{}.wal", job.name));
         let mut resumed = false;
         let (mut journal, machine) = if wal.exists() {
@@ -515,8 +667,18 @@ impl Fleet {
         };
         let mut checkpoints = 0u64;
         let mut checkpoint_bytes = 0u64;
+        // Every detection round writes each row under test once, so the
+        // status surface's rows/s is rounds × module rows — an upper-bound
+        // approximation that tracks real throughput within a round.
+        let rows_per_round = u64::from(job.module.geometry.banks)
+            * u64::from(job.module.geometry.rows_per_bank)
+            * job.module.chips as u64;
+        let mut rounds_seen = machine.rounds_done();
         while !machine.is_done() {
             machine.advance(&mut *port, budget)?;
+            let now_done = machine.rounds_done();
+            board.advanced(now_done - rounds_seen, rows_per_round);
+            rounds_seen = now_done;
             if self.config.checkpoint_every > 0 && !machine.is_done() {
                 let bytes = journal.append(&JournalRecord::Checkpoint {
                     state: machine.state().clone(),
@@ -525,6 +687,7 @@ impl Fleet {
                 checkpoint_bytes += bytes;
                 self.rec.incr(metrics::fleet::CHECKPOINTS, 1);
                 self.rec.incr(metrics::fleet::CHECKPOINT_BYTES, bytes);
+                board.checkpointed();
                 let nth = fleet_checkpoints.fetch_add(1, Ordering::SeqCst) + 1;
                 if let Some(limit) = self.config.crash_after_checkpoints {
                     if nth >= limit {
@@ -558,6 +721,10 @@ impl Fleet {
         drop(journal);
         fs::remove_file(&wal)?;
         self.rec.incr(metrics::fleet::JOBS_DONE, 1);
+        self.rec.observe(
+            metrics::fleet::JOB_US,
+            job_start.elapsed().as_micros() as u64,
+        );
         Ok(JobReport {
             resumed,
             rounds: machine.rounds_done() - rounds_at_start,

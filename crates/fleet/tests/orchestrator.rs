@@ -214,6 +214,50 @@ fn torn_journal_tail_recovers_and_still_matches_clean_run() {
 }
 
 #[test]
+fn status_surface_tracks_campaign_to_terminal_state() {
+    let root = temp_root("status");
+    let config = FleetConfig {
+        workers: 2,
+        checkpoint_every: 16,
+        ..FleetConfig::default()
+    };
+    let fleet = Fleet::new(&root, config.clone()).expect("fleet");
+    assert!(fleet.run(sample_jobs()).expect("run").is_clean());
+
+    let status = parbor_obs::FleetStatus::load(fleet.status_path()).expect("status.json");
+    assert_eq!(status.state, "done");
+    assert!(status.is_terminal());
+    assert_eq!(status.jobs_total, 3);
+    assert_eq!(status.jobs_done, 3);
+    assert_eq!(status.jobs_queued, 0);
+    assert_eq!(status.jobs_running, 0);
+    assert!(status.rounds_done > 0, "rounds must be counted");
+    assert!(
+        status.rows_written >= status.rounds_done,
+        "every round writes at least one row"
+    );
+    assert_eq!(status.eta_s, Some(0.0), "finished campaign has zero eta");
+
+    // A halted campaign leaves the surface saying why progress stopped.
+    let halted_root = temp_root("status-halt");
+    let halted = Fleet::new(
+        &halted_root,
+        FleetConfig {
+            halt_after_checkpoints: Some(2),
+            ..config
+        },
+    )
+    .expect("fleet");
+    assert!(!halted.run(sample_jobs()).expect("halted run").is_clean());
+    let status = parbor_obs::FleetStatus::load(halted.status_path()).expect("status.json");
+    assert_eq!(status.state, "halted");
+    assert!(status.is_terminal());
+
+    fs::remove_dir_all(&root).ok();
+    fs::remove_dir_all(&halted_root).ok();
+}
+
+#[test]
 fn rejects_duplicate_and_invalid_names() {
     let root = temp_root("names");
     let fleet = Fleet::new(&root, FleetConfig::default()).expect("fleet");

@@ -20,6 +20,7 @@
 //! [`TestPort::run_rounds`] to execute its independent chips on scoped
 //! threads, amortizing the thread spawns across the whole batch.
 
+use parbor_obs::metrics;
 use parbor_obs::RecorderHandle;
 
 use crate::bits::RowBits;
@@ -213,9 +214,9 @@ impl<'p, P: TestPort + ?Sized> RoundExecutor<'p, P> {
 
     fn record(&mut self, writes: u64, flips: u64) {
         self.rounds += 1;
-        self.rec.incr("engine.rounds", 1);
-        self.rec.observe("engine.round_writes", writes);
-        self.rec.observe("engine.round_flips", flips);
+        self.rec.incr(metrics::engine::ROUNDS, 1);
+        self.rec.observe(metrics::engine::ROUND_WRITES, writes);
+        self.rec.observe(metrics::engine::ROUND_FLIPS, flips);
         if let Some(counter) = self.round_counter {
             self.rec.incr(counter, 1);
         }
@@ -254,7 +255,7 @@ impl<'p, P: TestPort + ?Sized> RoundExecutor<'p, P> {
         // reports: larger batches amortize thread spawns across both
         // parallelism levels (per-chip and per-row) of the port.
         self.rec
-            .observe("engine.batch_rounds", write_counts.len() as u64);
+            .observe(metrics::engine::BATCH_ROUNDS, write_counts.len() as u64);
         let results = self.port.run_rounds(plans)?;
         for (&writes, flips) in write_counts.iter().zip(&results) {
             self.record(writes, flips.len() as u64);

@@ -3,6 +3,7 @@
 
 use std::collections::VecDeque;
 
+use parbor_obs::metrics;
 use parbor_obs::RecorderHandle;
 use serde::{Deserialize, Serialize};
 
@@ -184,9 +185,9 @@ impl MemoryController {
             let bank = self.bank_index(req.addr);
             if self.banks[bank].is_hit(req.addr.row) {
                 self.row_hits += 1;
-                self.rec.incr("memsim.row_hits", 1);
+                self.rec.incr(metrics::memsim::ROW_HITS, 1);
             } else {
-                self.rec.incr("memsim.row_misses", 1);
+                self.rec.incr(metrics::memsim::ROW_MISSES, 1);
             }
             let mut done = self.banks[bank].service(req.addr.row, now, &self.timing);
             // Serialize only the data burst on the shared bus: if this
@@ -247,7 +248,7 @@ impl MemoryController {
             self.next_refresh_at[rank] += self.timing.t_refi * owed;
             self.refresh_windows += owed;
             self.refresh_busy_cycles += blocking;
-            self.rec.incr("memsim.refresh_windows", owed);
+            self.rec.incr(metrics::memsim::REFRESH_WINDOWS, owed);
         }
     }
 

@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 
+use parbor_obs::metrics;
 use parbor_obs::RecorderHandle;
 use serde::{Deserialize, Serialize};
 
@@ -169,9 +170,9 @@ impl RefreshPolicy {
             self.delta_hot += if content_matches { 1 } else { -1 };
             self.rec.incr(
                 if content_matches {
-                    "memsim.dcref_slow_to_fast"
+                    metrics::memsim::DCREF_SLOW_TO_FAST
                 } else {
-                    "memsim.dcref_fast_to_slow"
+                    metrics::memsim::DCREF_FAST_TO_SLOW
                 },
                 1,
             );

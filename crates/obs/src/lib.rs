@@ -1,16 +1,28 @@
-//! Observability layer for the PARBOR reproduction: named counters, log2
-//! histograms, gauges, and timed spans, recorded through a [`Recorder`]
-//! trait object carried by the pipeline, device, and simulator runners.
+//! Observability layer for the PARBOR reproduction: named counters,
+//! exact-percentile histograms, gauges, and timed spans, recorded through a
+//! [`Recorder`] trait object carried by the pipeline, device, and simulator
+//! runners.
 //!
-//! Two implementations ship with the crate:
+//! Three implementations ship with the crate:
 //!
 //! - [`NullRecorder`] — the default everywhere; every method is a no-op and
 //!   [`Recorder::enabled`] returns `false` so instrumentation sites can skip
 //!   work (formatting names, computing values) entirely.
-//! - [`InMemoryRecorder`] — accumulates everything in memory; snapshot it as
-//!   a [`RunSummary`], dump the span stream as JSONL with
-//!   [`InMemoryRecorder::trace_jsonl`], or render a per-phase wall-clock
-//!   table with [`InMemoryRecorder::phase_table`].
+//! - [`InMemoryRecorder`] — accumulates everything behind one mutex; the
+//!   simple choice for single-threaded runs and tests.
+//! - [`ShardedRecorder`] — per-thread shards with no shared lock on the
+//!   record path; the choice whenever scoped-thread parallelism records.
+//!
+//! Both recording implementations drain into the same [`ObsSnapshot`]:
+//! digest it as a [`RunSummary`], dump the span stream as JSONL with
+//! [`ObsSnapshot::trace_jsonl`] (size-bounded via
+//! [`ObsSnapshot::write_trace_rotating`]), read a trace back with
+//! [`Trace::load`] — torn tails are salvaged, not fatal — and turn it into
+//! a per-stage self/total [`Profile`] or [`folded_stacks`] flamegraph
+//! input. Long-running orchestrators publish progress through the
+//! [`FleetStatus`] surface. Histograms are log-linear with a bounded
+//! per-bucket relative error (see [`hist`]), so `p50`/`p99`/`p999` come out
+//! of every snapshot. Metric names live in the [`metrics`] registry.
 //!
 //! Instrumented code takes no direct dependency on any implementation: it
 //! holds an `Arc<dyn Recorder>` (see [`RecorderHandle`]) defaulting to the
@@ -38,15 +50,24 @@
 //! assert_eq!(spans[0].parent, Some(spans[1].id));
 //! ```
 
+pub mod hist;
 pub mod metrics;
+mod profile;
 mod recorder;
+mod shard;
+mod status;
 mod summary;
+pub mod trace;
 
+pub use hist::HistogramSnapshot;
+pub use profile::{folded_stacks, Profile, StageStat, Trace, TraceSpan};
 pub use recorder::{
-    null_recorder, AsRecorder, HistogramSnapshot, InMemoryRecorder, NullRecorder, Recorder,
-    RecorderHandle, SpanGuard, SpanId, SpanRecord,
+    null_recorder, AsRecorder, InMemoryRecorder, NullRecorder, Recorder, RecorderHandle, SpanGuard,
+    SpanId, SpanRecord,
 };
-pub use summary::{PhaseTiming, RunSummary};
+pub use shard::{ObsSnapshot, ShardedRecorder};
+pub use status::FleetStatus;
+pub use summary::{HistogramStat, PhaseTiming, RunSummary};
 
 /// Opens a timed span on a recorder; the span closes when the returned
 /// guard drops.

@@ -1,11 +1,130 @@
-//! Canonical metric names shared across crates.
+//! The canonical registry of every metric and span name the workspace
+//! emits.
 //!
-//! Metric names are plain strings at the recording site; the constants here
-//! exist so producers (the fleet orchestrator) and consumers (dashboards,
-//! tests, `bench_report`) agree on spelling without a string literal in
-//! every call site. Stage-level names (`discover.*`, `recursion.*`,
-//! `chipwide.*`, `dram.*`) predate this module and stay literal in their
-//! crates; new subsystems should add their names here.
+//! Names are plain strings at the recording site, which makes a typo'd
+//! metric silent: it records fine, dashboards just never see it. The
+//! constants here are the single spelling authority — producers record
+//! through them, consumers (`bench_report`, `fleet top`, tests) read
+//! through them, and [`is_registered`] lets the registry test run the full
+//! pipeline and reject any emitted name that is not declared below.
+//!
+//! Naming convention: `<subsystem>.<noun>` with `snake_case` nouns;
+//! histograms of per-round quantities end in a plural (`round_flips`),
+//! spans name the thing being timed (`pipeline.discover`).
+
+/// Names recorded by the detection pipeline's stage spans
+/// (`crates/parbor/src/pipeline.rs`).
+pub mod pipeline {
+    /// Span: one full detection run end to end.
+    pub const RUN: &str = "pipeline.run";
+    /// Span: the victim-discovery stage.
+    pub const DISCOVER: &str = "pipeline.discover";
+    /// Span: the recursive neighborhood-narrowing stage.
+    pub const RECURSION: &str = "pipeline.recursion";
+    /// Span: the chip-wide verification stage.
+    pub const CHIPWIDE: &str = "pipeline.chipwide";
+}
+
+/// Names recorded during victim discovery.
+pub mod discover {
+    /// Counter: victim rows admitted to the working set.
+    pub const VICTIMS: &str = "discover.victims";
+    /// Counter: detection rounds executed while discovering.
+    pub const ROUNDS: &str = "discover.rounds";
+    /// Histogram: bit flips observed per discovery round.
+    pub const ROUND_FLIPS: &str = "discover.round_flips";
+}
+
+/// Names recorded by the recursive narrowing stage.
+pub mod recursion {
+    /// Span: one recursion level; the payload is the region size.
+    pub const LEVEL: &str = "recursion.level";
+    /// Counter: neighborhood tests executed (the paper's Table 1 count).
+    pub const TESTS: &str = "recursion.tests";
+    /// Counter: candidate victims discarded as non-reproducing.
+    pub const VICTIMS_DISCARDED: &str = "recursion.victims_discarded";
+}
+
+/// Names recorded while aggregating recursion results.
+pub mod aggregate {
+    /// Counter: coupling distances kept after ranking.
+    pub const DISTANCES_KEPT: &str = "aggregate.distances_kept";
+    /// Counter: coupling distances dropped by the ranking cut.
+    pub const DISTANCES_DROPPED: &str = "aggregate.distances_dropped";
+}
+
+/// Names recorded by the chip-wide verification stage.
+pub mod chipwide {
+    /// Counter: detection rounds executed chip-wide.
+    pub const ROUNDS: &str = "chipwide.rounds";
+    /// Histogram: bit flips observed per chip-wide round.
+    pub const ROUND_FLIPS: &str = "chipwide.round_flips";
+    /// Counter: data-dependent failures confirmed.
+    pub const FAILURES: &str = "chipwide.failures";
+}
+
+/// Names recorded by the simulated DRAM chip and module
+/// (`crates/dram`).
+pub mod dram {
+    /// Counter: detection rounds applied to a chip.
+    pub const ROUNDS: &str = "dram.rounds";
+    /// Counter: row reads served.
+    pub const ROW_READS: &str = "dram.row_reads";
+    /// Counter: row writes served.
+    pub const ROW_WRITES: &str = "dram.row_writes";
+    /// Gauge: rows currently resident in the evaluation cache.
+    pub const EVAL_CACHE: &str = "dram.eval_cache";
+    /// Counter: evaluation-cache hits.
+    pub const EVAL_CACHE_HITS: &str = "dram.eval_cache_hits";
+    /// Counter: evaluation-cache misses.
+    pub const EVAL_CACHE_MISSES: &str = "dram.eval_cache_misses";
+    /// Gauge: fault maps currently cached.
+    pub const FAULT_MAP_CACHE: &str = "dram.fault_map_cache";
+    /// Counter: fault maps built.
+    pub const FAULT_MAPS_BUILT: &str = "dram.fault_maps_built";
+    /// Counter: fault maps evicted from the cache.
+    pub const FAULT_MAPS_EVICTED: &str = "dram.fault_maps_evicted";
+    /// Counter: scrambler address translations performed.
+    pub const SCRAMBLER_TRANSLATIONS: &str = "dram.scrambler_translations";
+    /// Counter: port-level detection rounds (module fan-out).
+    pub const PORT_ROUNDS: &str = "dram.port_rounds";
+    /// Histogram: row writes per port-level round.
+    pub const PORT_ROUND_WRITES: &str = "dram.port_round_writes";
+    /// Histogram: bit flips per port-level round.
+    pub const PORT_ROUND_FLIPS: &str = "dram.port_round_flips";
+}
+
+/// Names recorded by the HAL round executor (`crates/hal`).
+pub mod engine {
+    /// Counter: rounds executed through the engine.
+    pub const ROUNDS: &str = "engine.rounds";
+    /// Histogram: row writes per engine round.
+    pub const ROUND_WRITES: &str = "engine.round_writes";
+    /// Histogram: bit flips per engine round.
+    pub const ROUND_FLIPS: &str = "engine.round_flips";
+    /// Histogram: rounds per submitted batch.
+    pub const BATCH_ROUNDS: &str = "engine.batch_rounds";
+}
+
+/// Names recorded by the memory-controller simulator (`crates/memsim`).
+pub mod memsim {
+    /// Counter: accesses that hit the open row.
+    pub const ROW_HITS: &str = "memsim.row_hits";
+    /// Counter: accesses that forced an activate.
+    pub const ROW_MISSES: &str = "memsim.row_misses";
+    /// Counter: refresh windows owed and issued.
+    pub const REFRESH_WINDOWS: &str = "memsim.refresh_windows";
+    /// Counter: DC-REF reclassifications of a weak row to the slow bin.
+    pub const DCREF_FAST_TO_SLOW: &str = "memsim.dcref_fast_to_slow";
+    /// Counter: DC-REF reclassifications of a weak row to the fast bin.
+    pub const DCREF_SLOW_TO_FAST: &str = "memsim.dcref_slow_to_fast";
+}
+
+/// Names recorded by the figure-reproduction harness (`crates/repro`).
+pub mod figure {
+    /// Span: one paper-figure reproduction run.
+    pub const RUN: &str = "figure.run";
+}
 
 /// Names recorded by the `parbor-fleet` scan orchestrator.
 pub mod fleet {
@@ -29,4 +148,102 @@ pub mod fleet {
     pub const RECOVERY: &str = "fleet.recovery";
     /// Span: one scan job from claim to completion.
     pub const JOB_SPAN: &str = "fleet.job";
+    /// Histogram: wall-clock per completed job, microseconds (the source
+    /// of `bench_report`'s fleet rates and `status.json`'s ETA).
+    pub const JOB_US: &str = "fleet.job_us";
+    /// Span: one campaign from first claim to final store flush.
+    pub const CAMPAIGN_SPAN: &str = "fleet.campaign";
+}
+
+/// Every registered name, in ASCII order (checked by a test) so
+/// [`is_registered`] can binary-search and the slice doubles as
+/// documentation.
+pub const ALL: &[&str] = &[
+    aggregate::DISTANCES_DROPPED,
+    aggregate::DISTANCES_KEPT,
+    chipwide::FAILURES,
+    chipwide::ROUND_FLIPS,
+    chipwide::ROUNDS,
+    discover::ROUND_FLIPS,
+    discover::ROUNDS,
+    discover::VICTIMS,
+    dram::EVAL_CACHE,
+    dram::EVAL_CACHE_HITS,
+    dram::EVAL_CACHE_MISSES,
+    dram::FAULT_MAP_CACHE,
+    dram::FAULT_MAPS_BUILT,
+    dram::FAULT_MAPS_EVICTED,
+    dram::PORT_ROUND_FLIPS,
+    dram::PORT_ROUND_WRITES,
+    dram::PORT_ROUNDS,
+    dram::ROUNDS,
+    dram::ROW_READS,
+    dram::ROW_WRITES,
+    dram::SCRAMBLER_TRANSLATIONS,
+    engine::BATCH_ROUNDS,
+    engine::ROUND_FLIPS,
+    engine::ROUND_WRITES,
+    engine::ROUNDS,
+    figure::RUN,
+    fleet::CAMPAIGN_SPAN,
+    fleet::CHECKPOINT_BYTES,
+    fleet::CHECKPOINTS,
+    fleet::JOB_SPAN,
+    fleet::JOB_US,
+    fleet::JOBS_DONE,
+    fleet::JOBS_FAILED,
+    fleet::JOBS_QUEUED,
+    fleet::JOBS_RUNNING,
+    fleet::RECOVERY,
+    fleet::RESUMES,
+    memsim::DCREF_FAST_TO_SLOW,
+    memsim::DCREF_SLOW_TO_FAST,
+    memsim::REFRESH_WINDOWS,
+    memsim::ROW_HITS,
+    memsim::ROW_MISSES,
+    pipeline::CHIPWIDE,
+    pipeline::DISCOVER,
+    pipeline::RECURSION,
+    pipeline::RUN,
+    recursion::LEVEL,
+    recursion::TESTS,
+    recursion::VICTIMS_DISCARDED,
+];
+
+/// Whether `name` is a registered metric or span name.
+pub fn is_registered(name: &str) -> bool {
+    ALL.binary_search(&name).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        for pair in ALL.windows(2) {
+            assert!(pair[0] < pair[1], "{:?} out of order", pair);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_registered_names_only() {
+        assert!(is_registered(pipeline::RUN));
+        assert!(is_registered(fleet::JOB_US));
+        assert!(!is_registered("pipeline.runn"));
+        assert!(!is_registered(""));
+    }
+
+    #[test]
+    fn names_follow_the_subsystem_dot_noun_convention() {
+        for name in ALL {
+            let (subsystem, noun) = name.split_once('.').expect("dot-separated");
+            assert!(!subsystem.is_empty() && !noun.is_empty(), "bad name {name}");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
+                "bad characters in {name}"
+            );
+        }
+    }
 }

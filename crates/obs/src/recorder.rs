@@ -1,8 +1,11 @@
-//! The [`Recorder`] trait and its two implementations.
+//! The [`Recorder`] trait and its in-process implementations.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+use crate::hist::{HdrHistogram, HistogramSnapshot};
+use crate::shard::ObsSnapshot;
 
 /// Identifier of an open span. `0` means "no span" (the null recorder).
 pub type SpanId = u64;
@@ -22,7 +25,8 @@ pub trait Recorder: Send + Sync {
     /// Adds `delta` to the named monotonic counter.
     fn incr(&self, name: &str, delta: u64);
 
-    /// Records one observation into the named log2-bucket histogram.
+    /// Records one observation into the named log-linear histogram (see
+    /// [`crate::hist`] for the bucket scheme).
     fn observe(&self, name: &str, value: u64);
 
     /// Sets the named gauge to `value` (last write wins).
@@ -207,80 +211,10 @@ impl SpanRecord {
     }
 }
 
-/// Snapshot of one log2-bucket histogram.
-///
-/// Bucket `i` counts observations `v` with `i` significant bits, i.e.
-/// `v == 0` lands in bucket 0 and otherwise `2^(i-1) <= v < 2^i`.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct HistogramSnapshot {
-    /// Observation count per bucket, indexed by significant-bit count.
-    pub buckets: Vec<u64>,
-    /// Total observations.
-    pub count: u64,
-    /// Sum of all observed values.
-    pub sum: u64,
-    /// Largest observed value.
-    pub max: u64,
-}
-
-impl HistogramSnapshot {
-    /// Mean observed value (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-}
-
-#[derive(Debug)]
-struct Histogram {
-    buckets: [u64; 65],
-    count: u64,
-    sum: u64,
-    max: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            buckets: [0; 65],
-            count: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-}
-
-impl Histogram {
-    fn observe(&mut self, value: u64) {
-        let bucket = (u64::BITS - value.leading_zeros()) as usize;
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(value);
-        self.max = self.max.max(value);
-    }
-
-    fn snapshot(&self) -> HistogramSnapshot {
-        let used = self
-            .buckets
-            .iter()
-            .rposition(|&c| c > 0)
-            .map_or(0, |i| i + 1);
-        HistogramSnapshot {
-            buckets: self.buckets[..used].to_vec(),
-            count: self.count,
-            sum: self.sum,
-            max: self.max,
-        }
-    }
-}
-
 #[derive(Default)]
 struct Inner {
     counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Histogram>,
+    histograms: BTreeMap<String, HdrHistogram>,
     gauges: BTreeMap<String, i64>,
     spans: Vec<SpanRecord>,
     open: Vec<SpanId>,
@@ -336,7 +270,7 @@ impl InMemoryRecorder {
 
     /// Snapshot of a histogram (`None` if nothing was observed under the name).
     pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
-        self.lock().histograms.get(name).map(Histogram::snapshot)
+        self.lock().histograms.get(name).map(HdrHistogram::snapshot)
     }
 
     /// All counters, sorted by name.
@@ -366,6 +300,27 @@ impl InMemoryRecorder {
             .collect()
     }
 
+    /// Drains the recorder's state into the merged read-side view shared
+    /// with [`ShardedRecorder`](crate::ShardedRecorder).
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let inner = self.lock();
+        let spans = inner
+            .finished
+            .iter()
+            .filter_map(|&id| inner.spans.iter().find(|s| s.id == id).cloned())
+            .collect();
+        ObsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            spans,
+        }
+    }
+
     /// Closed spans, in the order they finished (the natural JSONL order:
     /// children precede their parents).
     pub fn finished_spans(&self) -> Vec<SpanRecord> {
@@ -380,30 +335,7 @@ impl InMemoryRecorder {
     /// The span event stream as JSONL: one JSON object per line, spans in
     /// finish order followed by one `counter` event per counter.
     pub fn trace_jsonl(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        for s in self.finished_spans() {
-            let parent = s.parent.map_or("null".to_string(), |p| p.to_string());
-            let value = s.value.map_or("null".to_string(), |v| v.to_string());
-            let _ = writeln!(
-                out,
-                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":{},\"value\":{},\"start_us\":{},\"dur_us\":{}}}",
-                s.id,
-                parent,
-                serde_json::to_string(&s.name).unwrap_or_default(),
-                value,
-                s.start_us,
-                s.duration_us(),
-            );
-        }
-        for (name, value) in self.counters() {
-            let _ = writeln!(
-                out,
-                "{{\"type\":\"counter\",\"name\":{},\"value\":{value}}}",
-                serde_json::to_string(&name).unwrap_or_default(),
-            );
-        }
-        out
+        self.snapshot().trace_jsonl()
     }
 
     /// Writes [`InMemoryRecorder::trace_jsonl`] to a file, creating parent
@@ -423,37 +355,7 @@ impl InMemoryRecorder {
     /// Wall-clock totals per span name, as an aligned text table sorted by
     /// total time (descending).
     pub fn phase_table(&self) -> String {
-        use std::fmt::Write as _;
-        let mut totals: BTreeMap<String, (u64, u64)> = BTreeMap::new();
-        for s in self.finished_spans() {
-            let entry = totals.entry(s.name.clone()).or_insert((0, 0));
-            entry.0 += 1;
-            entry.1 += s.duration_us();
-        }
-        let mut rows: Vec<(String, u64, u64)> =
-            totals.into_iter().map(|(n, (c, t))| (n, c, t)).collect();
-        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
-        let name_width = rows
-            .iter()
-            .map(|(n, _, _)| n.len())
-            .max()
-            .unwrap_or(5)
-            .max(5);
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{:<name_width$}  {:>6}  {:>12}",
-            "phase", "count", "total"
-        );
-        for (name, count, total_us) in rows {
-            let _ = writeln!(
-                out,
-                "{name:<name_width$}  {count:>6}  {:>9}.{:03} ms",
-                total_us / 1000,
-                total_us % 1000,
-            );
-        }
-        out
+        self.snapshot().phase_table()
     }
 }
 
@@ -467,7 +369,7 @@ impl Recorder for InMemoryRecorder {
             .histograms
             .entry(name.to_string())
             .or_default()
-            .observe(value);
+            .record(value);
     }
 
     fn gauge(&self, name: &str, value: i64) {
@@ -542,7 +444,7 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_are_log2() {
+    fn histograms_record_exact_percentile_snapshots() {
         let rec = InMemoryRecorder::new();
         for v in [0, 1, 2, 3, 4, 1000] {
             rec.observe("h", v);
@@ -550,13 +452,14 @@ mod tests {
         let h = rec.histogram("h").unwrap();
         assert_eq!(h.count, 6);
         assert_eq!(h.sum, 1010);
+        assert_eq!(h.min, 0);
         assert_eq!(h.max, 1000);
-        assert_eq!(h.buckets[0], 1, "0 lands in bucket 0");
-        assert_eq!(h.buckets[1], 1, "1 lands in bucket 1");
-        assert_eq!(h.buckets[2], 2, "2..4 land in bucket 2");
-        assert_eq!(h.buckets[3], 1, "4..8 land in bucket 3");
-        assert_eq!(h.buckets[10], 1, "512..1024 land in bucket 10");
-        assert_eq!(h.buckets.len(), 11, "snapshot trims empty tail buckets");
+        // Small values get exact unit buckets under the log-linear scheme.
+        for v in [0usize, 1, 2, 3, 4] {
+            assert_eq!(h.counts[v], 1, "value {v} lands in its own bucket");
+        }
+        assert_eq!(h.p50(), 2);
+        assert_eq!(h.p(1.0), 1000);
     }
 
     #[test]

@@ -1,0 +1,489 @@
+//! [`ShardedRecorder`]: contention-free recording for scoped-thread
+//! parallelism, and [`ObsSnapshot`], the merged read-side view every
+//! recorder drains into.
+//!
+//! The record path touches **no shared lock**: each thread is assigned a
+//! shard slot on first use (a round-robin thread-local, so the first
+//! `shards` threads get exclusive slots) and every `incr`/`observe`/span
+//! call locks only that shard's own mutex — uncontended unless more
+//! threads than shards are recording at once, in which case slots are
+//! shared but remain correct. Counters merge by summation, histograms by
+//! bucket-wise addition (see [`crate::hist`]), gauges by a global write
+//! sequence so last-write-wins survives the merge, and spans carry their
+//! shard in the id's high bits so a guard may drop on any thread.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::hist::{HdrHistogram, HistogramSnapshot};
+use crate::recorder::{Recorder, SpanId, SpanRecord};
+
+/// Bits below the shard tag in a [`SpanId`].
+const SPAN_SHARD_SHIFT: u32 = 40;
+
+/// Round-robin source of thread slots. Global (not per recorder) so a
+/// thread keeps one stable slot number for its whole life; each recorder
+/// reduces it modulo its own shard count.
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+fn thread_slot() -> usize {
+    THREAD_SLOT.with(|slot| {
+        let mut v = slot.get();
+        if v == usize::MAX {
+            v = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+            slot.set(v);
+        }
+        v
+    })
+}
+
+#[derive(Default)]
+struct ShardInner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HdrHistogram>,
+    /// Gauge name → (global write sequence, value).
+    gauges: BTreeMap<String, (u64, i64)>,
+    spans: Vec<SpanRecord>,
+    open: Vec<SpanId>,
+    next_local: u64,
+}
+
+/// Per-thread recording shard. The mutex is private to the shard; see the
+/// module docs for why the record path never blocks on another thread.
+#[derive(Default)]
+struct Shard {
+    inner: Mutex<ShardInner>,
+}
+
+impl Shard {
+    fn lock(&self) -> MutexGuard<'_, ShardInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A sharded, low-overhead recorder: per-thread slots on the record path,
+/// merged into an [`ObsSnapshot`] on demand.
+pub struct ShardedRecorder {
+    epoch: Instant,
+    shards: Box<[Shard]>,
+    gauge_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for ShardedRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRecorder")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ShardedRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedRecorder {
+    /// A recorder with one shard per hardware thread (at least 8, rounded
+    /// up to a power of two so slot assignment is a mask).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_shards(threads.max(8).next_power_of_two())
+    }
+
+    /// A recorder with exactly `shards` slots (rounded up to a power of
+    /// two, minimum 1). Span parent tracking is exact while at most
+    /// `shards` threads record concurrently.
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        ShardedRecorder {
+            epoch: Instant::now(),
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            gauge_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a recorder already wrapped in an `Arc` (mirrors
+    /// [`InMemoryRecorder::handle`](crate::InMemoryRecorder::handle)).
+    pub fn handle() -> Arc<ShardedRecorder> {
+        Arc::new(Self::new())
+    }
+
+    /// Number of shard slots.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self) -> &Shard {
+        // Power-of-two length, so modulo is a mask.
+        &self.shards[thread_slot() & (self.shards.len() - 1)]
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Merges every shard into one consistent snapshot. Concurrent
+    /// recording may continue; each shard is locked briefly in turn.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut histograms: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, (u64, i64)> = BTreeMap::new();
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        for shard in self.shards.iter() {
+            let inner = shard.lock();
+            for (name, &v) in &inner.counters {
+                *counters.entry(name.clone()).or_insert(0) += v;
+            }
+            for (name, h) in &inner.histograms {
+                histograms
+                    .entry(name.clone())
+                    .or_default()
+                    .merge(&h.snapshot());
+            }
+            for (name, &(seq, v)) in &inner.gauges {
+                match gauges.get_mut(name) {
+                    Some(existing) if existing.0 >= seq => {}
+                    Some(existing) => *existing = (seq, v),
+                    None => {
+                        gauges.insert(name.clone(), (seq, v));
+                    }
+                }
+            }
+            spans.extend(inner.spans.iter().filter(|s| s.end_us.is_some()).cloned());
+        }
+        // Finish order across shards; on an end-time tie, the higher id
+        // (the deeper span) first, preserving the children-before-parents
+        // property of single-threaded traces.
+        spans.sort_by_key(|s| (s.end_us.unwrap_or(u64::MAX), std::cmp::Reverse(s.id)));
+        ObsSnapshot {
+            counters,
+            gauges: gauges.into_iter().map(|(k, (_, v))| (k, v)).collect(),
+            histograms,
+            spans,
+        }
+    }
+}
+
+impl Recorder for ShardedRecorder {
+    fn incr(&self, name: &str, delta: u64) {
+        let mut inner = self.shard().lock();
+        // `get_mut` first: the hot path (an existing counter) must not
+        // allocate a fresh `String` per call.
+        match inner.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    fn observe(&self, name: &str, value: u64) {
+        let mut inner = self.shard().lock();
+        match inner.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = HdrHistogram::new();
+                h.record(value);
+                inner.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    fn gauge(&self, name: &str, value: i64) {
+        let seq = self.gauge_seq.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.shard().lock();
+        inner.gauges.insert(name.to_string(), (seq, value));
+    }
+
+    fn span_enter(&self, name: &str, value: Option<u64>) -> SpanId {
+        let start_us = self.now_us();
+        let slot = thread_slot() & (self.shards.len() - 1);
+        let mut inner = self.shards[slot].lock();
+        inner.next_local += 1;
+        let id = ((slot as u64 + 1) << SPAN_SHARD_SHIFT) | inner.next_local;
+        let parent = inner.open.last().copied();
+        inner.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            value,
+            start_us,
+            end_us: None,
+        });
+        inner.open.push(id);
+        id
+    }
+
+    fn span_exit(&self, id: SpanId) {
+        let end_us = self.now_us();
+        // The id names its shard, so a guard may drop on any thread.
+        let slot = ((id >> SPAN_SHARD_SHIFT) as usize).wrapping_sub(1);
+        let Some(shard) = self.shards.get(slot) else {
+            return;
+        };
+        let mut inner = shard.lock();
+        if let Some(pos) = inner.open.iter().rposition(|&open| open == id) {
+            inner.open.truncate(pos);
+        }
+        if let Some(span) = inner
+            .spans
+            .iter_mut()
+            .rev()
+            .find(|s| s.id == id && s.end_us.is_none())
+        {
+            span.end_us = Some(end_us);
+        }
+    }
+}
+
+/// The merged, read-only view of everything a recorder captured: the one
+/// type summaries, traces, and the profiler consume, whatever recorder
+/// produced it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsSnapshot {
+    /// Final counter values, keyed by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values (last write wins across shards).
+    pub gauges: BTreeMap<String, i64>,
+    /// Merged histogram snapshots.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Finished spans in finish order (children before parents).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl ObsSnapshot {
+    /// Value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Snapshot of a histogram (`None` if nothing was observed).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Every name this snapshot mentions — counters, gauges, histograms,
+    /// and span names — sorted and deduplicated. The metric-name registry
+    /// test walks this.
+    pub fn metric_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .cloned()
+            .chain(self.spans.iter().map(|s| s.name.clone()))
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// The span event stream as JSONL: one JSON object per line, spans in
+    /// finish order followed by one `counter` event per counter.
+    pub fn trace_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for s in &self.spans {
+            let parent = s.parent.map_or("null".to_string(), |p| p.to_string());
+            let value = s.value.map_or("null".to_string(), |v| v.to_string());
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":{},\"value\":{},\"start_us\":{},\"dur_us\":{}}}",
+                s.id,
+                parent,
+                serde_json::to_string(&s.name).unwrap_or_default(),
+                value,
+                s.start_us,
+                s.duration_us(),
+            );
+        }
+        for (name, value) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{value}}}",
+                serde_json::to_string(name).unwrap_or_default(),
+            );
+        }
+        out
+    }
+
+    /// Writes [`trace_jsonl`](ObsSnapshot::trace_jsonl) to `path`, creating
+    /// parent directories as needed and rotating the previous trace to
+    /// `<path>.1` when the combined size would exceed `cap_bytes` (see
+    /// [`crate::trace::rotate_if_needed`]). Returns whether a rotation
+    /// happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_trace_rotating(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        cap_bytes: u64,
+    ) -> std::io::Result<bool> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let jsonl = self.trace_jsonl();
+        let rotated = crate::trace::rotate_if_needed(path, jsonl.len() as u64, cap_bytes)?;
+        std::fs::write(path, jsonl)?;
+        Ok(rotated)
+    }
+
+    /// Wall-clock totals per span name, as an aligned text table sorted by
+    /// total time (descending).
+    pub fn phase_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut totals: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            let entry = totals.entry(s.name.clone()).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += s.duration_us();
+        }
+        let mut rows: Vec<(String, u64, u64)> =
+            totals.into_iter().map(|(n, (c, t))| (n, c, t)).collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        let name_width = rows
+            .iter()
+            .map(|(n, _, _)| n.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:>6}  {:>12}",
+            "phase", "count", "total"
+        );
+        for (name, count, total_us) in rows {
+            let _ = writeln!(
+                out,
+                "{name:<name_width$}  {count:>6}  {:>9}.{:03} ms",
+                total_us / 1000,
+                total_us % 1000,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_across_threads_exactly() {
+        // Scoped threads hammer disjoint and shared counter names; the
+        // merged snapshot must account for every single increment.
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        let rec = ShardedRecorder::with_shards(4); // fewer shards than threads
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let rec = &rec;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        rec.incr("shared.total", 1);
+                        rec.incr(if t % 2 == 0 { "even" } else { "odd" }, 2);
+                        rec.observe("lat", i % 997);
+                    }
+                });
+            }
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("shared.total"), THREADS * PER_THREAD);
+        assert_eq!(snap.counter("even"), THREADS / 2 * PER_THREAD * 2);
+        assert_eq!(snap.counter("odd"), THREADS / 2 * PER_THREAD * 2);
+        let lat = snap.histogram("lat").expect("histogram recorded");
+        assert_eq!(lat.count, THREADS * PER_THREAD);
+        assert_eq!(lat.max, 996);
+    }
+
+    #[test]
+    fn gauges_keep_the_last_write_across_shards() {
+        let rec = ShardedRecorder::with_shards(4);
+        rec.gauge("g", 1);
+        std::thread::scope(|s| {
+            s.spawn(|| rec.gauge("g", 7));
+        });
+        rec.gauge("g", 42);
+        assert_eq!(rec.snapshot().gauge("g"), Some(42));
+    }
+
+    #[test]
+    fn spans_nest_per_thread_and_merge() {
+        let rec = ShardedRecorder::with_shards(8);
+        {
+            let _outer = crate::span!(rec, "outer");
+            let _inner = crate::span!(rec, "inner", 3);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let inner = snap.spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = snap.spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(inner.value, Some(3));
+        assert_eq!(outer.parent, None);
+        // Children precede parents in finish order.
+        assert_eq!(snap.spans[0].name, "inner");
+    }
+
+    #[test]
+    fn parallel_spans_do_not_cross_parent() {
+        let rec = ShardedRecorder::with_shards(8);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rec = &rec;
+                s.spawn(move || {
+                    let _root = crate::span!(*rec, "thread.root");
+                    let _leaf = crate::span!(*rec, "thread.leaf");
+                });
+            }
+        });
+        let snap = rec.snapshot();
+        let roots: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|s| s.name == "thread.root")
+            .collect();
+        assert_eq!(roots.len(), 4);
+        assert!(roots.iter().all(|s| s.parent.is_none()));
+        for leaf in snap.spans.iter().filter(|s| s.name == "thread.leaf") {
+            let parent = leaf.parent.expect("leaf has a parent");
+            assert!(roots.iter().any(|r| r.id == parent));
+        }
+    }
+
+    #[test]
+    fn snapshot_mirrors_in_memory_semantics() {
+        let rec = ShardedRecorder::with_shards(1);
+        rec.incr("a", 2);
+        rec.incr("a", 3);
+        rec.observe("h", 7);
+        rec.gauge("g", -4);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("g"), Some(-4));
+        assert_eq!(snap.histogram("h").unwrap().sum, 7);
+        assert!(snap.metric_names().contains(&"a".to_string()));
+    }
+}

@@ -1,0 +1,186 @@
+//! The live status surface: a small JSON document the fleet orchestrator
+//! atomically swaps while a campaign runs, and anything — `parbor fleet
+//! top`, a dashboard, a shell script — polls to watch progress.
+//!
+//! Writes go through the same tmp-then-rename dance as the profile store,
+//! so a reader never observes a half-written document; a crash leaves at
+//! worst a stale one. All rates are computed by the writer from its
+//! recorded histograms (not re-derived ad hoc), so the surface can never
+//! disagree with the telemetry it summarizes.
+
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of a fleet campaign, written to `status.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FleetStatus {
+    /// Campaign phase: `"running"`, `"done"`, `"crashed"`, or `"halted"`.
+    pub state: String,
+    /// Total jobs in the campaign.
+    pub jobs_total: u64,
+    /// Jobs not yet claimed by a worker.
+    pub jobs_queued: u64,
+    /// Jobs currently executing.
+    pub jobs_running: u64,
+    /// Jobs finished successfully.
+    pub jobs_done: u64,
+    /// Jobs that errored.
+    pub jobs_failed: u64,
+    /// Jobs skipped (already complete on resume).
+    pub jobs_skipped: u64,
+    /// Detection rounds completed so far, across all jobs.
+    pub rounds_done: u64,
+    /// Rows written so far (each round writes every row under test).
+    pub rows_written: u64,
+    /// Wall-clock since the campaign started, milliseconds.
+    pub elapsed_ms: u64,
+    /// Detection-round throughput over the campaign so far.
+    pub rounds_per_s: f64,
+    /// Row-write throughput over the campaign so far.
+    pub rows_per_s: f64,
+    /// Rounds executed since the last durable checkpoint (work at risk if
+    /// the process dies now).
+    pub checkpoint_lag_rounds: u64,
+    /// Milliseconds since the last durable checkpoint.
+    pub checkpoint_lag_ms: u64,
+    /// Estimated seconds to completion (absent until at least one job has
+    /// finished, since the estimate extrapolates per-job wall-clock).
+    pub eta_s: Option<f64>,
+    /// Milliseconds since the campaign started when this document was
+    /// written (lets a watcher spot a stale/abandoned surface).
+    pub updated_ms: u64,
+}
+
+impl FleetStatus {
+    /// File name of the status surface inside a fleet directory.
+    pub const FILE_NAME: &'static str = "status.json";
+
+    /// Atomically replaces `path` with this status (write tmp, rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_atomic(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let mut json =
+            serde_json::to_string_pretty(self).map_err(|e| std::io::Error::other(e.to_string()))?;
+        json.push('\n');
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a status document.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; malformed JSON surfaces as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<FleetStatus> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Whether the campaign has reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.state.as_str(), "done" | "crashed" | "halted")
+    }
+
+    /// Renders the status as the multi-line panel `parbor fleet top`
+    /// prints.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet {:<8} {:>4}/{} jobs done  ({} running, {} queued, {} failed, {} skipped)",
+            self.state,
+            self.jobs_done,
+            self.jobs_total,
+            self.jobs_running,
+            self.jobs_queued,
+            self.jobs_failed,
+            self.jobs_skipped,
+        );
+        let _ = writeln!(
+            out,
+            "rounds {:>10}   {:>10.1} rounds/s   {:>12.0} rows/s",
+            self.rounds_done, self.rounds_per_s, self.rows_per_s,
+        );
+        let _ = writeln!(
+            out,
+            "ckpt lag {:>6} rounds / {:>6} ms   elapsed {:>6.1} s   eta {}",
+            self.checkpoint_lag_rounds,
+            self.checkpoint_lag_ms,
+            self.elapsed_ms as f64 / 1000.0,
+            self.eta_s
+                .map_or_else(|| "--".to_string(), |s| format!("{s:.1} s")),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FleetStatus {
+        FleetStatus {
+            state: "running".into(),
+            jobs_total: 8,
+            jobs_queued: 3,
+            jobs_running: 1,
+            jobs_done: 4,
+            rounds_done: 1234,
+            rows_written: 98_720,
+            elapsed_ms: 2000,
+            rounds_per_s: 617.0,
+            rows_per_s: 49_360.0,
+            checkpoint_lag_rounds: 34,
+            checkpoint_lag_ms: 120,
+            eta_s: Some(2.5),
+            updated_ms: 2000,
+            ..FleetStatus::default()
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk_atomically() {
+        let dir = std::env::temp_dir().join(format!("parbor-obs-status-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(FleetStatus::FILE_NAME);
+        let status = sample();
+        status.write_atomic(&path).unwrap();
+        assert_eq!(FleetStatus::load(&path).unwrap(), status);
+        // No tmp file left behind.
+        assert!(!path.with_extension("json.tmp").exists());
+    }
+
+    #[test]
+    fn renders_jobs_rates_and_eta() {
+        let text = sample().render();
+        assert!(text.contains("4/8 jobs done"));
+        assert!(text.contains("rounds/s"));
+        assert!(text.contains("eta 2.5 s"));
+        let done = FleetStatus {
+            state: "done".into(),
+            eta_s: None,
+            ..sample()
+        };
+        assert!(done.is_terminal());
+        assert!(done.render().contains("eta --"));
+        assert!(!sample().is_terminal());
+    }
+
+    #[test]
+    fn malformed_status_is_invalid_data() {
+        let dir = std::env::temp_dir().join(format!("parbor-obs-badstatus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("status.json");
+        std::fs::write(&path, "{torn").unwrap();
+        let err = FleetStatus::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -19,7 +19,8 @@ pub struct PhaseTiming {
     pub total_us: u64,
 }
 
-/// Digest of one histogram.
+/// Digest of one histogram, percentiles included (see [`crate::hist`] for
+/// the one-bucket error bound on `p50`/`p99`/`p999`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramStat {
     /// Histogram name.
@@ -28,10 +29,18 @@ pub struct HistogramStat {
     pub count: u64,
     /// Sum of observed values.
     pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
     /// Largest observed value.
     pub max: u64,
     /// Mean observed value.
     pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
 }
 
 /// Serializable digest of everything an [`InMemoryRecorder`] captured.
@@ -50,9 +59,14 @@ pub struct RunSummary {
 impl RunSummary {
     /// Digests a recorder's current state.
     pub fn from_recorder(rec: &InMemoryRecorder) -> Self {
+        Self::from_snapshot(&rec.snapshot())
+    }
+
+    /// Digests a merged snapshot (any recorder drains into one).
+    pub fn from_snapshot(snap: &crate::ObsSnapshot) -> Self {
         let mut totals: std::collections::BTreeMap<String, (u64, u64)> =
             std::collections::BTreeMap::new();
-        for s in rec.finished_spans() {
+        for s in &snap.spans {
             let entry = totals.entry(s.name.clone()).or_insert((0, 0));
             entry.0 += 1;
             entry.1 += s.duration_us();
@@ -66,21 +80,25 @@ impl RunSummary {
             })
             .collect();
         phases.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
-        let histograms = rec
-            .histograms()
-            .into_iter()
+        let histograms = snap
+            .histograms
+            .iter()
             .map(|(name, h)| HistogramStat {
-                mean: h.mean(),
-                name,
+                name: name.clone(),
                 count: h.count,
                 sum: h.sum,
+                min: h.min,
                 max: h.max,
+                mean: h.mean(),
+                p50: h.p50(),
+                p99: h.p99(),
+                p999: h.p999(),
             })
             .collect();
         RunSummary {
             phases,
-            counters: rec.counters(),
-            gauges: rec.gauges(),
+            counters: snap.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            gauges: snap.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
             histograms,
         }
     }
@@ -133,8 +151,8 @@ impl RunSummary {
         for h in &self.histograms {
             let _ = writeln!(
                 out,
-                "hist  {} : n={} mean={:.1} max={}",
-                h.name, h.count, h.mean, h.max
+                "hist  {} : n={} mean={:.1} p50={} p99={} p999={} max={}",
+                h.name, h.count, h.mean, h.p50, h.p99, h.p999, h.max
             );
         }
         out

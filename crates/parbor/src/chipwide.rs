@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use parbor_dram::{BitAddr, RowBits, RowId};
 use parbor_hal::{RoundExecutor, RoundPlan, TestPort};
+use parbor_obs::metrics;
 use parbor_obs::RecorderHandle;
 
 use crate::error::ParborError;
@@ -278,8 +279,8 @@ impl ChipwideTest {
         let plans = self.round_plans(units, rows, width);
         let mut exec = RoundExecutor::new(port)
             .with_recorder(self.rec.clone())
-            .count_rounds_as("chipwide.rounds")
-            .observe_flips_as("chipwide.round_flips");
+            .count_rounds_as(metrics::chipwide::ROUNDS)
+            .observe_flips_as(metrics::chipwide::ROUND_FLIPS);
         let mut failing: HashMap<(u32, BitAddr), bool> = HashMap::new();
         for flips in exec.run_batch(plans)? {
             for flip in flips {
@@ -289,7 +290,8 @@ impl ChipwideTest {
             }
         }
         let rounds_run = exec.rounds_executed();
-        self.rec.incr("chipwide.failures", failing.len() as u64);
+        self.rec
+            .incr(metrics::chipwide::FAILURES, failing.len() as u64);
         Ok(ChipwideOutcome {
             rounds: rounds_run,
             failing,

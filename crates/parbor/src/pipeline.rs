@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use parbor_dram::RowId;
 use parbor_hal::TestPort;
+use parbor_obs::metrics;
 use parbor_obs::{span, RecorderHandle};
 
 use crate::chipwide::{ChipwideOutcome, ChipwideTest};
@@ -92,7 +93,7 @@ impl Parbor {
     ///
     /// Propagates device errors.
     pub fn discover<P: TestPort + ?Sized>(&self, port: &mut P) -> Result<VictimSet, ParborError> {
-        let _span = span!(self.rec, "pipeline.discover");
+        let _span = span!(self.rec, metrics::pipeline::DISCOVER);
         let rows = self.rows_for(port);
         VictimScout::new(self.config.discovery_seed)
             .with_recorder(self.rec.clone())
@@ -109,7 +110,7 @@ impl Parbor {
         port: &mut P,
         victims: &VictimSet,
     ) -> Result<RecursionOutcome, ParborError> {
-        let _span = span!(self.rec, "pipeline.recursion");
+        let _span = span!(self.rec, metrics::pipeline::RECURSION);
         let selected = victims.select_for_recursion(self.config.sample_limit);
         NeighborRecursion::new(self.config.recursion.clone())
             .with_recorder(self.rec.clone())
@@ -126,7 +127,7 @@ impl Parbor {
         port: &mut P,
         distances: &[i64],
     ) -> Result<ChipwideOutcome, ParborError> {
-        let _span = span!(self.rec, "pipeline.chipwide");
+        let _span = span!(self.rec, metrics::pipeline::CHIPWIDE);
         let rows = self.rows_for(port);
         ChipwideTest::new(distances, port.geometry().cols_per_row as usize)?
             .with_recorder(self.rec.clone())
@@ -141,7 +142,7 @@ impl Parbor {
     /// * [`ParborError::NoDistances`] when the recursion filters everything.
     /// * Device errors from the port.
     pub fn run<P: TestPort + ?Sized>(&self, port: &mut P) -> Result<ParborReport, ParborError> {
-        let _span = span!(self.rec, "pipeline.run");
+        let _span = span!(self.rec, metrics::pipeline::RUN);
         let victims = self.discover(port)?;
         if victims.is_empty() {
             return Err(ParborError::NoVictims);

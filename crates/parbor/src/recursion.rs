@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use parbor_dram::RowBits;
 use parbor_hal::{RoundExecutor, RoundPlan, TestPort};
+use parbor_obs::metrics;
 use parbor_obs::{span, RecorderHandle};
 
 use crate::aggregate::DistanceHistogram;
@@ -358,7 +359,7 @@ impl RecursionState {
         let plan = Self::resolve_plan(config, width)?;
         let level = self.level;
         let size = plan.sizes()[level];
-        let _level_span = span!(*rec, "recursion.level", size);
+        let _level_span = span!(*rec, metrics::recursion::LEVEL, size);
         let geometry = self.level_geometry(&plan, victims);
         let rounds_at_level = geometry.round_regions.len();
 
@@ -374,7 +375,7 @@ impl RecursionState {
             .collect();
         let mut exec = RoundExecutor::new(port)
             .with_recorder(rec.clone())
-            .count_rounds_as("recursion.tests");
+            .count_rounds_as(metrics::recursion::TESTS);
         for (flips, regions) in exec
             .run_batch(plans)?
             .into_iter()
@@ -442,9 +443,15 @@ impl RecursionState {
             }
         }
         let ranked = histogram.rank(config.rank_threshold);
-        rec.incr("aggregate.distances_kept", ranked.kept().len() as u64);
-        rec.incr("aggregate.distances_dropped", ranked.dropped().len() as u64);
-        rec.incr("recursion.victims_discarded", discarded as u64);
+        rec.incr(
+            metrics::aggregate::DISTANCES_KEPT,
+            ranked.kept().len() as u64,
+        );
+        rec.incr(
+            metrics::aggregate::DISTANCES_DROPPED,
+            ranked.dropped().len() as u64,
+        );
+        rec.incr(metrics::recursion::VICTIMS_DISCARDED, discarded as u64);
         let kept = ranked.kept().to_vec();
         self.total_tests += rounds_at_level;
         self.levels.push(LevelOutcome {

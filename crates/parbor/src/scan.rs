@@ -35,6 +35,7 @@ use serde::{Deserialize, Serialize};
 
 use parbor_dram::{BitAddr, RowId};
 use parbor_hal::{RoundExecutor, TestPort};
+use parbor_obs::metrics;
 use parbor_obs::RecorderHandle;
 
 use crate::chipwide::{ChipwideOutcome, ChipwideTest};
@@ -136,8 +137,8 @@ impl DiscoverState {
             .collect();
         let mut exec = RoundExecutor::new(port)
             .with_recorder(rec.clone())
-            .count_rounds_as("discover.rounds")
-            .observe_flips_as("discover.round_flips");
+            .count_rounds_as(metrics::discover::ROUNDS)
+            .observe_flips_as(metrics::discover::ROUND_FLIPS);
         for flips in exec.run_batch(batch)? {
             for flip in flips {
                 self.seen
@@ -189,8 +190,8 @@ impl ChipwideState {
             .collect();
         let mut exec = RoundExecutor::new(port)
             .with_recorder(rec.clone())
-            .count_rounds_as("chipwide.rounds")
-            .observe_flips_as("chipwide.round_flips");
+            .count_rounds_as(metrics::chipwide::ROUNDS)
+            .observe_flips_as(metrics::chipwide::ROUND_FLIPS);
         for flips in exec.run_batch(batch)? {
             for flip in flips {
                 self.failing
@@ -524,7 +525,7 @@ impl ScanMachine {
                 if state.next_round >= total {
                     let chipwide = std::mem::take(state).into_outcome();
                     self.rec
-                        .incr("chipwide.failures", chipwide.failure_count() as u64);
+                        .incr(metrics::chipwide::FAILURES, chipwide.failure_count() as u64);
                     let report = ParborReport {
                         victim_count: *victim_count,
                         discovery_rounds: VictimScout::new(self.state.config.discovery_seed)

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use parbor_dram::{BitAddr, PatternSet, RowId};
 use parbor_hal::{RoundExecutor, RoundPlan, TestPort};
+use parbor_obs::metrics;
 use parbor_obs::RecorderHandle;
 
 use crate::error::ParborError;
@@ -193,7 +194,7 @@ impl VictimScout {
             })
             .collect();
         let set = VictimSet::from_victims(victims);
-        self.rec.incr("discover.victims", set.len() as u64);
+        self.rec.incr(metrics::discover::VICTIMS, set.len() as u64);
         set
     }
 
@@ -220,8 +221,8 @@ impl VictimScout {
         let plans = self.round_plans(units, rows, width);
         let mut exec = RoundExecutor::new(port)
             .with_recorder(self.rec.clone())
-            .count_rounds_as("discover.rounds")
-            .observe_flips_as("discover.round_flips");
+            .count_rounds_as(metrics::discover::ROUNDS)
+            .observe_flips_as(metrics::discover::ROUND_FLIPS);
 
         // (fail count, value written at first failure)
         let mut seen: HashMap<(u32, BitAddr), (usize, bool)> = HashMap::new();

@@ -6,7 +6,8 @@
 //! parbor compare [--vendor A|B|C] [--seed N] [--rows N]
 //! parbor profile [--vendor A|B|C] [--seed N] [--rows N] [--base-interval S]
 //! parbor dcref   [--cycles N] [--mixes N] [--density 8|16|32]
-//! parbor fleet   <run|resume|status|show> [--dir D] [--flag value]...
+//! parbor fleet   <run|resume|status|show|top> [--dir D] [--flag value]...
+//! parbor obs     report [--trace F] [--out F]
 //! ```
 //!
 //! `--parallel auto|always|never` and `--kernel stencil|reference` apply to
@@ -31,7 +32,10 @@ use parbor_hal::{
     TestPort,
 };
 use parbor_memsim::{Density, RefreshPolicyKind, Simulation, SystemConfig};
-use parbor_obs::{InMemoryRecorder, RecorderHandle, RunSummary};
+use parbor_obs::{
+    folded_stacks, trace, FleetStatus, InMemoryRecorder, Profile, RecorderHandle, RunSummary,
+    ShardedRecorder, Trace,
+};
 use parbor_workloads::paper_mixes;
 
 struct Args {
@@ -163,7 +167,7 @@ fn build_port(args: &Args, default_chips: u64) -> Result<Box<dyn TestPort>, Stri
 
 fn cmd_detect(args: &Args) -> Result<(), String> {
     let vendor = args.vendor()?;
-    let recorder = InMemoryRecorder::handle();
+    let recorder = ShardedRecorder::handle();
     let rec = RecorderHandle::from(recorder.clone());
     let mut port = build_port(args, 8)?;
     port.set_recorder(rec.clone());
@@ -182,12 +186,57 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
     println!("failures found   : {}", report.failure_count());
     println!("total budget     : {} rounds", report.total_rounds());
     println!();
-    print!("{}", RunSummary::from_recorder(&recorder).render());
-    let trace = "results/trace.jsonl";
-    recorder
-        .write_trace(trace)
-        .map_err(|e| format!("writing {trace}: {e}"))?;
-    println!("trace written    : {trace}");
+    let snapshot = recorder.snapshot();
+    print!("{}", RunSummary::from_snapshot(&snapshot).render());
+    let trace_path = "results/trace.jsonl";
+    let rotated = snapshot
+        .write_trace_rotating(trace_path, trace::DEFAULT_TRACE_CAP_BYTES)
+        .map_err(|e| format!("writing {trace_path}: {e}"))?;
+    if rotated {
+        println!("trace rotated    : {trace_path}.1");
+    }
+    println!("trace written    : {trace_path}");
+    Ok(())
+}
+
+fn cmd_obs(argv: &[String]) -> Result<(), String> {
+    let Some(sub) = argv.first() else {
+        return Err("obs needs a subcommand: report".into());
+    };
+    if sub != "report" {
+        return Err(format!("unknown obs subcommand {sub} (use report)"));
+    }
+    let args = Args::parse(&argv[1..])?;
+    let trace_path = args
+        .flags
+        .get("trace")
+        .cloned()
+        .unwrap_or_else(|| "results/trace.jsonl".to_string());
+    let out_path = args
+        .flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/profile.folded".to_string());
+    let trace = Trace::load(&trace_path).map_err(|e| format!("reading {trace_path}: {e}"))?;
+    if trace.salvaged {
+        println!("note: torn final line in {trace_path} was discarded");
+    }
+    println!(
+        "{} spans, {} counters from {trace_path}",
+        trace.spans.len(),
+        trace.counters.len()
+    );
+    println!();
+    print!("{}", Profile::from_trace(&trace).table());
+    let folded = folded_stacks(&trace);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(&out_path, &folded).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!();
+    println!("folded stacks    : {out_path} (flamegraph.pl-compatible)");
     Ok(())
 }
 
@@ -425,9 +474,17 @@ fn fleet_port_factory(args: &Args) -> Result<Option<parbor_fleet::PortFactory>, 
 
 fn cmd_fleet(argv: &[String]) -> Result<(), String> {
     let Some(sub) = argv.first() else {
-        return Err("fleet needs a subcommand: run, resume, status, or show".into());
+        return Err("fleet needs a subcommand: run, resume, status, show, or top".into());
     };
-    let args = Args::parse(&argv[1..])?;
+    // `--once` is the one valueless flag; strip it before pair-wise parsing.
+    let mut rest: Vec<String> = argv[1..].to_vec();
+    let once = if let Some(i) = rest.iter().position(|a| a == "--once") {
+        rest.remove(i);
+        true
+    } else {
+        false
+    };
+    let args = Args::parse(&rest)?;
     let dir = args
         .flags
         .get("dir")
@@ -525,13 +582,44 @@ fn cmd_fleet(argv: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "top" => {
+            let interval = args.u64_or("interval-ms", 500)?;
+            let path = std::path::Path::new(&dir).join(FleetStatus::FILE_NAME);
+            loop {
+                match FleetStatus::load(&path) {
+                    Ok(status) => {
+                        if !once {
+                            // Clear the screen and home the cursor so the
+                            // panel repaints in place.
+                            print!("\x1b[2J\x1b[H");
+                        }
+                        print!("{}", status.render());
+                        if once || status.is_terminal() {
+                            return Ok(());
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                        if once {
+                            return Err(format!(
+                                "no status surface at {} (has a fleet run started?)",
+                                path.display()
+                            ));
+                        }
+                        println!("waiting for {} ...", path.display());
+                    }
+                    Err(e) => return Err(format!("reading {}: {e}", path.display())),
+                }
+                std::thread::sleep(std::time::Duration::from_millis(interval));
+            }
+        }
         other => Err(format!(
-            "unknown fleet subcommand {other} (use run, resume, status, or show)"
+            "unknown fleet subcommand {other} (use run, resume, status, show, or top)"
         )),
     }
 }
 
-const USAGE: &str = "usage: parbor <detect|census|compare|profile|dcref|fleet> [--flag value]...
+const USAGE: &str =
+    "usage: parbor <detect|census|compare|profile|dcref|fleet|obs> [--flag value]...
   detect   run the full PARBOR pipeline on a simulated module
   census   device-side cell-class census (ground truth)
   compare  PARBOR vs equal-budget random-pattern testing
@@ -544,6 +632,14 @@ const USAGE: &str = "usage: parbor <detect|census|compare|profile|dcref|fleet> [
              fleet resume --dir D [--workers N] [--checkpoint-every N]
              fleet status --dir D
              fleet show   --dir D --module NAME
+             fleet top    --dir D [--once] [--interval-ms N]
+                          live campaign panel from status.json; --once prints
+                          a single snapshot and exits
+  obs      telemetry post-processing:
+             obs report   [--trace results/trace.jsonl]
+                          [--out results/profile.folded]
+                          per-stage self/total wall-clock table + folded
+                          stacks for flamegraph.pl
 common flags: --vendor A|B|C  --seed N  --rows N  --chips N
               --parallel auto|always|never   row-level parallelism policy
               --kernel stencil|reference     coupling kernel implementation
@@ -575,6 +671,8 @@ fn main() -> ExitCode {
     let cmd = &argv[0];
     let result = if cmd == "fleet" {
         cmd_fleet(&argv[1..])
+    } else if cmd == "obs" {
+        cmd_obs(&argv[1..])
     } else {
         match Args::parse(&argv[1..]) {
             Err(e) => Err(e),

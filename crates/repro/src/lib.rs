@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use parbor_core::{random_pattern_test, Parbor, ParborConfig, ParborError, ParborReport};
 use parbor_dram::{BitAddr, ChipGeometry, DramError, DramModule, ModuleConfig, ModuleId, Vendor};
+use parbor_obs::metrics;
 use parbor_obs::{InMemoryRecorder, Recorder, RecorderHandle, SpanId};
 
 /// A failing bit observed through a module test port: (chip, address).
@@ -192,7 +193,7 @@ impl FigureTimer {
     /// Starts timing; `label` is the binary name (e.g. `"fig13_coverage"`).
     pub fn start(label: impl Into<String>) -> Self {
         let rec = InMemoryRecorder::handle();
-        let span = rec.span_enter("figure.run", None);
+        let span = rec.span_enter(metrics::figure::RUN, None);
         FigureTimer {
             rec,
             span,

@@ -342,3 +342,79 @@ fn fleet_crash_resume_store_is_byte_identical_to_clean_run() {
     fs::remove_dir_all(&clean).ok();
     fs::remove_dir_all(&crashed).ok();
 }
+
+#[test]
+fn obs_report_prints_stage_table_and_writes_folded_stacks() {
+    let cwd = scratch_cwd("obs-report");
+    let detect = run_in(
+        &cwd,
+        &["detect", "--vendor", "A", "--rows", "48", "--chips", "1"],
+    );
+    assert!(detect.status.success(), "detect failed: {detect:?}");
+
+    let out = run_in(&cwd, &["obs", "report"]);
+    assert!(
+        out.status.success(),
+        "obs report failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("pipeline.discover"), "{text}");
+    assert!(text.contains("self%"), "{text}");
+
+    let folded = fs::read_to_string(cwd.join("results/profile.folded")).expect("folded stacks");
+    assert!(
+        folded
+            .lines()
+            .any(|l| l.starts_with("pipeline.run;pipeline.discover ")),
+        "folded stacks must nest stages under pipeline.run:\n{folded}"
+    );
+    // Every folded line is `semicolon-joined-stack <self_us>`.
+    for line in folded.lines() {
+        let (stack, n) = line.rsplit_once(' ').expect("stack and count");
+        assert!(!stack.is_empty() && n.parse::<u64>().is_ok(), "{line}");
+    }
+    fs::remove_dir_all(&cwd).ok();
+}
+
+#[test]
+fn fleet_top_once_renders_the_status_surface() {
+    let cwd = scratch_cwd("fleet-top");
+    let dir = cwd.join("fleet").display().to_string();
+
+    // Before any campaign there is no surface; --once says so and fails.
+    let missing = run_in(&cwd, &["fleet", "top", "--dir", &dir, "--once"]);
+    assert!(!missing.status.success(), "must fail without status.json");
+
+    let ran = run_in(
+        &cwd,
+        &[
+            "fleet",
+            "run",
+            "--dir",
+            &dir,
+            "--vendors",
+            "A",
+            "--modules",
+            "1",
+            "--rows",
+            "48",
+            "--workers",
+            "1",
+        ],
+    );
+    assert!(ran.status.success(), "fleet run failed: {ran:?}");
+
+    let out = run_in(&cwd, &["fleet", "top", "--dir", &dir, "--once"]);
+    assert!(
+        out.status.success(),
+        "fleet top failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("fleet done"), "{text}");
+    assert!(text.contains("1/1 jobs done"), "{text}");
+    assert!(text.contains("rounds/s"), "{text}");
+    assert!(text.contains("eta"), "{text}");
+    fs::remove_dir_all(&cwd).ok();
+}

@@ -1,0 +1,69 @@
+//! The metric-name registry test: run the real pipeline and a real fleet
+//! campaign, then assert every emitted counter, gauge, histogram, and span
+//! name is declared in `parbor_obs::metrics`. A typo'd name at a recording
+//! site records silently and dashboards never see it — this test turns that
+//! silence into a failure.
+
+use parbor_core::{Parbor, ParborConfig};
+use parbor_dram::{ChipGeometry, DramChip, ModuleSpec, Vendor};
+use parbor_fleet::{Fleet, FleetConfig, ScanJob};
+use parbor_obs::{metrics, InMemoryRecorder, ObsSnapshot, RecorderHandle, ShardedRecorder};
+
+fn assert_all_registered(snapshot: &ObsSnapshot, context: &str) {
+    let unregistered: Vec<String> = snapshot
+        .metric_names()
+        .into_iter()
+        .filter(|name| !metrics::is_registered(name))
+        .collect();
+    assert!(
+        unregistered.is_empty(),
+        "{context} emitted unregistered metric names {unregistered:?} — \
+         add them to crates/obs/src/metrics.rs or fix the typo"
+    );
+}
+
+#[test]
+fn every_pipeline_metric_is_registered() {
+    let rec = InMemoryRecorder::handle();
+    let handle = RecorderHandle::from(rec.clone());
+    let mut chip = DramChip::new(ChipGeometry::new(1, 64, 8192).unwrap(), Vendor::A, 7)
+        .unwrap()
+        .with_recorder(handle.clone());
+    Parbor::new(ParborConfig::default())
+        .with_recorder(handle)
+        .run(&mut chip)
+        .unwrap();
+    let snapshot = rec.snapshot();
+    // The run must actually have exercised the stages being checked.
+    assert!(snapshot.counter(metrics::recursion::TESTS) > 0);
+    assert!(snapshot.counter(metrics::chipwide::ROUNDS) > 0);
+    assert!(snapshot.counter(metrics::dram::ROW_WRITES) > 0);
+    assert!(!snapshot.spans.is_empty());
+    assert_all_registered(&snapshot, "pipeline run");
+}
+
+#[test]
+fn every_fleet_metric_is_registered() {
+    let root = std::env::temp_dir().join(format!("parbor-metrics-reg-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+
+    let rec = ShardedRecorder::handle();
+    let spec = ModuleSpec {
+        chips: 1,
+        geometry: ChipGeometry::new(1, 48, 8192).unwrap(),
+        seed: 11,
+        ..ModuleSpec::new(Vendor::A)
+    };
+    let fleet = Fleet::new(&root, FleetConfig::default())
+        .unwrap()
+        .with_recorder(RecorderHandle::from(rec.clone()));
+    let report = fleet.run(vec![ScanJob::new("reg0", spec)]).unwrap();
+    assert!(report.is_clean());
+
+    let snapshot = rec.snapshot();
+    assert!(snapshot.counter(metrics::fleet::JOBS_DONE) > 0);
+    assert_all_registered(&snapshot, "fleet campaign");
+
+    std::fs::remove_dir_all(&root).ok();
+}

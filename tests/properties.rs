@@ -141,10 +141,11 @@ proptest! {
     #[test]
     fn observability_never_perturbs_the_pipeline(seed in 1u64..64, vendor_idx in 0usize..3) {
         // Recording metrics must not change a single pipeline outcome:
-        // a NullRecorder run and an InMemoryRecorder run of the same chip
-        // produce identical reports (and match the unrecorded default).
+        // NullRecorder, InMemoryRecorder, and ShardedRecorder runs of the
+        // same chip produce identical reports (and match the unrecorded
+        // default).
         use parbor_dram::{ChipGeometry, DramChip};
-        use parbor_obs::{InMemoryRecorder, RecorderHandle};
+        use parbor_obs::{metrics, InMemoryRecorder, RecorderHandle, ShardedRecorder};
 
         let vendor = Vendor::ALL[vendor_idx];
         let geometry = ChipGeometry::new(1, 64, 8192).unwrap();
@@ -167,9 +168,48 @@ proptest! {
         let mem_rec = InMemoryRecorder::handle();
         let mem = run(RecorderHandle::from(mem_rec.clone()));
         prop_assert_eq!(&null, &mem);
-        // ...and the in-memory run really recorded the phases.
-        prop_assert!(mem_rec.counter("recursion.tests") > 0);
-        prop_assert!(mem_rec.counter("chipwide.rounds") > 0);
+        let sharded_rec = ShardedRecorder::handle();
+        let sharded = run(RecorderHandle::from(sharded_rec.clone()));
+        prop_assert_eq!(&null, &sharded);
+        // ...and both recording runs really recorded the phases,
+        // identically to each other.
+        prop_assert!(mem_rec.counter(metrics::recursion::TESTS) > 0);
+        prop_assert!(mem_rec.counter(metrics::chipwide::ROUNDS) > 0);
+        let mem_snap = mem_rec.snapshot();
+        let sharded_snap = sharded_rec.snapshot();
+        prop_assert_eq!(&mem_snap.counters, &sharded_snap.counters);
+        prop_assert_eq!(&mem_snap.histograms, &sharded_snap.histograms);
+    }
+
+    #[test]
+    fn histogram_percentiles_match_the_sorted_sample_oracle(
+        samples in prop::collection::vec(0u64..2_000_000, 1..400),
+    ) {
+        // p50/p99/p999 must land within one bucket of the exact
+        // sorted-sample percentile: the snapshot's answer and the oracle's
+        // answer fall in the same or adjacent log-linear buckets.
+        use parbor_obs::hist::{bucket_index, HdrHistogram};
+
+        let mut h = HdrHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.50, 0.99, 0.999] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[rank - 1];
+            let approx = snap.p(q);
+            let distance = bucket_index(approx).abs_diff(bucket_index(exact));
+            prop_assert!(
+                distance <= 1,
+                "p({}) = {} vs exact {} ({} buckets apart, n={})",
+                q, approx, exact, distance, sorted.len()
+            );
+        }
+        prop_assert_eq!(snap.min, sorted[0]);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
     }
 
     #[test]
