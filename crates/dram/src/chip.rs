@@ -10,9 +10,9 @@ use crate::cell::{marginal_fails, vrt_leaky, CellClass, FaultKind, FaultRates, R
 use crate::config::{Celsius, Seconds};
 use crate::noise::NoiseModel;
 use crate::retention::RetentionModel;
-use crate::scrambler::Scrambler;
-use parbor_hal::KernelMode;
+use crate::scrambler::{Scrambler, ScramblerLut};
 use parbor_hal::{BitAddr, BitFlip, ChipGeometry, DramError, RowBits, RowId};
+use parbor_hal::{KernelMode, RoundArena};
 
 use crate::stencil::CouplingStencil;
 
@@ -66,6 +66,10 @@ pub const DEFAULT_EVAL_CACHE_CAPACITY: usize = 512;
 pub struct DramChip {
     geometry: ChipGeometry,
     scrambler: Arc<dyn Scrambler>,
+    // The scrambler compiled into dense tables at construction; the stencil
+    // (shipped) kernel builds fault maps through it, the reference kernel
+    // keeps the arithmetic path as the measurement baseline.
+    lut: Arc<ScramblerLut>,
     seed: u64,
     rates: FaultRates,
     retention: RetentionModel,
@@ -86,6 +90,10 @@ pub struct DramChip {
     kernel: KernelMode,
     round: u64,
     rec: RecorderHandle,
+    // Buffer pool closing the round cycle: replaced row images and evicted
+    // eval-cache entries go back in, pooled clones come out. Swapped for a
+    // shared handle by `set_arena`.
+    arena: RoundArena,
 }
 
 impl DramChip {
@@ -137,6 +145,7 @@ impl DramChip {
             )));
         }
         rates.validate()?;
+        let lut = Arc::new(ScramblerLut::build(&*scrambler));
         let theta_shift = retention.kappa
             * retention
                 .stress_factor(refresh_interval, temperature)
@@ -145,6 +154,7 @@ impl DramChip {
         Ok(DramChip {
             geometry,
             scrambler,
+            lut,
             seed,
             rates,
             retention,
@@ -163,6 +173,7 @@ impl DramChip {
             kernel: KernelMode::default(),
             round: 0,
             rec: RecorderHandle::null(),
+            arena: RoundArena::new(),
         })
     }
 
@@ -191,6 +202,23 @@ impl DramChip {
     /// The chip's scrambler (shared, read-only).
     pub fn scrambler(&self) -> &Arc<dyn Scrambler> {
         &self.scrambler
+    }
+
+    /// The scrambler compiled into dense lookup tables at construction.
+    pub fn scrambler_lut(&self) -> &Arc<ScramblerLut> {
+        &self.lut
+    }
+
+    /// Replaces the chip's buffer pool with a shared handle, so row images
+    /// recycled here serve the stage that builds the next round's plan.
+    /// Purely a performance hook: results are identical with any arena.
+    pub fn set_arena(&mut self, arena: RoundArena) {
+        self.arena = arena;
+    }
+
+    /// The chip's buffer pool.
+    pub fn arena(&self) -> &RoundArena {
+        &self.arena
     }
 
     /// The fault seed.
@@ -299,7 +327,11 @@ impl DramChip {
                 expected: self.geometry.cols_per_row as usize,
             });
         }
-        self.rows.insert(row, data);
+        if let Some(old) = self.rows.insert(row, data) {
+            // The replaced image is the pool's main feed: every steady-state
+            // round returns one buffer per rewritten row.
+            self.arena.recycle_row(old);
+        }
         self.rec.incr(metrics::dram::ROW_WRITES, 1);
         Ok(())
     }
@@ -519,9 +551,11 @@ impl DramChip {
                     self.rec.incr(metrics::dram::EVAL_CACHE_HITS, 1);
                 } else {
                     self.rec.incr(metrics::dram::EVAL_CACHE_MISSES, 1);
-                    let data = self.rows[&key.0].clone();
+                    let data = self.rows[&key.0].clone_into_words(self.arena.take_words());
                     self.insert_eval(key, data, computed.expect("miss was evaluated"));
                 }
+            } else if let Some(coupled) = computed {
+                self.arena.recycle_indices(coupled);
             }
             per_row.insert(key.0, flips);
         }
@@ -552,7 +586,11 @@ impl DramChip {
             (self.assemble_flips(map, data, indices, row), None)
         } else {
             let coupled = match self.kernel {
-                KernelMode::Stencil => self.stencils[&row].eval(data),
+                KernelMode::Stencil => {
+                    let mut out = self.arena.indices();
+                    self.stencils[&row].eval_into(data, &mut out);
+                    out
+                }
                 KernelMode::Reference => map.coupling_fail_indices(data, self.theta_shift),
             };
             let flips = self.assemble_flips(map, data, &coupled, row);
@@ -594,31 +632,47 @@ impl DramChip {
             }
             None => {
                 let coupled = match self.kernel {
-                    KernelMode::Stencil => self.stencils[&row].eval(data),
+                    KernelMode::Stencil => {
+                        let mut out = self.arena.indices();
+                        self.stencils[&row].eval_into(data, &mut out);
+                        out
+                    }
                     KernelMode::Reference => map.coupling_fail_indices(data, self.theta_shift),
                 };
                 let flips = self.assemble_flips(map, data, &coupled, row);
-                (flips, Some((coupled, data.clone())))
+                let copy = data.clone_into_words(self.arena.take_words());
+                (flips, Some((coupled, copy)))
             }
         };
         if let Some((coupled, data)) = computed {
             if self.eval_cap > 0 {
                 self.rec.incr(metrics::dram::EVAL_CACHE_MISSES, 1);
                 self.insert_eval(key, data, coupled);
+            } else {
+                self.arena.recycle_row(data);
+                self.arena.recycle_indices(coupled);
             }
         }
         Ok(flips)
     }
 
-    /// Inserts a memoized coupling evaluation with FIFO eviction.
+    /// Inserts a memoized coupling evaluation with FIFO eviction. Evicted
+    /// entries feed their buffers back to the arena, so a churning cache
+    /// stops allocating once warm.
     fn insert_eval(&mut self, key: (RowId, u64), data: RowBits, indices: Vec<u32>) {
         if !self.eval_cache.contains_key(&key) {
             self.eval_order.push_back(key);
         }
-        self.eval_cache.insert(key, (data, indices));
+        if let Some((data, indices)) = self.eval_cache.insert(key, (data, indices)) {
+            self.arena.recycle_row(data);
+            self.arena.recycle_indices(indices);
+        }
         while self.eval_cache.len() > self.eval_cap {
             if let Some(old) = self.eval_order.pop_front() {
-                self.eval_cache.remove(&old);
+                if let Some((data, indices)) = self.eval_cache.remove(&old) {
+                    self.arena.recycle_row(data);
+                    self.arena.recycle_indices(indices);
+                }
             } else {
                 break;
             }
@@ -724,15 +778,17 @@ impl DramChip {
 
     /// Builds a row's fault map with the sampler matching the kernel mode.
     /// Pure (`&self`): safe to run for many rows on concurrent threads.
+    ///
+    /// The stencil (shipped) path translates through the compiled LUT —
+    /// indexed loads instead of the div/mod chains — while the reference
+    /// path keeps the arithmetic scrambler as the measurement baseline.
+    /// Both produce identical maps: the LUT's tables are filled from the
+    /// same scrambler.
     fn build_fault_map(&self, row: RowId) -> RowFaultMap {
         match self.kernel {
-            KernelMode::Stencil => RowFaultMap::build(
-                self.seed,
-                row,
-                &*self.scrambler,
-                &self.rates,
-                &self.retention,
-            ),
+            KernelMode::Stencil => {
+                RowFaultMap::build(self.seed, row, &*self.lut, &self.rates, &self.retention)
+            }
             KernelMode::Reference => RowFaultMap::build_reference(
                 self.seed,
                 row,
@@ -745,12 +801,16 @@ impl DramChip {
 
     /// Caches a built fault map with FIFO eviction and build accounting.
     fn install_fault_map(&mut self, row: RowId, map: RowFaultMap) {
-        // Building a fault map translates every system column through
-        // the scrambler once.
-        self.rec.incr(
-            metrics::dram::SCRAMBLER_TRANSLATIONS,
-            u64::from(self.geometry.cols_per_row),
-        );
+        // Building a fault map translates every system column once — through
+        // the LUT on the stencil path, through the arithmetic scrambler on
+        // the reference path. The split counters are what lets bench_report
+        // show the per-call translations collapsing into table lookups.
+        let translations = match self.kernel {
+            KernelMode::Stencil => metrics::dram::SCRAMBLER_LUT_LOOKUPS,
+            KernelMode::Reference => metrics::dram::SCRAMBLER_TRANSLATIONS,
+        };
+        self.rec
+            .incr(translations, u64::from(self.geometry.cols_per_row));
         self.rec.incr(metrics::dram::FAULT_MAPS_BUILT, 1);
         self.fault_maps.insert(row, map);
         self.fault_map_order.push_back(row);
@@ -1008,6 +1068,65 @@ mod tests {
             .map(|e| e.sys)
             .collect();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn kernel_modes_bit_identical_through_lut() {
+        // The stencil path now builds fault maps through the compiled LUT;
+        // the reference path keeps the arithmetic scrambler. Same rounds,
+        // same flips — the LUT must be invisible in results.
+        let mut lut_chip = test_chip(21);
+        let mut ref_chip = test_chip(21);
+        ref_chip.set_kernel_mode(KernelMode::Reference);
+        for _ in 0..3 {
+            let a = lut_chip.run_round(stripe_writes(16)).unwrap();
+            let b = ref_chip.run_round(stripe_writes(16)).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn scrambler_counters_split_by_kernel_mode() {
+        let lut_rec = InMemoryRecorder::handle();
+        let mut chip = test_chip(6).with_recorder(RecorderHandle::from(lut_rec.clone()));
+        chip.fault_map(RowId::new(0, 0));
+        assert_eq!(lut_rec.counter("dram.scrambler_lut_lookups"), 8192);
+        assert_eq!(lut_rec.counter("dram.scrambler_translations"), 0);
+
+        let ref_rec = InMemoryRecorder::handle();
+        let mut chip = test_chip(6).with_recorder(RecorderHandle::from(ref_rec.clone()));
+        chip.set_kernel_mode(KernelMode::Reference);
+        chip.fault_map(RowId::new(0, 0));
+        assert_eq!(ref_rec.counter("dram.scrambler_lut_lookups"), 0);
+        assert_eq!(ref_rec.counter("dram.scrambler_translations"), 8192);
+    }
+
+    #[test]
+    fn arena_closes_the_round_buffer_cycle() {
+        use parbor_hal::RoundArena;
+        let arena = RoundArena::new();
+        let mut chip = test_chip(13);
+        chip.set_arena(arena.clone());
+        // Round 1 inserts fresh rows (nothing replaced yet), round 2
+        // replaces all 8 and must recycle every replaced image.
+        chip.run_round(stripe_writes(8)).unwrap();
+        let after_first = arena.recycled();
+        chip.run_round(stripe_writes(8)).unwrap();
+        assert!(
+            arena.recycled() >= after_first + 8,
+            "replaced row images were not recycled: {} -> {}",
+            after_first,
+            arena.recycled()
+        );
+        // Results stay identical to an arena-less chip.
+        let mut plain = test_chip(13);
+        plain.run_round(stripe_writes(8)).unwrap();
+        let a = plain.run_round(stripe_writes(8)).unwrap();
+        let mut pooled = test_chip(13);
+        pooled.set_arena(RoundArena::new());
+        pooled.run_round(stripe_writes(8)).unwrap();
+        let b = pooled.run_round(stripe_writes(8)).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

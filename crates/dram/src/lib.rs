@@ -81,7 +81,7 @@ pub use pattern::{PatternKind, PatternSet};
 pub use profiling::{RetentionProfile, RetentionProfiler};
 pub use remap::RemapTable;
 pub use retention::RetentionModel;
-pub use scrambler::{IdentityScrambler, Scrambler, TileWalkScrambler};
+pub use scrambler::{IdentityScrambler, Scrambler, ScramblerLut, TileWalkScrambler};
 pub use stencil::CouplingStencil;
 pub use vendor::Vendor;
 pub use walk::{hamiltonian_walk, walk_distance_set, WalkError};

@@ -13,8 +13,8 @@ use parbor_obs::RecorderHandle;
 use serde::{Deserialize, Serialize};
 
 use parbor_hal::{
-    BitFlip, ChipGeometry, DramError, Flip, KernelMode, ParallelMode, RoundPlan, RowBits, RowId,
-    RowWrite, TestPort,
+    BitFlip, ChipGeometry, DramError, Flip, KernelMode, ParallelMode, RoundArena, RoundPlan,
+    RowBits, RowId, RowWrite, TestPort,
 };
 
 use crate::cell::FaultRates;
@@ -87,6 +87,10 @@ impl TestPort for DramChip {
 
     fn set_recorder(&mut self, rec: RecorderHandle) {
         DramChip::set_recorder(self, rec);
+    }
+
+    fn set_arena(&mut self, arena: RoundArena) {
+        DramChip::set_arena(self, arena);
     }
 }
 
@@ -279,6 +283,15 @@ impl DramModule {
         }
     }
 
+    /// Hands every chip the same buffer pool; the arena handle is
+    /// thread-safe, so chips recycling on scoped threads share it with the
+    /// stage building the next round.
+    pub fn set_arena(&mut self, arena: RoundArena) {
+        for c in &mut self.chips {
+            c.set_arena(arena.clone());
+        }
+    }
+
     /// Advances every chip's round clock by `rounds` refresh intervals
     /// without running any test rounds — the resume hook for checkpointed
     /// scans (see [`DramChip::fast_forward`]).
@@ -437,6 +450,10 @@ impl TestPort for DramModule {
 
     fn set_recorder(&mut self, rec: RecorderHandle) {
         DramModule::set_recorder(self, rec);
+    }
+
+    fn set_arena(&mut self, arena: RoundArena) {
+        DramModule::set_arena(self, arena);
     }
 }
 

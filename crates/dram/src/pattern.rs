@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::hash::{hash_words, mix64};
-use parbor_hal::RowBits;
+use parbor_hal::{RoundArena, RowBits};
 
 /// A row-wise data pattern, materializable for any row index.
 ///
@@ -55,19 +55,19 @@ pub enum PatternKind {
 impl PatternKind {
     /// Materializes the pattern for one row of the given width.
     pub fn row_bits(&self, row: u32, width: usize) -> RowBits {
+        self.row_bits_in(row, width, &RoundArena::new())
+    }
+
+    /// [`row_bits`](PatternKind::row_bits) drawing the backing buffer from
+    /// the arena pool. Bit-identical to the fresh-allocation form.
+    pub fn row_bits_in(&self, row: u32, width: usize, arena: &RoundArena) -> RowBits {
         match *self {
-            PatternKind::Solid(v) => {
-                if v {
-                    RowBits::ones(width)
-                } else {
-                    RowBits::zeros(width)
-                }
-            }
+            PatternKind::Solid(v) => arena.row(width, v),
             PatternKind::ColStripe { period } => {
                 // Odd stripes are solid runs — fill them with word-masked
                 // ranges instead of testing 8 K bits one by one.
                 let p = period.max(1) as usize;
-                let mut bits = RowBits::zeros(width);
+                let mut bits = arena.zeros(width);
                 let mut lo = p;
                 while lo < width {
                     bits.set_range(lo, (lo + p).min(width), true);
@@ -75,13 +75,7 @@ impl PatternKind {
                 }
                 bits
             }
-            PatternKind::RowStripe => {
-                if row.is_multiple_of(2) {
-                    RowBits::zeros(width)
-                } else {
-                    RowBits::ones(width)
-                }
-            }
+            PatternKind::RowStripe => arena.row(width, !row.is_multiple_of(2)),
             PatternKind::Checkerboard => {
                 // Alternating bits are a constant word pattern.
                 let word = if row % 2 == 1 {
@@ -89,15 +83,17 @@ impl PatternKind {
                 } else {
                     0xAAAA_AAAA_AAAA_AAAAu64
                 };
-                RowBits::from_word_fn(width, |_| word)
+                RowBits::from_word_fn_in(arena.take_words(), width, |_| word)
             }
-            PatternKind::Random { seed } => RowBits::from_word_fn(width, |w| {
-                mix64(hash_words(&[seed, u64::from(row), w as u64]))
-            }),
+            PatternKind::Random { seed } => {
+                RowBits::from_word_fn_in(arena.take_words(), width, |w| {
+                    mix64(hash_words(&[seed, u64::from(row), w as u64]))
+                })
+            }
             PatternKind::Walking { period, phase } => {
                 // One set bit per period — touch only those bits.
                 let p = period.max(1) as usize;
-                let mut bits = RowBits::zeros(width);
+                let mut bits = arena.zeros(width);
                 let mut i = phase as usize % p;
                 while i < width {
                     bits.set(i, true);
@@ -123,6 +119,14 @@ impl InversePattern {
     /// Materializes the inverted pattern for one row.
     pub fn row_bits(&self, row: u32, width: usize) -> RowBits {
         self.0.row_bits(row, width).inverted()
+    }
+
+    /// [`row_bits`](InversePattern::row_bits) drawing the backing buffer
+    /// from the arena pool.
+    pub fn row_bits_in(&self, row: u32, width: usize, arena: &RoundArena) -> RowBits {
+        let mut bits = self.0.row_bits_in(row, width, arena);
+        bits.invert();
+        bits
     }
 }
 

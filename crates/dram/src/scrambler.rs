@@ -17,7 +17,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::walk::is_permutation;
+use crate::walk::{is_permutation, is_permutation_table};
 use parbor_hal::DramError;
 
 /// A system→physical address mapping for the columns of one DRAM row.
@@ -112,6 +112,121 @@ impl<S: Scrambler + ?Sized> Scrambler for Arc<S> {
     }
     fn tile_bounds(&self, pos: usize) -> (usize, usize) {
         (**self).tile_bounds(pos)
+    }
+}
+
+/// A scrambler compiled into dense lookup tables.
+///
+/// The arithmetic scramblers translate one column per call (div/mod chains
+/// in [`TileWalkScrambler`]); a chip-sized scan performs millions of such
+/// translations while building fault maps. `ScramblerLut` pays the
+/// arithmetic exactly once per column at construction and serves every
+/// later translation — both directions, plus tile bounds — as an indexed
+/// load.
+///
+/// The LUT implements [`Scrambler`] itself, so it drops into every
+/// consumer of the trait unchanged; because its tables are filled *from*
+/// the wrapped scrambler, bit-identity with the reference path is by
+/// construction (and double-checked at build time: the table pair must be
+/// a permutation and its inverse).
+///
+/// # Examples
+///
+/// ```
+/// use parbor_dram::{Scrambler, ScramblerLut, Vendor};
+///
+/// let reference = Vendor::A.scrambler(8192);
+/// let lut = ScramblerLut::build(reference.as_ref());
+/// assert_eq!(lut.system_to_physical(100), reference.system_to_physical(100));
+/// assert_eq!(lut.distance_set(), reference.distance_set());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScramblerLut {
+    row_bits: usize,
+    s2p: Vec<u32>,
+    p2s: Vec<u32>,
+    /// Tile bounds per physical position, `(start, end)`.
+    bounds: Vec<(u32, u32)>,
+}
+
+impl ScramblerLut {
+    /// Compiles `inner` into lookup tables. This is the only place the
+    /// wrapped scrambler's arithmetic runs: `2 × row_bits` translations
+    /// plus one `tile_bounds` call per position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner` violates the [`Scrambler`] contract (its mapping
+    /// is not a permutation of `0..row_bits` with a consistent inverse).
+    pub fn build(inner: &(impl Scrambler + ?Sized)) -> Self {
+        let n = inner.row_bits();
+        let (s2p, p2s) = inner.build_tables();
+        assert!(
+            is_permutation_table(&p2s),
+            "scrambler p2s table is not a permutation of 0..{n}"
+        );
+        for (col, &pos) in s2p.iter().enumerate() {
+            assert_eq!(
+                p2s[pos as usize] as usize, col,
+                "scrambler tables are not inverse at column {col}"
+            );
+        }
+        let bounds = (0..n)
+            .map(|pos| {
+                let (lo, hi) = inner.tile_bounds(pos);
+                (lo as u32, hi as u32)
+            })
+            .collect();
+        ScramblerLut {
+            row_bits: n,
+            s2p,
+            p2s,
+            bounds,
+        }
+    }
+
+    /// The dense system→physical table.
+    pub fn s2p_table(&self) -> &[u32] {
+        &self.s2p
+    }
+
+    /// The dense physical→system table.
+    pub fn p2s_table(&self) -> &[u32] {
+        &self.p2s
+    }
+
+    /// Translates every physical position of one whole row to its system
+    /// column in a single pass — the batch form fault-map construction and
+    /// round assembly use instead of per-cell trait calls.
+    pub fn translate_row_p2s(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(&self.p2s);
+    }
+}
+
+impl Scrambler for ScramblerLut {
+    fn row_bits(&self) -> usize {
+        self.row_bits
+    }
+
+    #[inline]
+    fn system_to_physical(&self, col: usize) -> usize {
+        self.s2p[col] as usize
+    }
+
+    #[inline]
+    fn physical_to_system(&self, pos: usize) -> usize {
+        self.p2s[pos] as usize
+    }
+
+    #[inline]
+    fn tile_bounds(&self, pos: usize) -> (usize, usize) {
+        let (lo, hi) = self.bounds[pos];
+        (lo as usize, hi as usize)
+    }
+
+    fn build_tables(&self) -> (Vec<u32>, Vec<u32>) {
+        (self.s2p.clone(), self.p2s.clone())
     }
 }
 
@@ -390,6 +505,97 @@ mod tests {
         for col in 0..512usize {
             assert_eq!(p2s[s2p[col] as usize] as usize, col);
         }
+    }
+
+    /// The satellite oracle: over every vendor family and a full row, the
+    /// compiled LUT must agree with the arithmetic reference on every query
+    /// the trait exposes — both translation directions, tile bounds,
+    /// neighbors, and the derived distance set.
+    #[test]
+    fn lut_matches_reference_exhaustively_for_every_vendor() {
+        for v in [Vendor::A, Vendor::B, Vendor::C] {
+            let reference = v.scrambler(8192);
+            let lut = ScramblerLut::build(reference.as_ref());
+            assert_eq!(lut.row_bits(), reference.row_bits());
+            for col in 0..reference.row_bits() {
+                assert_eq!(
+                    lut.system_to_physical(col),
+                    reference.system_to_physical(col),
+                    "{v:?} s2p diverges at column {col}"
+                );
+                assert_eq!(
+                    lut.physical_to_system(col),
+                    reference.physical_to_system(col),
+                    "{v:?} p2s diverges at position {col}"
+                );
+                assert_eq!(
+                    lut.tile_bounds(col),
+                    reference.tile_bounds(col),
+                    "{v:?} tile bounds diverge at position {col}"
+                );
+                assert_eq!(
+                    lut.physical_neighbors(col),
+                    reference.physical_neighbors(col),
+                    "{v:?} neighbors diverge at column {col}"
+                );
+            }
+            assert_eq!(lut.distance_set(), reference.distance_set());
+        }
+    }
+
+    #[test]
+    fn lut_handles_trailing_identity_region() {
+        // 100 columns with span 64 leaves a 36-column identity tail.
+        let s = TileWalkScrambler::new(100, 64, 8, (0..8).rev().collect()).unwrap();
+        let lut = ScramblerLut::build(&s);
+        for col in 0..100 {
+            assert_eq!(lut.system_to_physical(col), s.system_to_physical(col));
+            assert_eq!(lut.physical_to_system(col), s.physical_to_system(col));
+            assert_eq!(lut.tile_bounds(col), s.tile_bounds(col));
+        }
+    }
+
+    #[test]
+    fn lut_batch_translation_matches_tables() {
+        let s = Vendor::A.scrambler(1024);
+        let lut = ScramblerLut::build(s.as_ref());
+        let mut out = Vec::new();
+        lut.translate_row_p2s(&mut out);
+        assert_eq!(out.as_slice(), lut.p2s_table());
+        for (pos, &col) in out.iter().enumerate() {
+            assert_eq!(col as usize, s.physical_to_system(pos));
+        }
+    }
+
+    #[test]
+    fn lut_build_tables_round_trips() {
+        let s = Vendor::B.scrambler(512);
+        let lut = ScramblerLut::build(s.as_ref());
+        assert_eq!(lut.build_tables(), s.build_tables());
+        // A LUT of a LUT is the same LUT.
+        let relut = ScramblerLut::build(&lut);
+        assert_eq!(relut.s2p_table(), lut.s2p_table());
+        assert_eq!(relut.p2s_table(), lut.p2s_table());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn lut_rejects_contract_violations() {
+        /// Deliberately broken: maps everything to position 0.
+        #[derive(Debug)]
+        struct Collapsing;
+        impl Scrambler for Collapsing {
+            fn row_bits(&self) -> usize {
+                8
+            }
+            fn system_to_physical(&self, _col: usize) -> usize {
+                0
+            }
+            fn physical_to_system(&self, _pos: usize) -> usize {
+                0
+            }
+        }
+        ScramblerLut::build(&Collapsing);
     }
 
     #[test]

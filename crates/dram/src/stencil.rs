@@ -212,6 +212,14 @@ impl CouplingStencil {
     /// content, and margin shift.
     pub fn eval(&self, data: &RowBits) -> Vec<u32> {
         let mut out = Vec::new();
+        self.eval_into(data, &mut out);
+        out
+    }
+
+    /// [`eval`](CouplingStencil::eval) into a caller-supplied buffer
+    /// (cleared first) — the arena-pooled form the chip's hot path uses.
+    pub fn eval_into(&self, data: &RowBits, out: &mut Vec<u32>) {
+        out.clear();
         for w in 0..self.victim_anti.len() {
             let lo = w * 64;
             let hi = (lo + 64).min(self.slots);
@@ -270,7 +278,6 @@ impl CouplingStencil {
                 out.push(self.entry_idx[lo + b]);
             }
         }
-        out
     }
 }
 

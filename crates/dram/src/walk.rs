@@ -54,6 +54,21 @@ pub(crate) fn is_permutation(walk: &[usize]) -> bool {
     true
 }
 
+/// [`is_permutation`] over the dense `u32` tables a compiled scrambler LUT
+/// stores.
+pub(crate) fn is_permutation_table(table: &[u32]) -> bool {
+    let n = table.len();
+    let mut seen = vec![false; n];
+    for &v in table {
+        let v = v as usize;
+        if v >= n || seen[v] {
+            return false;
+        }
+        seen[v] = true;
+    }
+    true
+}
+
 /// The set of absolute successive differences of a walk.
 ///
 /// This is the neighbor-distance set that a system-level tester observes for

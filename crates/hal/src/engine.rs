@@ -23,6 +23,7 @@
 use parbor_obs::metrics;
 use parbor_obs::RecorderHandle;
 
+use crate::arena::RoundArena;
 use crate::bits::RowBits;
 use crate::error::DramError;
 use crate::geometry::{ChipGeometry, RowId};
@@ -101,6 +102,28 @@ impl RoundPlan {
         plan
     }
 
+    /// [`broadcast`](RoundPlan::broadcast) with every per-unit clone drawn
+    /// from the arena pool; the per-row originals are recycled back into
+    /// it. Write order and content are identical to `broadcast`.
+    pub fn broadcast_in(
+        units: u32,
+        rows: &[RowId],
+        arena: &RoundArena,
+        mut data_for: impl FnMut(RowId) -> RowBits,
+    ) -> Self {
+        let images: Vec<RowBits> = rows.iter().map(|&row| data_for(row)).collect();
+        let mut plan = RoundPlan::with_capacity(rows.len() * units as usize);
+        for unit in 0..units {
+            for (&row, image) in rows.iter().zip(&images) {
+                plan.write(unit, row, image.clone_into_words(arena.take_words()));
+            }
+        }
+        for image in images {
+            arena.recycle_row(image);
+        }
+        plan
+    }
+
     /// The planned writes, in execution order.
     pub fn writes(&self) -> &[RowWrite] {
         &self.writes
@@ -164,6 +187,11 @@ pub struct RoundExecutor<'p, P: TestPort + ?Sized> {
     round_counter: Option<&'static str>,
     flip_histogram: Option<&'static str>,
     rounds: usize,
+    arena: RoundArena,
+    /// Arena counter values already emitted to the recorder, so each
+    /// executor reports only the deltas accrued during its own lifetime
+    /// (the arena itself is shared across executors).
+    arena_seen: (u64, u64, u64),
 }
 
 impl<'p, P: TestPort + ?Sized> RoundExecutor<'p, P> {
@@ -175,6 +203,8 @@ impl<'p, P: TestPort + ?Sized> RoundExecutor<'p, P> {
             round_counter: None,
             flip_histogram: None,
             rounds: 0,
+            arena: RoundArena::new(),
+            arena_seen: (0, 0, 0),
         }
     }
 
@@ -182,6 +212,24 @@ impl<'p, P: TestPort + ?Sized> RoundExecutor<'p, P> {
     pub fn with_recorder(mut self, rec: RecorderHandle) -> Self {
         self.rec = rec;
         self
+    }
+
+    /// Attaches a shared [`RoundArena`], forwarding it to the port so the
+    /// backend recycles replaced row images into the same pool the stages
+    /// build from. Arena counter deltas are emitted alongside the round
+    /// metrics (`engine.arena_*`).
+    pub fn with_arena(mut self, arena: RoundArena) -> Self {
+        self.port.set_arena(arena.clone());
+        self.arena_seen = arena.counters();
+        self.arena = arena;
+        self
+    }
+
+    /// The arena stages should build round plans from. Defaults to a
+    /// private arena when none was attached, so stage code can use it
+    /// unconditionally.
+    pub fn arena(&self) -> &RoundArena {
+        &self.arena
     }
 
     /// Additionally increments `counter` once per executed round (e.g.
@@ -223,6 +271,20 @@ impl<'p, P: TestPort + ?Sized> RoundExecutor<'p, P> {
         if let Some(histogram) = self.flip_histogram {
             self.rec.observe(histogram, flips);
         }
+        let (hits, misses, recycled) = self.arena.counters();
+        let (seen_h, seen_m, seen_r) = self.arena_seen;
+        if hits > seen_h {
+            self.rec.incr(metrics::engine::ARENA_HITS, hits - seen_h);
+        }
+        if misses > seen_m {
+            self.rec
+                .incr(metrics::engine::ARENA_MISSES, misses - seen_m);
+        }
+        if recycled > seen_r {
+            self.rec
+                .incr(metrics::engine::ARENA_RECYCLED, recycled - seen_r);
+        }
+        self.arena_seen = (hits, misses, recycled);
     }
 
     /// Executes one plan (one device round).

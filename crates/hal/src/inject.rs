@@ -316,6 +316,10 @@ impl<P: TestPort> TestPort for FaultInjectingPort<P> {
     fn set_recorder(&mut self, rec: parbor_obs::RecorderHandle) {
         self.inner.set_recorder(rec);
     }
+
+    fn set_arena(&mut self, arena: crate::arena::RoundArena) {
+        self.inner.set_arena(arena);
+    }
 }
 
 #[cfg(test)]

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod bits;
 mod engine;
 mod error;
@@ -47,6 +48,7 @@ mod loopback;
 mod port;
 mod transcript;
 
+pub use arena::RoundArena;
 pub use bits::RowBits;
 pub use engine::{RoundExecutor, RoundPlan};
 pub use error::DramError;
@@ -54,4 +56,7 @@ pub use geometry::{BitAddr, ChipGeometry, RowId};
 pub use inject::{FaultInjectingPort, InjectionConfig};
 pub use loopback::LoopbackPort;
 pub use port::{BitFlip, Flip, KernelMode, ParallelMode, RowWrite, TestPort};
-pub use transcript::{RecordingPort, ReplayPort, TranscriptInfo, TRANSCRIPT_MAGIC};
+pub use transcript::{
+    RecordingPort, ReplayPort, TranscriptFormat, TranscriptInfo, TRANSCRIPT_MAGIC,
+    TRANSCRIPT_MAGIC_BINARY,
+};

@@ -14,6 +14,7 @@ use std::fmt;
 use parbor_obs::RecorderHandle;
 use serde::{Deserialize, Serialize};
 
+use crate::arena::RoundArena;
 use crate::bits::RowBits;
 use crate::engine::RoundPlan;
 use crate::error::DramError;
@@ -206,6 +207,15 @@ pub trait TestPort {
     fn set_recorder(&mut self, rec: RecorderHandle) {
         let _ = rec;
     }
+
+    /// Attaches a shared [`RoundArena`]: the backend recycles replaced row
+    /// images (and other round scratch) into it instead of freeing them, so
+    /// the stage that builds the next round reuses the buffers. A pure
+    /// performance knob — results are bit-identical with or without an
+    /// arena. Default: ignored, for backends that hold no row storage.
+    fn set_arena(&mut self, arena: RoundArena) {
+        let _ = arena;
+    }
 }
 
 // A boxed port is a port, so pipeline code can hold `Box<dyn TestPort>` and
@@ -247,6 +257,10 @@ impl<P: TestPort + ?Sized> TestPort for Box<P> {
 
     fn set_recorder(&mut self, rec: RecorderHandle) {
         (**self).set_recorder(rec);
+    }
+
+    fn set_arena(&mut self, arena: RoundArena) {
+        (**self).set_arena(arena);
     }
 }
 
@@ -291,6 +305,7 @@ mod tests {
         port.set_parallel_mode(ParallelMode::Never);
         port.set_kernel_mode(KernelMode::Reference);
         port.set_recorder(RecorderHandle::null());
+        port.set_arena(RoundArena::new());
     }
 
     #[test]

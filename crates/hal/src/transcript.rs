@@ -1,4 +1,5 @@
-//! Record/replay port decorators: round transcripts as framed JSONL.
+//! Record/replay port decorators: round transcripts as framed JSONL or a
+//! compact framed binary stream.
 //!
 //! [`RecordingPort`] wraps any inner [`TestPort`] and captures every round —
 //! a digest of what was written plus the exact flips observed — into a
@@ -10,11 +11,15 @@
 //! real-hardware backend would use to make a one-shot physical capture
 //! endlessly re-analyzable.
 //!
-//! # On-disk format
+//! # On-disk formats
 //!
-//! A transcript is a text file of one framed JSON record per line, in the
-//! fleet journal's defend-the-tail style but line-oriented so transcripts
-//! stay `grep`-able:
+//! Two formats carry identical information and replay identically; the
+//! replay port auto-detects which one it was handed. The recording side
+//! picks via [`TranscriptFormat`].
+//!
+//! **JSONL** ([`TranscriptFormat::Json`], magic [`TRANSCRIPT_MAGIC`]): a
+//! text file of one framed JSON record per line, in the fleet journal's
+//! defend-the-tail style but line-oriented so transcripts stay `grep`-able:
 //!
 //! ```text
 //! <len>:<fnv64 hex>:<json>\n
@@ -24,6 +29,32 @@
 //! same bytes. The first record is a header carrying [`TRANSCRIPT_MAGIC`],
 //! the format version, and the port shape (units + per-unit geometry); every
 //! later record is one round with its write-set digest and flips.
+//!
+//! **Binary** ([`TranscriptFormat::Binary`], magic
+//! [`TRANSCRIPT_MAGIC_BINARY`]): the hot-path format — JSON flip
+//! serialization dominates recording cost, so the binary form packs the
+//! same records tightly. The file starts with the 8 magic bytes
+//! `PBHALTB1`, then a sequence of framed records:
+//!
+//! ```text
+//! [len: u32 LE] [checksum(payload): u64 LE] [payload: len bytes]
+//! ```
+//!
+//! The checksum is the eight-lane word fold (see `hash_bytes_x8`), not
+//! byte-wise FNV: the binary format exists to get transcript cost out of
+//! the round hot path, and a serial byte hash would put a dependency chain
+//! right back in. The same reasoning gives the binary format an eight-lane
+//! write-set digest, where the JSONL format keeps the serial fold it
+//! shipped with — each format verifies with the hash it was defined with.
+//!
+//! The header payload is LEB128 varints `version, units, banks,
+//! rows_per_bank, cols_per_row`. Each round payload is `writes` (varint),
+//! the raw 8-byte write-set digest (u64 LE), `flip_count` (varint), then
+//! per flip the varints `unit, bank, row, col << 1 | expected` — the
+//! expected bit rides in the column's low bit so a typical flip costs a
+//! handful of bytes instead of a JSON object. Both formats flush every
+//! record, so a transcript is valid up to the last completed round even if
+//! the recording process dies.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -34,14 +65,67 @@ use serde::{Deserialize, Serialize};
 use crate::engine::RoundPlan;
 use crate::error::DramError;
 use crate::geometry::ChipGeometry;
-use crate::hash::{fnv1a64, hash_words_iter};
+use crate::hash::{fnv1a64, hash_bytes_x8, hash_words_iter, LaneHasher};
 use crate::port::{Flip, KernelMode, ParallelMode, RowWrite, TestPort};
 
-/// Magic string identifying a parbor-hal round transcript, format version 1.
+/// Magic string identifying a parbor-hal JSONL round transcript, format
+/// version 1.
 pub const TRANSCRIPT_MAGIC: &str = "PBHALTR1";
+
+/// Magic bytes opening a parbor-hal *binary* round transcript, format
+/// version 1. The replay port auto-detects the format from these first
+/// eight bytes.
+pub const TRANSCRIPT_MAGIC_BINARY: &[u8; 8] = b"PBHALTB1";
 
 /// Current transcript format version.
 const TRANSCRIPT_VERSION: u32 = 1;
+
+/// Which on-disk encoding a [`RecordingPort`] writes. See the
+/// module docs for both layouts; replay auto-detects, so the choice
+/// only affects transcript size and recording cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TranscriptFormat {
+    /// Framed JSONL (`grep`-able, the original format and the default).
+    #[default]
+    Json,
+    /// Framed varint-packed binary (compact, cheap to write).
+    Binary,
+}
+
+impl std::str::FromStr for TranscriptFormat {
+    type Err = DramError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "json" => Ok(TranscriptFormat::Json),
+            "binary" => Ok(TranscriptFormat::Binary),
+            _ => Err(DramError::InvalidConfig(format!(
+                "unknown transcript format {s:?} (expected json|binary)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for TranscriptFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TranscriptFormat::Json => "json",
+            TranscriptFormat::Binary => "binary",
+        })
+    }
+}
+
+impl TranscriptFormat {
+    /// Conventional file extension for transcripts in this format. Purely a
+    /// naming convention — [`ReplayPort::open`] ignores the extension and
+    /// sniffs the leading magic bytes instead.
+    pub fn extension(&self) -> &'static str {
+        match self {
+            TranscriptFormat::Json => "jsonl",
+            TranscriptFormat::Binary => "pbt",
+        }
+    }
+}
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct HeaderRecord {
@@ -55,21 +139,19 @@ struct HeaderRecord {
 struct RoundRecord {
     /// Number of row writes issued this round.
     writes: u64,
-    /// Digest of the full write set (`mix64:…`), see [`digest_writes`].
+    /// Digest of the full write set (`mix64:…`), see [`digest_writes_for`].
     writes_digest: String,
     /// Every flip the inner port reported, in report order.
     flips: Vec<Flip>,
 }
 
-/// Canonical digest of a round's write set: for each write in issue order,
-/// the unit/bank/row coordinates, the bit length, then the row words, all
-/// folded one `u64` at a time. Row *content* is covered, so replay catches
-/// any divergence in what the pipeline writes, not just where. Word-wise
-/// folding (rather than hashing a byte serialization of each row) keeps the
-/// digest cheap enough for the hot path of every recorded and replayed
-/// round.
-fn digest_writes(writes: &[RowWrite]) -> String {
-    let words = writes.iter().flat_map(|w| {
+/// The word stream the JSON format's write-set digest covers: for each write
+/// in issue order, the unit/bank/row coordinates, the bit length, then every
+/// row word. All row *content* is covered, so replay catches any divergence
+/// in what the pipeline writes, not just where. (The binary format samples
+/// content instead — see [`digest_writes_for`].)
+fn digest_stream(writes: &[RowWrite]) -> impl Iterator<Item = u64> + '_ {
+    writes.iter().flat_map(|w| {
         [
             (u64::from(w.unit) << 32) | u64::from(w.row.bank),
             u64::from(w.row.row),
@@ -77,12 +159,144 @@ fn digest_writes(writes: &[RowWrite]) -> String {
         ]
         .into_iter()
         .chain(w.data.words().iter().copied())
-    });
-    format!("mix64:{:016x}", hash_words_iter(words))
+    })
+}
+
+/// Words per sampled content group in the binary digest: one 64-byte cache
+/// line's worth, hashed whole because loading any word of a line pays for
+/// all eight.
+const DIGEST_GROUP_WORDS: usize = 8;
+
+/// Stride between sampled groups, in words: every fourth cache line of row
+/// data. The digest's cost is memory traffic, not hashing — streaming every
+/// word re-reads the whole round's row data (~13 MB/run on the bench
+/// workload) and was the bulk of the binary record overhead, so the binary
+/// format samples content instead of exhaustively folding it.
+const DIGEST_SAMPLE_STRIDE_WORDS: usize = 32;
+
+/// Canonical write-set digest of a round, per format.
+///
+/// JSON keeps the serial word fold over [`digest_stream`] the format shipped
+/// with: every coordinate and every content word.
+///
+/// The binary format — defined together with this function — folds the same
+/// coordinates, lengths, and write count exactly, but *samples* row content:
+/// one cache-line-sized word group per [`DIGEST_SAMPLE_STRIDE_WORDS`], plus
+/// the row's final group. Rows up to 256 bits are still covered in full.
+/// Plan-level divergence (different rows, counts, or lengths — what a wrong
+/// config or code path actually produces) is caught exactly; a content
+/// mismatch is caught when it touches a sampled line, which includes every
+/// row's first and last line. Exhaustive content coverage remains available
+/// by recording JSONL. Recording and replay agree because both key off the
+/// transcript's format.
+fn digest_writes_for(format: TranscriptFormat, writes: &[RowWrite]) -> u64 {
+    match format {
+        TranscriptFormat::Json => hash_words_iter(digest_stream(writes)),
+        TranscriptFormat::Binary => {
+            let mut h = LaneHasher::new();
+            for w in writes {
+                h.push((u64::from(w.unit) << 32) | u64::from(w.row.bank));
+                h.push(u64::from(w.row.row));
+                h.push(w.data.len() as u64);
+                let words = w.data.words();
+                let mut i = 0;
+                while i < words.len() {
+                    h.extend_slice(&words[i..(i + DIGEST_GROUP_WORDS).min(words.len())]);
+                    i += DIGEST_SAMPLE_STRIDE_WORDS;
+                }
+                if !words.is_empty() {
+                    let tail = (words.len() - 1) / DIGEST_GROUP_WORDS * DIGEST_GROUP_WORDS;
+                    if !tail.is_multiple_of(DIGEST_SAMPLE_STRIDE_WORDS) {
+                        h.extend_slice(&words[tail..]);
+                    }
+                }
+            }
+            h.finish()
+        }
+    }
+}
+
+/// The JSON rendering of a write-set digest (`mix64:<16 hex digits>`); the
+/// binary format stores the raw `u64` instead.
+fn format_digest(digest: u64) -> String {
+    format!("mix64:{digest:016x}")
+}
+
+/// Parses [`format_digest`]'s rendering back to the raw `u64`.
+fn parse_digest(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("mix64:")?, 16).ok()
 }
 
 fn frame(json: &str) -> String {
     format!("{}:{:016x}:{json}\n", json.len(), fnv1a64(json.as_bytes()))
+}
+
+/// Appends `v` to `buf` as an LEB128 varint (7 value bits per byte, high
+/// bit marks continuation).
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Reads one LEB128 varint at `*pos`, advancing it. `None` on truncation
+/// or a varint longer than a `u64`.
+fn get_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && b > 1) {
+            return None;
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Frames one binary record: `u32` LE payload length, `u64` LE four-lane
+/// checksum ([`hash_bytes_x8`]) of the payload, then the payload.
+fn frame_binary(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&hash_bytes_x8(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn encode_header_binary(units: u32, geometry: ChipGeometry) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16);
+    put_varint(&mut payload, u64::from(TRANSCRIPT_VERSION));
+    put_varint(&mut payload, u64::from(units));
+    put_varint(&mut payload, u64::from(geometry.banks));
+    put_varint(&mut payload, u64::from(geometry.rows_per_bank));
+    put_varint(&mut payload, u64::from(geometry.cols_per_row));
+    payload
+}
+
+fn encode_round_binary(n_writes: u64, digest: u64, flips: &[Flip]) -> Vec<u8> {
+    // Varints straight off the flip slice: no intermediate allocation, no
+    // serde — this is the recording hot path.
+    let mut payload = Vec::with_capacity(18 + flips.len() * 8);
+    put_varint(&mut payload, n_writes);
+    payload.extend_from_slice(&digest.to_le_bytes());
+    put_varint(&mut payload, flips.len() as u64);
+    for f in flips {
+        put_varint(&mut payload, u64::from(f.unit));
+        put_varint(&mut payload, u64::from(f.flip.addr.bank));
+        put_varint(&mut payload, u64::from(f.flip.addr.row));
+        put_varint(
+            &mut payload,
+            (u64::from(f.flip.addr.col) << 1) | u64::from(f.flip.expected),
+        );
+    }
+    payload
 }
 
 fn io_err(path: &Path, what: &str, e: impl std::fmt::Display) -> DramError {
@@ -101,6 +315,8 @@ fn corrupt(path: &Path, line: usize, detail: impl Into<String>) -> DramError {
 /// benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TranscriptInfo {
+    /// On-disk encoding of the transcript.
+    pub format: TranscriptFormat,
     /// Transcript format version.
     pub version: u32,
     /// Number of units the capturing port exposed.
@@ -153,40 +369,72 @@ pub struct RecordingPort<P> {
     inner: P,
     out: BufWriter<File>,
     path: PathBuf,
+    format: TranscriptFormat,
     recorded: u64,
 }
 
 impl<P: TestPort> RecordingPort<P> {
-    /// Wraps `inner` and starts a fresh transcript at `path` (truncating any
-    /// existing file), writing the header immediately.
+    /// Wraps `inner` and starts a fresh JSONL transcript at `path`
+    /// (truncating any existing file), writing the header immediately.
     ///
     /// # Errors
     ///
     /// [`DramError::Backend`] on I/O failure.
     pub fn create(inner: P, path: impl Into<PathBuf>) -> Result<Self, DramError> {
+        Self::create_with_format(inner, path, TranscriptFormat::Json)
+    }
+
+    /// Like [`create`](RecordingPort::create), but choosing the on-disk
+    /// encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::Backend`] on I/O failure.
+    pub fn create_with_format(
+        inner: P,
+        path: impl Into<PathBuf>,
+        format: TranscriptFormat,
+    ) -> Result<Self, DramError> {
         let path = path.into();
         let file = File::create(&path).map_err(|e| io_err(&path, "create", e))?;
         let mut port = RecordingPort {
             inner,
             out: BufWriter::new(file),
             path,
+            format,
             recorded: 0,
         };
-        let header = HeaderRecord {
-            magic: TRANSCRIPT_MAGIC.into(),
-            version: TRANSCRIPT_VERSION,
-            units: port.inner.units(),
-            geometry: port.inner.geometry(),
-        };
-        port.append(&serde_json::to_string(&header).map_err(|e| {
-            DramError::Backend(format!("transcript header does not serialize: {}", e.0))
-        })?)?;
+        match format {
+            TranscriptFormat::Json => {
+                let header = HeaderRecord {
+                    magic: TRANSCRIPT_MAGIC.into(),
+                    version: TRANSCRIPT_VERSION,
+                    units: port.inner.units(),
+                    geometry: port.inner.geometry(),
+                };
+                let json = serde_json::to_string(&header).map_err(|e| {
+                    DramError::Backend(format!("transcript header does not serialize: {}", e.0))
+                })?;
+                port.append(frame(&json).as_bytes())?;
+            }
+            TranscriptFormat::Binary => {
+                let header = encode_header_binary(port.inner.units(), port.inner.geometry());
+                let mut first = TRANSCRIPT_MAGIC_BINARY.to_vec();
+                first.extend_from_slice(&frame_binary(&header));
+                port.append(&first)?;
+            }
+        }
         Ok(port)
     }
 
     /// The transcript path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The on-disk encoding this port writes.
+    pub fn format(&self) -> TranscriptFormat {
+        self.format
     }
 
     /// Number of rounds recorded so far.
@@ -209,23 +457,31 @@ impl<P: TestPort> RecordingPort<P> {
         Ok(self.inner)
     }
 
-    fn append(&mut self, json: &str) -> Result<(), DramError> {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), DramError> {
         self.out
-            .write_all(frame(json).as_bytes())
+            .write_all(bytes)
             .and_then(|()| self.out.flush())
             .map_err(|e| io_err(&self.path, "append", e))
     }
 
-    fn record(&mut self, n_writes: u64, digest: String, flips: &[Flip]) -> Result<(), DramError> {
-        let record = RoundRecord {
-            writes: n_writes,
-            writes_digest: digest,
-            flips: flips.to_vec(),
-        };
-        let json = serde_json::to_string(&record).map_err(|e| {
-            DramError::Backend(format!("transcript record does not serialize: {}", e.0))
-        })?;
-        self.append(&json)?;
+    fn record(&mut self, n_writes: u64, digest: u64, flips: &[Flip]) -> Result<(), DramError> {
+        match self.format {
+            TranscriptFormat::Json => {
+                let record = RoundRecord {
+                    writes: n_writes,
+                    writes_digest: format_digest(digest),
+                    flips: flips.to_vec(),
+                };
+                let json = serde_json::to_string(&record).map_err(|e| {
+                    DramError::Backend(format!("transcript record does not serialize: {}", e.0))
+                })?;
+                self.append(frame(&json).as_bytes())?;
+            }
+            TranscriptFormat::Binary => {
+                let payload = encode_round_binary(n_writes, digest, flips);
+                self.append(&frame_binary(&payload))?;
+            }
+        }
         self.recorded += 1;
         Ok(())
     }
@@ -241,7 +497,7 @@ impl<P: TestPort> TestPort for RecordingPort<P> {
     }
 
     fn run_round(&mut self, writes: Vec<RowWrite>) -> Result<Vec<Flip>, DramError> {
-        let digest = digest_writes(&writes);
+        let digest = digest_writes_for(self.format, &writes);
         let n_writes = writes.len() as u64;
         let flips = self.inner.run_round(writes)?;
         self.record(n_writes, digest, &flips)?;
@@ -251,9 +507,9 @@ impl<P: TestPort> TestPort for RecordingPort<P> {
     fn run_rounds(&mut self, plans: Vec<RoundPlan>) -> Result<Vec<Vec<Flip>>, DramError> {
         // Digest before the plans move into the inner port, then let the
         // inner port keep its batched (possibly parallel) execution path.
-        let digests: Vec<(u64, String)> = plans
+        let digests: Vec<(u64, u64)> = plans
             .iter()
-            .map(|p| (p.len() as u64, digest_writes(p.writes())))
+            .map(|p| (p.len() as u64, digest_writes_for(self.format, p.writes())))
             .collect();
         let rounds = self.inner.run_rounds(plans)?;
         for ((n_writes, digest), flips) in digests.into_iter().zip(&rounds) {
@@ -281,6 +537,10 @@ impl<P: TestPort> TestPort for RecordingPort<P> {
     fn set_recorder(&mut self, rec: parbor_obs::RecorderHandle) {
         self.inner.set_recorder(rec);
     }
+
+    fn set_arena(&mut self, arena: crate::arena::RoundArena) {
+        self.inner.set_arena(arena);
+    }
 }
 
 /// A [`TestPort`] that replays a recorded transcript instead of testing a
@@ -294,14 +554,23 @@ impl<P: TestPort> TestPort for RecordingPort<P> {
 /// for rounds that never happened.
 pub struct ReplayPort {
     path: PathBuf,
+    format: TranscriptFormat,
     units: u32,
     geometry: ChipGeometry,
-    rounds: Vec<RoundRecord>,
+    rounds: Vec<ReplayRound>,
     cursor: u64,
 }
 
+/// One parsed round, format-independent: the digest is kept raw.
+struct ReplayRound {
+    writes: u64,
+    digest: u64,
+    flips: Vec<Flip>,
+}
+
 impl ReplayPort {
-    /// Opens and fully verifies a transcript.
+    /// Opens and fully verifies a transcript, auto-detecting whether it is
+    /// JSONL or binary from the leading bytes.
     ///
     /// # Errors
     ///
@@ -309,7 +578,17 @@ impl ReplayPort {
     /// missing/foreign header, or an unsupported version.
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, DramError> {
         let path = path.into();
-        let text = std::fs::read_to_string(&path).map_err(|e| io_err(&path, "read", e))?;
+        let bytes = std::fs::read(&path).map_err(|e| io_err(&path, "read", e))?;
+        if bytes.starts_with(TRANSCRIPT_MAGIC_BINARY) {
+            Self::open_binary(path, &bytes)
+        } else {
+            Self::open_json(path, &bytes)
+        }
+    }
+
+    fn open_json(path: PathBuf, bytes: &[u8]) -> Result<Self, DramError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| corrupt(&path, 1, "transcript is neither binary nor UTF-8 JSONL"))?;
         let mut header: Option<HeaderRecord> = None;
         let mut rounds = Vec::new();
         for (i, line) in text.lines().enumerate() {
@@ -330,14 +609,23 @@ impl ReplayPort {
                 }
                 header = Some(h);
             } else {
-                rounds.push(serde_json::from_str(json).map_err(|e| {
+                let r: RoundRecord = serde_json::from_str(json).map_err(|e| {
                     corrupt(&path, n, format!("round record does not parse: {}", e.0))
-                })?);
+                })?;
+                let digest = parse_digest(&r.writes_digest).ok_or_else(|| {
+                    corrupt(&path, n, format!("bad writes digest {:?}", r.writes_digest))
+                })?;
+                rounds.push(ReplayRound {
+                    writes: r.writes,
+                    digest,
+                    flips: r.flips,
+                });
             }
         }
         let header = header.ok_or_else(|| corrupt(&path, 1, "empty transcript (no header)"))?;
         Ok(ReplayPort {
             path,
+            format: TranscriptFormat::Json,
             units: header.units,
             geometry: header.geometry,
             rounds,
@@ -345,9 +633,124 @@ impl ReplayPort {
         })
     }
 
+    fn open_binary(path: PathBuf, bytes: &[u8]) -> Result<Self, DramError> {
+        let mut pos = TRANSCRIPT_MAGIC_BINARY.len();
+        let mut n = 0usize;
+        let mut header: Option<(u32, ChipGeometry)> = None;
+        let mut rounds = Vec::new();
+        while pos < bytes.len() {
+            n += 1;
+            if bytes.len() - pos < 12 {
+                return Err(corrupt(&path, n, "truncated record frame"));
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let sum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+            pos += 12;
+            if bytes.len() - pos < len {
+                return Err(corrupt(
+                    &path,
+                    n,
+                    format!(
+                        "truncated record payload: framed {len}, {} left",
+                        bytes.len() - pos
+                    ),
+                ));
+            }
+            let payload = &bytes[pos..pos + len];
+            pos += len;
+            if hash_bytes_x8(payload) != sum {
+                return Err(corrupt(&path, n, "checksum mismatch"));
+            }
+            if n == 1 {
+                header = Some(Self::parse_binary_header(&path, payload)?);
+            } else {
+                rounds.push(Self::parse_binary_round(&path, n, payload)?);
+            }
+        }
+        let (units, geometry) =
+            header.ok_or_else(|| corrupt(&path, 1, "empty transcript (no header)"))?;
+        Ok(ReplayPort {
+            path,
+            format: TranscriptFormat::Binary,
+            units,
+            geometry,
+            rounds,
+            cursor: 0,
+        })
+    }
+
+    fn parse_binary_header(path: &Path, payload: &[u8]) -> Result<(u32, ChipGeometry), DramError> {
+        let mut pos = 0usize;
+        let mut next =
+            |what: &str| get_varint(payload, &mut pos).ok_or_else(|| corrupt(path, 1, what));
+        let version = next("header is missing the version")?;
+        if version != u64::from(TRANSCRIPT_VERSION) {
+            return Err(corrupt(path, 1, format!("unsupported version {version}")));
+        }
+        let units = next("header is missing the unit count")?;
+        let banks = next("header is missing banks")?;
+        let rows = next("header is missing rows_per_bank")?;
+        let cols = next("header is missing cols_per_row")?;
+        let dim = |v: u64, what: &str| -> Result<u32, DramError> {
+            u32::try_from(v).map_err(|_| corrupt(path, 1, format!("{what} {v} out of range")))
+        };
+        let geometry = ChipGeometry::new(
+            dim(banks, "banks")?,
+            dim(rows, "rows_per_bank")?,
+            dim(cols, "cols_per_row")?,
+        )
+        .map_err(|e| corrupt(path, 1, format!("bad geometry: {e}")))?;
+        Ok((dim(units, "units")?, geometry))
+    }
+
+    fn parse_binary_round(path: &Path, n: usize, payload: &[u8]) -> Result<ReplayRound, DramError> {
+        let mut pos = 0usize;
+        let writes = get_varint(payload, &mut pos)
+            .ok_or_else(|| corrupt(path, n, "round is missing the write count"))?;
+        if payload.len() - pos < 8 {
+            return Err(corrupt(path, n, "round is missing the writes digest"));
+        }
+        let digest = u64::from_le_bytes(payload[pos..pos + 8].try_into().expect("8 bytes"));
+        pos += 8;
+        let flip_count = get_varint(payload, &mut pos)
+            .ok_or_else(|| corrupt(path, n, "round is missing the flip count"))?;
+        let mut flips = Vec::with_capacity(flip_count as usize);
+        for _ in 0..flip_count {
+            let mut next =
+                |what: &str| get_varint(payload, &mut pos).ok_or_else(|| corrupt(path, n, what));
+            let unit = next("flip is missing the unit")?;
+            let bank = next("flip is missing the bank")?;
+            let row = next("flip is missing the row")?;
+            let packed_col = next("flip is missing the column")?;
+            let coord = |v: u64, what: &str| -> Result<u32, DramError> {
+                u32::try_from(v).map_err(|_| corrupt(path, n, format!("{what} {v} out of range")))
+            };
+            flips.push(Flip {
+                unit: coord(unit, "unit")?,
+                flip: crate::port::BitFlip {
+                    addr: crate::geometry::BitAddr::new(
+                        coord(bank, "bank")?,
+                        coord(row, "row")?,
+                        coord(packed_col >> 1, "column")?,
+                    ),
+                    expected: packed_col & 1 == 1,
+                },
+            });
+        }
+        if pos != payload.len() {
+            return Err(corrupt(path, n, "trailing bytes after the flip list"));
+        }
+        Ok(ReplayRound {
+            writes,
+            digest,
+            flips,
+        })
+    }
+
     /// Header and totals of the opened transcript.
     pub fn info(&self) -> TranscriptInfo {
         TranscriptInfo {
+            format: self.format,
             version: TRANSCRIPT_VERSION,
             units: self.units,
             geometry: self.geometry,
@@ -355,6 +758,11 @@ impl ReplayPort {
             total_writes: self.rounds.iter().map(|r| r.writes).sum(),
             total_flips: self.rounds.iter().map(|r| r.flips.len() as u64).sum(),
         }
+    }
+
+    /// The detected on-disk encoding.
+    pub fn format(&self) -> TranscriptFormat {
+        self.format
     }
 
     /// Recorded rounds not yet replayed.
@@ -418,15 +826,15 @@ impl TestPort for ReplayPort {
                 self.rounds.len()
             ))
         })?;
-        let digest = digest_writes(&writes);
-        if digest != record.writes_digest {
+        let digest = digest_writes_for(self.format, &writes);
+        if digest != record.digest {
             return Err(DramError::Backend(format!(
                 "transcript {} diverged at round {}: issued writes digest {} != recorded {} \
                  (the replaying pipeline is not the one that was captured)",
                 self.path.display(),
                 idx + 1,
-                digest,
-                record.writes_digest
+                format_digest(digest),
+                format_digest(record.digest)
             )));
         }
         let flips = record.flips.clone();
@@ -545,6 +953,177 @@ mod tests {
         std::fs::write(&path, "hello world\n").unwrap();
         assert!(ReplayPort::open(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn format_flag_round_trips_through_strings() {
+        for format in [TranscriptFormat::Json, TranscriptFormat::Binary] {
+            assert_eq!(
+                format.to_string().parse::<TranscriptFormat>().unwrap(),
+                format
+            );
+        }
+        assert!("yaml".parse::<TranscriptFormat>().is_err());
+    }
+
+    #[test]
+    fn varints_round_trip() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+        assert_eq!(get_varint(&buf, &mut pos), None, "exhausted input");
+    }
+
+    #[test]
+    fn binary_record_then_replay_is_bit_identical() {
+        let path = temp_transcript("bin-roundtrip");
+        let mut rec = RecordingPort::create_with_format(
+            LoopbackPort::new(ChipGeometry::tiny(), 2),
+            &path,
+            TranscriptFormat::Binary,
+        )
+        .unwrap();
+        assert_eq!(rec.format(), TranscriptFormat::Binary);
+        let recorded: Vec<Vec<Flip>> = (0..5).map(|i| rec.run_round(writes(i)).unwrap()).collect();
+        rec.finish().unwrap();
+
+        let mut replay = ReplayPort::open(&path).unwrap();
+        assert_eq!(replay.format(), TranscriptFormat::Binary);
+        assert_eq!(replay.units(), 2);
+        assert_eq!(replay.geometry(), ChipGeometry::tiny());
+        let info = replay.info();
+        assert_eq!(info.format, TranscriptFormat::Binary);
+        assert_eq!(info.rounds, 5);
+        assert_eq!(info.total_writes, 15);
+        for (i, expected) in recorded.iter().enumerate() {
+            assert_eq!(&replay.run_round(writes(i as u32)).unwrap(), expected);
+        }
+        assert_eq!(replay.remaining(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_replay_preserves_flips_exactly() {
+        // Drive flips through the fault injector so the binary flip packing
+        // (varints + expected bit) is exercised with nonzero payloads and
+        // compared against the JSON encoding of the same run.
+        use crate::inject::{FaultInjectingPort, InjectionConfig};
+        let inner = || {
+            FaultInjectingPort::new(
+                LoopbackPort::new(ChipGeometry::tiny(), 2),
+                InjectionConfig::new(1.0, 99).unwrap(),
+            )
+        };
+        let run = |path: &Path, format: TranscriptFormat| -> Vec<Vec<Flip>> {
+            let mut rec = RecordingPort::create_with_format(inner(), path, format).unwrap();
+            let flips = (0..6).map(|i| rec.run_round(writes(i)).unwrap()).collect();
+            rec.finish().unwrap();
+            flips
+        };
+        let json_path = temp_transcript("flips-json");
+        let bin_path = temp_transcript("flips-bin");
+        let live_json = run(&json_path, TranscriptFormat::Json);
+        let live_bin = run(&bin_path, TranscriptFormat::Binary);
+        assert_eq!(live_json, live_bin, "injection is deterministic");
+        assert!(
+            live_bin.iter().any(|f| !f.is_empty()),
+            "flips were injected"
+        );
+
+        for (path, live) in [(&json_path, &live_json), (&bin_path, &live_bin)] {
+            let mut replay = ReplayPort::open(path).unwrap();
+            for (i, expected) in live.iter().enumerate() {
+                assert_eq!(&replay.run_round(writes(i as u32)).unwrap(), expected);
+            }
+        }
+        let json_bytes = std::fs::metadata(&json_path).unwrap().len();
+        let bin_bytes = std::fs::metadata(&bin_path).unwrap().len();
+        assert!(
+            bin_bytes * 5 < json_bytes * 2,
+            "binary ({bin_bytes} B) should be well under 40% of JSON ({json_bytes} B)"
+        );
+        std::fs::remove_file(&json_path).ok();
+        std::fs::remove_file(&bin_path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_divergence_corruption_and_truncation() {
+        let path = temp_transcript("bin-corrupt");
+        let mut rec = RecordingPort::create_with_format(
+            LoopbackPort::new(ChipGeometry::tiny(), 1),
+            &path,
+            TranscriptFormat::Binary,
+        )
+        .unwrap();
+        rec.run_round(writes(0)).unwrap();
+        rec.finish().unwrap();
+
+        let mut replay = ReplayPort::open(&path).unwrap();
+        let err = replay.run_round(writes(1)).unwrap_err();
+        assert!(err.to_string().contains("diverged"));
+
+        let good = std::fs::read(&path).unwrap();
+        // Flip one payload byte of the last record.
+        let mut bad = good.clone();
+        let at = bad.len() - 1;
+        bad[at] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(ReplayPort::open(&path)
+            .unwrap_err()
+            .to_string()
+            .contains("checksum mismatch"));
+        // Truncate mid-record.
+        std::fs::write(&path, &good[..good.len() - 3]).unwrap();
+        assert!(ReplayPort::open(&path)
+            .unwrap_err()
+            .to_string()
+            .contains("truncated"));
+        // Magic alone is an empty transcript.
+        std::fs::write(&path, TRANSCRIPT_MAGIC_BINARY).unwrap();
+        assert!(ReplayPort::open(&path)
+            .unwrap_err()
+            .to_string()
+            .contains("no header"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_digest_samples_content_at_line_granularity() {
+        let row = |flip: Option<usize>| -> Vec<RowWrite> {
+            vec![RowWrite {
+                unit: 0,
+                row: RowId::new(0, 0),
+                data: RowBits::from_fn(8192, move |i| i.is_multiple_of(7) ^ (flip == Some(i))),
+            }]
+        };
+        let digest = |w: &[RowWrite]| digest_writes_for(TranscriptFormat::Binary, w);
+        let base = digest(&row(None));
+        // A row's first and last cache lines are always sampled.
+        assert_ne!(digest(&row(Some(3))), base);
+        assert_ne!(digest(&row(Some(8191))), base);
+        // Word 20 falls between sampled groups: the binary digest trades it
+        // away by design; the exhaustive JSON digest still sees it.
+        assert_eq!(digest(&row(Some(20 * 64))), base);
+        assert_ne!(
+            digest_writes_for(TranscriptFormat::Json, &row(Some(20 * 64))),
+            digest_writes_for(TranscriptFormat::Json, &row(None)),
+        );
     }
 
     #[test]

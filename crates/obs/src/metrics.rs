@@ -84,8 +84,12 @@ pub mod dram {
     pub const FAULT_MAPS_BUILT: &str = "dram.fault_maps_built";
     /// Counter: fault maps evicted from the cache.
     pub const FAULT_MAPS_EVICTED: &str = "dram.fault_maps_evicted";
-    /// Counter: scrambler address translations performed.
+    /// Counter: scrambler address translations performed through the trait
+    /// path (arithmetic per call).
     pub const SCRAMBLER_TRANSLATIONS: &str = "dram.scrambler_translations";
+    /// Counter: scrambler address translations served from a precomputed
+    /// lookup table instead of the trait path.
+    pub const SCRAMBLER_LUT_LOOKUPS: &str = "dram.scrambler_lut_lookups";
     /// Counter: port-level detection rounds (module fan-out).
     pub const PORT_ROUNDS: &str = "dram.port_rounds";
     /// Histogram: row writes per port-level round.
@@ -98,6 +102,14 @@ pub mod dram {
 pub mod engine {
     /// Counter: rounds executed through the engine.
     pub const ROUNDS: &str = "engine.rounds";
+    /// Counter: round-arena buffer requests served from the pool (each hit
+    /// is one heap allocation avoided on the round hot path).
+    pub const ARENA_HITS: &str = "engine.arena_hits";
+    /// Counter: round-arena buffer requests that fell through to a fresh
+    /// allocation (pool empty or still warming up).
+    pub const ARENA_MISSES: &str = "engine.arena_misses";
+    /// Counter: buffers returned to the round arena for reuse.
+    pub const ARENA_RECYCLED: &str = "engine.arena_recycled";
     /// Histogram: row writes per engine round.
     pub const ROUND_WRITES: &str = "engine.round_writes";
     /// Histogram: bit flips per engine round.
@@ -179,7 +191,11 @@ pub const ALL: &[&str] = &[
     dram::ROUNDS,
     dram::ROW_READS,
     dram::ROW_WRITES,
+    dram::SCRAMBLER_LUT_LOOKUPS,
     dram::SCRAMBLER_TRANSLATIONS,
+    engine::ARENA_HITS,
+    engine::ARENA_MISSES,
+    engine::ARENA_RECYCLED,
     engine::BATCH_ROUNDS,
     engine::ROUND_FLIPS,
     engine::ROUND_WRITES,

@@ -21,7 +21,7 @@ use std::collections::{HashMap, HashSet};
 use serde::{Deserialize, Serialize};
 
 use parbor_dram::{BitAddr, RowBits, RowId};
-use parbor_hal::{RoundExecutor, RoundPlan, TestPort};
+use parbor_hal::{RoundArena, RoundExecutor, RoundPlan, TestPort};
 use parbor_obs::metrics;
 use parbor_obs::RecorderHandle;
 
@@ -165,7 +165,19 @@ impl RoundSchedule {
     /// The row image of one round: victims `1`, everything else `0`
     /// (`invert` flips it for the anti-cell polarity pass).
     pub fn round_pattern(&self, round: usize, width: usize, invert: bool) -> RowBits {
-        let mut data = RowBits::zeros(width);
+        self.round_pattern_in(round, width, invert, &RoundArena::new())
+    }
+
+    /// [`round_pattern`](RoundSchedule::round_pattern) drawing the backing
+    /// buffer from the arena pool.
+    pub fn round_pattern_in(
+        &self,
+        round: usize,
+        width: usize,
+        invert: bool,
+        arena: &RoundArena,
+    ) -> RowBits {
+        let mut data = arena.zeros(width);
         for &v in &self.rounds[round] {
             let mut p = v as usize;
             while p < width {
@@ -174,10 +186,9 @@ impl RoundSchedule {
             }
         }
         if invert {
-            data.inverted()
-        } else {
-            data
+            data.invert();
         }
+        data
     }
 
     /// Checks the two schedule invariants: every chunk position is a victim
@@ -251,14 +262,32 @@ impl ChipwideTest {
     /// scan ([`ScanMachine`](crate::ScanMachine)) re-derives it on resume
     /// and runs the remaining suffix.
     pub fn round_plans(&self, units: u32, rows: &[RowId], width: usize) -> Vec<RoundPlan> {
-        let mut plans = Vec::with_capacity(self.rounds());
-        for invert in [false, true] {
-            for round in 0..self.schedule.rounds_per_polarity() {
-                let image = self.schedule.round_pattern(round, width, invert);
-                plans.push(RoundPlan::broadcast(units, rows, |_| image.clone()));
-            }
-        }
-        plans
+        let arena = RoundArena::new();
+        (0..self.rounds())
+            .map(|i| self.round_plan_in(i, units, rows, width, &arena))
+            .collect()
+    }
+
+    /// Builds round `index` of [`round_plans`](ChipwideTest::round_plans)
+    /// alone, drawing row images from the arena pool — a checkpointed scan
+    /// resumes mid-batch without materializing the prefix it already ran.
+    pub fn round_plan_in(
+        &self,
+        index: usize,
+        units: u32,
+        rows: &[RowId],
+        width: usize,
+        arena: &RoundArena,
+    ) -> RoundPlan {
+        let per = self.schedule.rounds_per_polarity();
+        let image = self
+            .schedule
+            .round_pattern_in(index % per, width, index >= per, arena);
+        let plan = RoundPlan::broadcast_in(units, rows, arena, |_| {
+            image.clone_into_words(arena.take_words())
+        });
+        arena.recycle_row(image);
+        plan
     }
 
     /// Runs the full test over the given rows of every unit, returning every
@@ -275,10 +304,15 @@ impl ChipwideTest {
         let width = port.geometry().cols_per_row as usize;
         let units = port.units();
         // The whole schedule is fixed up front — both polarities — so it is
-        // submitted to the engine as one independent batch.
-        let plans = self.round_plans(units, rows, width);
+        // submitted to the engine as one independent batch, built from (and
+        // recycled back into) one shared arena.
+        let arena = RoundArena::new();
+        let plans: Vec<RoundPlan> = (0..self.rounds())
+            .map(|i| self.round_plan_in(i, units, rows, width, &arena))
+            .collect();
         let mut exec = RoundExecutor::new(port)
             .with_recorder(self.rec.clone())
+            .with_arena(arena)
             .count_rounds_as(metrics::chipwide::ROUNDS)
             .observe_flips_as(metrics::chipwide::ROUND_FLIPS);
         let mut failing: HashMap<(u32, BitAddr), bool> = HashMap::new();

@@ -15,8 +15,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use parbor_dram::RowBits;
-use parbor_hal::{RoundExecutor, RoundPlan, TestPort};
+use parbor_hal::{RoundArena, RoundExecutor, RoundPlan, TestPort};
 use parbor_obs::metrics;
 use parbor_obs::{span, RecorderHandle};
 
@@ -124,8 +123,18 @@ impl NeighborRecursion {
     ) -> Result<RecursionOutcome, ParborError> {
         let width = port.geometry().cols_per_row as usize;
         let mut state = RecursionState::start(&self.config, width, victims)?;
+        let lookup = RecursionState::victim_lookup(victims);
+        let arena = RoundArena::new();
         while !state.is_done() {
-            state.step(&self.config, &self.rec, port, victims, usize::MAX)?;
+            state.step(
+                &self.config,
+                &self.rec,
+                port,
+                victims,
+                &lookup,
+                &arena,
+                usize::MAX,
+            )?;
         }
         Ok(state.outcome())
     }
@@ -303,13 +312,26 @@ impl RecursionState {
         }
     }
 
-    /// Materializes the row images of one round from its victim regions.
+    /// The flip-attribution index: row-space key → position in the victim
+    /// slice. A pure function of the victim list, so callers build it once
+    /// per stage and reuse it across every [`step`](RecursionState::step).
+    pub fn victim_lookup(victims: &[Victim]) -> HashMap<VictimKey, usize> {
+        victims
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.key(), i))
+            .collect()
+    }
+
+    /// Materializes the row images of one round from its victim regions,
+    /// drawing backing buffers from the arena pool.
     fn build_round(
         plan: &LevelPlan,
         level: usize,
         width: usize,
         victims: &[Victim],
         regions: &[Option<usize>],
+        arena: &RoundArena,
     ) -> RoundPlan {
         let mut round = RoundPlan::new();
         for (i, v) in victims.iter().enumerate() {
@@ -317,11 +339,7 @@ impl RecursionState {
             let (lo, hi) = plan
                 .region_range(region, level)
                 .expect("region index validated during geometry");
-            let mut data = if v.fail_value {
-                RowBits::ones(width)
-            } else {
-                RowBits::zeros(width)
-            };
+            let mut data = arena.row(width, v.fail_value);
             data.set_range(lo, hi, !v.fail_value);
             data.set(v.col as usize, v.fail_value);
             round.write(v.unit, v.row, data);
@@ -344,12 +362,15 @@ impl RecursionState {
     /// * [`ParborError::NoDistances`] if every distance was filtered as
     ///   noise at the completed level (the state is dead afterwards).
     /// * Device errors from the port.
+    #[allow(clippy::too_many_arguments)]
     pub fn step<P: TestPort + ?Sized>(
         &mut self,
         config: &RecursionConfig,
         rec: &RecorderHandle,
         port: &mut P,
         victims: &[Victim],
+        lookup: &HashMap<VictimKey, usize>,
+        arena: &RoundArena,
         budget: usize,
     ) -> Result<usize, ParborError> {
         if self.done {
@@ -363,18 +384,14 @@ impl RecursionState {
         let geometry = self.level_geometry(&plan, victims);
         let rounds_at_level = geometry.round_regions.len();
 
-        let mut lookup: HashMap<VictimKey, usize> = HashMap::new();
-        for (i, v) in victims.iter().enumerate() {
-            lookup.insert(v.key(), i);
-        }
-
         let end = self.next_round.saturating_add(budget).min(rounds_at_level);
         let plans: Vec<RoundPlan> = geometry.round_regions[self.next_round..end]
             .iter()
-            .map(|regions| Self::build_round(&plan, level, width, victims, regions))
+            .map(|regions| Self::build_round(&plan, level, width, victims, regions, arena))
             .collect();
         let mut exec = RoundExecutor::new(port)
             .with_recorder(rec.clone())
+            .with_arena(arena.clone())
             .count_rounds_as(metrics::recursion::TESTS);
         for (flips, regions) in exec
             .run_batch(plans)?

@@ -34,7 +34,7 @@ use std::collections::{BTreeMap, HashMap};
 use serde::{Deserialize, Serialize};
 
 use parbor_dram::{BitAddr, RowId};
-use parbor_hal::{RoundExecutor, TestPort};
+use parbor_hal::{RoundArena, RoundExecutor, RoundPlan, TestPort};
 use parbor_obs::metrics;
 use parbor_obs::RecorderHandle;
 
@@ -42,7 +42,7 @@ use crate::chipwide::{ChipwideOutcome, ChipwideTest};
 use crate::error::ParborError;
 use crate::pipeline::{ParborConfig, ParborReport};
 use crate::recursion::{RecursionOutcome, RecursionState};
-use crate::victim::{Victim, VictimScout};
+use crate::victim::{Victim, VictimKey, VictimScout};
 
 /// Address of one cell across the whole port: unit (chip) plus bit address.
 ///
@@ -124,19 +124,20 @@ impl DiscoverState {
         rec: &RecorderHandle,
         port: &mut P,
         rows: &[RowId],
+        arena: &RoundArena,
         budget: usize,
     ) -> Result<usize, ParborError> {
         let width = port.geometry().cols_per_row as usize;
         let units = port.units();
-        let plans = scout.round_plans(units, rows, width);
-        let end = self.next_round.saturating_add(budget).min(plans.len());
-        let batch: Vec<_> = plans
-            .into_iter()
-            .skip(self.next_round)
-            .take(end - self.next_round)
+        let end = self.next_round.saturating_add(budget).min(scout.rounds());
+        // Only the rounds actually executed this step are materialized —
+        // the already-run prefix is never rebuilt on resume.
+        let batch: Vec<RoundPlan> = (self.next_round..end)
+            .map(|i| scout.round_plan_in(i, units, rows, width, arena))
             .collect();
         let mut exec = RoundExecutor::new(port)
             .with_recorder(rec.clone())
+            .with_arena(arena.clone())
             .count_rounds_as(metrics::discover::ROUNDS)
             .observe_flips_as(metrics::discover::ROUND_FLIPS);
         for flips in exec.run_batch(batch)? {
@@ -177,19 +178,20 @@ impl ChipwideState {
         rec: &RecorderHandle,
         port: &mut P,
         rows: &[RowId],
+        arena: &RoundArena,
         budget: usize,
     ) -> Result<usize, ParborError> {
         let width = port.geometry().cols_per_row as usize;
         let units = port.units();
-        let plans = test.round_plans(units, rows, width);
-        let end = self.next_round.saturating_add(budget).min(plans.len());
-        let batch: Vec<_> = plans
-            .into_iter()
-            .skip(self.next_round)
-            .take(end - self.next_round)
+        let end = self.next_round.saturating_add(budget).min(test.rounds());
+        // Only the rounds actually executed this step are materialized —
+        // the already-run prefix is never rebuilt on resume.
+        let batch: Vec<RoundPlan> = (self.next_round..end)
+            .map(|i| test.round_plan_in(i, units, rows, width, arena))
             .collect();
         let mut exec = RoundExecutor::new(port)
             .with_recorder(rec.clone())
+            .with_arena(arena.clone())
             .count_rounds_as(metrics::chipwide::ROUNDS)
             .observe_flips_as(metrics::chipwide::ROUND_FLIPS);
         for flips in exec.run_batch(batch)? {
@@ -378,6 +380,12 @@ impl ScanState {
 pub struct ScanMachine {
     state: ScanState,
     rec: RecorderHandle,
+    /// Buffer pool shared across every stage and the port for the machine's
+    /// whole lifetime — a pure performance device, never checkpointed.
+    arena: RoundArena,
+    /// Cached flip-attribution index of the recursion stage's victims,
+    /// rebuilt lazily after construction or resume.
+    lookup: Option<HashMap<VictimKey, usize>>,
 }
 
 impl ScanMachine {
@@ -386,6 +394,8 @@ impl ScanMachine {
         ScanMachine {
             state: ScanState::new(config),
             rec: RecorderHandle::null(),
+            arena: RoundArena::new(),
+            lookup: None,
         }
     }
 
@@ -399,6 +409,8 @@ impl ScanMachine {
         ScanMachine {
             state,
             rec: RecorderHandle::null(),
+            arena: RoundArena::new(),
+            lookup: None,
         }
     }
 
@@ -465,7 +477,7 @@ impl ScanMachine {
             StageState::Discover { state } => {
                 let scout = VictimScout::new(self.state.config.discovery_seed)
                     .with_recorder(self.rec.clone());
-                let executed = state.step(&scout, &self.rec, port, &rows, budget)?;
+                let executed = state.step(&scout, &self.rec, port, &rows, &self.arena, budget)?;
                 if state.is_done(&scout) {
                     let victims = scout.finish(
                         state
@@ -493,11 +505,16 @@ impl ScanMachine {
                 selected,
                 state,
             } => {
+                let lookup = self
+                    .lookup
+                    .get_or_insert_with(|| RecursionState::victim_lookup(selected));
                 let executed = state.step(
                     &self.state.config.recursion,
                     &self.rec,
                     port,
                     selected,
+                    lookup,
+                    &self.arena,
                     budget,
                 )?;
                 if state.is_done() {
@@ -520,7 +537,7 @@ impl ScanMachine {
                 let width = port.geometry().cols_per_row as usize;
                 let test =
                     ChipwideTest::new(&recursion.distances, width)?.with_recorder(self.rec.clone());
-                let executed = state.step(&test, &self.rec, port, &rows, budget)?;
+                let executed = state.step(&test, &self.rec, port, &rows, &self.arena, budget)?;
                 let total = test.rounds();
                 if state.next_round >= total {
                     let chipwide = std::mem::take(state).into_outcome();

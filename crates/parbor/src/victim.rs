@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use parbor_dram::{BitAddr, PatternSet, RowId};
-use parbor_hal::{RoundExecutor, RoundPlan, TestPort};
+use parbor_hal::{RoundArena, RoundExecutor, RoundPlan, TestPort};
 use parbor_obs::metrics;
 use parbor_obs::RecorderHandle;
 
@@ -160,19 +160,32 @@ impl VictimScout {
     /// ([`ScanMachine`](crate::ScanMachine)) re-derives it on resume and
     /// runs the remaining suffix.
     pub fn round_plans(&self, units: u32, rows: &[RowId], width: usize) -> Vec<RoundPlan> {
-        let mut plans = Vec::with_capacity(self.rounds());
-        for pattern in self.patterns.patterns() {
-            for invert in [false, true] {
-                plans.push(RoundPlan::broadcast(units, rows, |row| {
-                    if invert {
-                        pattern.inverse().row_bits(row.row, width)
-                    } else {
-                        pattern.row_bits(row.row, width)
-                    }
-                }));
+        let arena = RoundArena::new();
+        (0..self.rounds())
+            .map(|i| self.round_plan_in(i, units, rows, width, &arena))
+            .collect()
+    }
+
+    /// Builds round `index` of [`round_plans`](VictimScout::round_plans)
+    /// alone, drawing row images from the arena pool — a checkpointed scan
+    /// resumes mid-batch without materializing the prefix it already ran.
+    pub fn round_plan_in(
+        &self,
+        index: usize,
+        units: u32,
+        rows: &[RowId],
+        width: usize,
+        arena: &RoundArena,
+    ) -> RoundPlan {
+        let pattern = &self.patterns.patterns()[index / 2];
+        let invert = index % 2 == 1;
+        RoundPlan::broadcast_in(units, rows, arena, |row| {
+            if invert {
+                pattern.inverse().row_bits_in(row.row, width, arena)
+            } else {
+                pattern.row_bits_in(row.row, width, arena)
             }
-        }
-        plans
+        })
     }
 
     /// Turns the accumulated per-cell observations — (fail count, value
@@ -217,10 +230,16 @@ impl VictimScout {
 
         // The scout's rounds are all fixed up front and mutually
         // independent, so they go to the port as one batch — a multi-chip
-        // module runs them chip-parallel across the whole batch.
-        let plans = self.round_plans(units, rows, width);
+        // module runs them chip-parallel across the whole batch. The arena
+        // is shared with the port, so replaced row images come back as the
+        // next rounds' backing buffers.
+        let arena = RoundArena::new();
+        let plans: Vec<RoundPlan> = (0..self.rounds())
+            .map(|i| self.round_plan_in(i, units, rows, width, &arena))
+            .collect();
         let mut exec = RoundExecutor::new(port)
             .with_recorder(self.rec.clone())
+            .with_arena(arena)
             .count_rounds_as(metrics::discover::ROUNDS)
             .observe_flips_as(metrics::discover::ROUND_FLIPS);
 

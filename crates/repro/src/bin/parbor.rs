@@ -12,8 +12,9 @@
 //!
 //! `--parallel auto|always|never` and `--kernel stencil|reference` apply to
 //! every device-building subcommand. `detect` and `fleet run`/`fleet resume`
-//! additionally accept `--backend sim|replay:<path>`, `--record <path>`, and
-//! `--inject rate=<p>,seed=<s>` to swap or decorate the test-port backend.
+//! additionally accept `--backend sim|replay:<path>`, `--record <path>`,
+//! `--record-format json|binary`, and `--inject rate=<p>,seed=<s>` to swap
+//! or decorate the test-port backend.
 //! Every subcommand defaults to the simulated devices; see the fig*/table*
 //! binaries for the exact paper reproductions.
 
@@ -29,7 +30,7 @@ use parbor_dram::{
 use parbor_fleet::{Fleet, FleetConfig, ProfileStore, ScanJob};
 use parbor_hal::{
     FaultInjectingPort, InjectionConfig, KernelMode, ParallelMode, RecordingPort, ReplayPort,
-    TestPort,
+    TestPort, TranscriptFormat,
 };
 use parbor_memsim::{Density, RefreshPolicyKind, Simulation, SystemConfig};
 use parbor_obs::{
@@ -115,6 +116,13 @@ impl Args {
         }
     }
 
+    fn record_format(&self) -> Result<TranscriptFormat, String> {
+        match self.flags.get("record-format") {
+            None => Ok(TranscriptFormat::default()),
+            Some(v) => v.parse().map_err(|e: parbor_dram::DramError| e.to_string()),
+        }
+    }
+
     fn inject(&self) -> Result<Option<InjectionConfig>, String> {
         match self.flags.get("inject") {
             None => Ok(None),
@@ -130,7 +138,7 @@ enum Backend {
     /// The deterministic DRAM simulator (the default).
     Sim,
     /// A recorded transcript — a file for `detect`, a directory of
-    /// `<job>.jsonl` transcripts for `fleet`.
+    /// `<job>.jsonl`/`<job>.pbt` transcripts for `fleet`.
     Replay(PathBuf),
 }
 
@@ -160,7 +168,10 @@ fn build_port(args: &Args, default_chips: u64) -> Result<Box<dyn TestPort>, Stri
         port = Box::new(FaultInjectingPort::new(port, config));
     }
     if let Some(path) = args.flags.get("record") {
-        port = Box::new(RecordingPort::create(port, path).map_err(|e| e.to_string())?);
+        port = Box::new(
+            RecordingPort::create_with_format(port, path, args.record_format()?)
+                .map_err(|e| e.to_string())?,
+        );
     }
     Ok(port)
 }
@@ -439,12 +450,15 @@ fn fleet_print_report(report: &parbor_fleet::FleetReport, store_dir: &std::path:
 
 /// Builds the per-job port factory for `fleet run`/`fleet resume` when any
 /// backend flag is present; `None` keeps the orchestrator's built-in
-/// simulator factory. Transcripts live at `<dir>/<job-name>.jsonl` for both
-/// `--record` and `--backend replay:<dir>`.
+/// simulator factory. Transcripts live at `<dir>/<job-name>.jsonl` (JSON) or
+/// `<dir>/<job-name>.pbt` (binary, per `--record-format`) for `--record`;
+/// `--backend replay:<dir>` accepts either extension and auto-detects the
+/// encoding from the file itself.
 fn fleet_port_factory(args: &Args) -> Result<Option<parbor_fleet::PortFactory>, String> {
     let backend = args.backend()?;
     let inject = args.inject()?;
     let record = args.flags.get("record").map(PathBuf::from);
+    let format = args.record_format()?;
     if matches!(backend, Backend::Sim) && inject.is_none() && record.is_none() {
         return Ok(None);
     }
@@ -456,16 +470,25 @@ fn fleet_port_factory(args: &Args) -> Result<Option<parbor_fleet::PortFactory>, 
         let mut port: Box<dyn TestPort> = match &backend {
             Backend::Sim => Box::new(job.module.build()?),
             Backend::Replay(dir) => {
-                Box::new(ReplayPort::open(dir.join(format!("{}.jsonl", job.name)))?)
+                // Whichever extension the recording run used; the replay
+                // port sniffs the actual encoding either way.
+                let json = dir.join(format!("{}.jsonl", job.name));
+                let path = if json.exists() {
+                    json
+                } else {
+                    dir.join(format!("{}.pbt", job.name))
+                };
+                Box::new(ReplayPort::open(path)?)
             }
         };
         if let Some(config) = inject {
             port = Box::new(FaultInjectingPort::new(port, config));
         }
         if let Some(dir) = &record {
-            port = Box::new(RecordingPort::create(
+            port = Box::new(RecordingPort::create_with_format(
                 port,
-                dir.join(format!("{}.jsonl", job.name)),
+                dir.join(format!("{}.{}", job.name, format.extension())),
+                format,
             )?);
         }
         Ok(port)
@@ -649,6 +672,9 @@ backend flags (detect, fleet run/resume):
                                              directory of <job>.jsonl files)
               --record PATH                  record a transcript while running
                                              (detect: file, fleet: directory)
+              --record-format json|binary    transcript encoding for --record;
+                                             json is grep-able, binary is
+                                             compact (replay detects either)
               --inject rate=P,seed=S[,intermittent=Q]
                                              decorate the port with seeded
                                              random + intermittent bit flips

@@ -463,7 +463,7 @@ mod hal_transcripts {
     use parbor_core::{FailureProfile, ScanMachine};
     use parbor_dram::{ChipGeometry, ModuleSpec};
     use parbor_fleet::{Fleet, FleetConfig, ScanJob};
-    use parbor_hal::{RecordingPort, ReplayPort, TestPort};
+    use parbor_hal::{RecordingPort, ReplayPort, TestPort, TranscriptFormat};
     use std::path::{Path, PathBuf};
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -530,6 +530,48 @@ mod hal_transcripts {
             let replayed = scan(&mut replay);
             std::fs::remove_file(&path).ok();
             prop_assert_eq!(&replayed, &bare);
+        }
+
+        #[test]
+        fn json_and_binary_transcripts_replay_byte_identical(
+            vendor_idx in 0usize..3,
+            seed in 1u64..5000,
+        ) {
+            // The same run captured in both on-disk formats must replay to
+            // profiles whose *serialized bytes* are identical — the fleet
+            // store persists those bytes, so byte equality is the contract.
+            let vendor = Vendor::ALL[vendor_idx];
+            let json_path = temp_path("fmt-json");
+            let bin_path = temp_path("fmt-bin");
+            let mut serialized = Vec::new();
+            for (format, path) in [
+                (TranscriptFormat::Json, &json_path),
+                (TranscriptFormat::Binary, &bin_path),
+            ] {
+                let mut recording = RecordingPort::create_with_format(
+                    spec(vendor, seed).build().unwrap(),
+                    path,
+                    format,
+                )
+                .unwrap();
+                let recorded = scan(&mut recording);
+                recording.finish().unwrap();
+
+                let mut replay = ReplayPort::open(path).unwrap();
+                prop_assert_eq!(replay.format(), format);
+                let replayed = scan(&mut replay);
+                prop_assert_eq!(&replayed, &recorded);
+                serialized.push(serde_json::to_string(&replayed).unwrap());
+            }
+            let json_bytes = std::fs::metadata(&json_path).unwrap().len();
+            let bin_bytes = std::fs::metadata(&bin_path).unwrap().len();
+            std::fs::remove_file(&json_path).ok();
+            std::fs::remove_file(&bin_path).ok();
+            prop_assert_eq!(&serialized[0], &serialized[1]);
+            prop_assert!(
+                bin_bytes < json_bytes,
+                "binary transcript ({bin_bytes} B) should undercut JSON ({json_bytes} B)"
+            );
         }
 
         #[test]
