@@ -750,6 +750,17 @@ impl DramChip {
         self.fault_maps.get(&row).expect("just built")
     }
 
+    /// Compiles a fresh [`CouplingStencil`] for a row, bypassing the chip's
+    /// caches. Pure in `(seed, row, scrambler, rates, retention,
+    /// theta_shift)` and `&self`, so snapshot builders (`parbor-serve`) can
+    /// compile stencils for many rows without mutating the chip — and the
+    /// result is bit-identical to the stencil the chip itself would serve
+    /// from its cache for the same row at current conditions.
+    pub fn compile_stencil(&self, row: RowId) -> CouplingStencil {
+        let map = RowFaultMap::build(self.seed, row, &*self.lut, &self.rates, &self.retention);
+        CouplingStencil::compile(&map, self.theta_shift)
+    }
+
     /// Ground-truth oracle: every data-dependent cell of a row with its
     /// class at current conditions. For validation and coverage accounting
     /// only — PARBOR itself never calls this.

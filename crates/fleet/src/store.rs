@@ -209,6 +209,23 @@ impl ProfileStore {
         })
     }
 
+    /// Reads every stored profile, sorted by module name. The snapshot
+    /// read path for `parbor-serve`: a daemon loads the whole store once
+    /// at startup and compiles it into an immutable in-memory snapshot.
+    /// Salvage semantics per module match [`get`](ProfileStore::get).
+    ///
+    /// # Errors
+    ///
+    /// Any error [`get`](ProfileStore::get) can return, on the first
+    /// failing module.
+    pub fn load_all(&self) -> Result<Vec<(String, StoredProfile)>, FleetError> {
+        let mut out = Vec::with_capacity(self.index.segments.len());
+        for name in self.index.segments.keys() {
+            out.push((name.clone(), self.get(name)?));
+        }
+        Ok(out)
+    }
+
     /// Re-hashes every segment against the index: `(module, intact)` pairs,
     /// sorted by module name. Missing files count as not intact.
     ///

@@ -165,6 +165,22 @@ impl RoundArena {
         }
     }
 
+    /// Seeds the index pool with `count` empty buffers of `capacity`
+    /// elements each, without touching the hit/miss/recycle counters.
+    ///
+    /// Long-running consumers (`parbor-serve` workers) prewarm their pool
+    /// before taking traffic so the steady-state hit rate reflects reuse,
+    /// not a cold-start transient. Capacity must be non-zero (capacity-0
+    /// buffers are never pooled); requests beyond the internal pool cap
+    /// are silently capped.
+    pub fn prewarm_indices(&self, count: usize, capacity: usize) {
+        assert!(capacity > 0, "prewarm capacity must be non-zero");
+        let mut pool = lock(&self.inner.indices);
+        while pool.len() < MAX_POOLED.min(count) {
+            pool.push(Vec::with_capacity(capacity));
+        }
+    }
+
     /// Buffer requests served from the pool (allocations avoided).
     pub fn hits(&self) -> u64 {
         self.inner.hits.load(Ordering::Relaxed)
@@ -242,6 +258,23 @@ mod tests {
         let _row = stage_side.zeros(128);
         assert_eq!(stage_side.hits(), 1);
         assert_eq!(arena.hits(), 1);
+    }
+
+    #[test]
+    fn prewarm_seeds_the_index_pool_without_counting() {
+        let arena = RoundArena::new();
+        arena.prewarm_indices(3, 16);
+        assert_eq!(arena.counters(), (0, 0, 0));
+        let a = arena.indices();
+        let b = arena.indices();
+        let c = arena.indices();
+        assert!(a.capacity() >= 16 && b.capacity() >= 16 && c.capacity() >= 16);
+        assert_eq!((arena.hits(), arena.misses()), (3, 0));
+        // Idempotent: prewarming a non-empty pool only tops it up.
+        arena.recycle_indices(a);
+        arena.prewarm_indices(2, 16);
+        assert!(arena.indices().capacity() >= 16);
+        assert!(arena.indices().capacity() >= 16);
     }
 
     #[test]

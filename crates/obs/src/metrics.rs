@@ -167,6 +167,48 @@ pub mod fleet {
     pub const CAMPAIGN_SPAN: &str = "fleet.campaign";
 }
 
+/// Names recorded by the `parbor-serve` profile-query service.
+///
+/// Workers count locally on the hot path (no recorder call per request)
+/// and flush these once at shutdown, so a saturated server costs the
+/// recorder a handful of calls per run, not one per query.
+pub mod serve {
+    /// Counter: requests answered (all types, across workers).
+    pub const ANSWERED: &str = "serve.answered";
+    /// Counter: worker-arena index buffers served from the pool. The
+    /// hit/(hit+miss) ratio is the zero-allocation assertion in CI.
+    pub const ARENA_HITS: &str = "serve.arena_hits";
+    /// Counter: worker-arena index buffers that allocated fresh.
+    pub const ARENA_MISSES: &str = "serve.arena_misses";
+    /// Counter: worker-arena index buffers returned to the pool.
+    pub const ARENA_RECYCLED: &str = "serve.arena_recycled";
+    /// Counter: `ContentCheck` requests answered.
+    pub const CONTENT_CHECKS: &str = "serve.content_checks";
+    /// Counter: requests rejected at a full worker queue (accounted
+    /// drops; offered = answered + dropped + still-queued).
+    pub const DROPPED: &str = "serve.dropped";
+    /// Counter: content checks whose row content matched a worst-case
+    /// coupling pattern (at least one failing lane).
+    pub const HOT_ROWS: &str = "serve.hot_rows";
+    /// Gauge: p50 request latency in nanoseconds (merged workers).
+    pub const LATENCY_P50_NS: &str = "serve.latency_p50_ns";
+    /// Gauge: p99.9 request latency in nanoseconds (merged workers).
+    pub const LATENCY_P999_NS: &str = "serve.latency_p999_ns";
+    /// Gauge: p99 request latency in nanoseconds (merged workers).
+    pub const LATENCY_P99_NS: &str = "serve.latency_p99_ns";
+    /// Counter: `RescanQuery` requests answered.
+    pub const RESCAN_QUERIES: &str = "serve.rescan_queries";
+    /// Counter: responses dropped because the client vanished without
+    /// draining its reply ring (zero under the documented in-flight cap).
+    pub const RESP_DROPPED: &str = "serve.resp_dropped";
+    /// Span: one server lifetime from first worker spawn to drain.
+    pub const RUN: &str = "serve.run";
+    /// Counter: `StoreStats` requests answered.
+    pub const STORE_STATS: &str = "serve.store_stats";
+    /// Gauge: workers serving at shutdown.
+    pub const WORKERS: &str = "serve.workers";
+}
+
 /// Every registered name, in ASCII order (checked by a test) so
 /// [`is_registered`] can binary-search and the slice doubles as
 /// documentation.
@@ -224,6 +266,21 @@ pub const ALL: &[&str] = &[
     recursion::LEVEL,
     recursion::TESTS,
     recursion::VICTIMS_DISCARDED,
+    serve::ANSWERED,
+    serve::ARENA_HITS,
+    serve::ARENA_MISSES,
+    serve::ARENA_RECYCLED,
+    serve::CONTENT_CHECKS,
+    serve::DROPPED,
+    serve::HOT_ROWS,
+    serve::LATENCY_P50_NS,
+    serve::LATENCY_P999_NS,
+    serve::LATENCY_P99_NS,
+    serve::RESCAN_QUERIES,
+    serve::RESP_DROPPED,
+    serve::RUN,
+    serve::STORE_STATS,
+    serve::WORKERS,
 ];
 
 /// Whether `name` is a registered metric or span name.
@@ -257,7 +314,7 @@ mod tests {
             assert!(!subsystem.is_empty() && !noun.is_empty(), "bad name {name}");
             assert!(
                 name.chars()
-                    .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
                 "bad characters in {name}"
             );
         }

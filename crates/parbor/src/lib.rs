@@ -56,6 +56,7 @@ mod recursion;
 mod region;
 mod report;
 mod scan;
+mod snapshot;
 mod victim;
 
 pub use aggregate::{DistanceHistogram, RankedDistances};
@@ -78,4 +79,5 @@ pub use scan::{
     CellKey, ChipwideState, DiscoverState, FailingCell, FailureProfile, ScanMachine, ScanState,
     SeenCell, StageState,
 };
+pub use snapshot::StencilSnapshot;
 pub use victim::{Victim, VictimKey, VictimScout, VictimSet};

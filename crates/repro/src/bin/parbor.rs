@@ -7,6 +7,8 @@
 //! parbor profile [--vendor A|B|C] [--seed N] [--rows N] [--base-interval S]
 //! parbor dcref   [--cycles N] [--mixes N] [--density 8|16|32]
 //! parbor fleet   <run|resume|status|show|top> [--dir D] [--flag value]...
+//! parbor serve   [--store D] [--workers N] [--engine inline|threads]
+//!                [--mode open|closed] [--rate R] [--inflight N] [--seconds S]
 //! parbor obs     report [--trace F] [--out F]
 //! ```
 //!
@@ -495,6 +497,43 @@ fn fleet_port_factory(args: &Args) -> Result<Option<parbor_fleet::PortFactory>, 
     })))
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let setup = parbor_repro::servecli::setup(&args.flags)?;
+    println!(
+        "serve: {} module(s), {} compiled stencil(s), {} worker(s)",
+        setup.snapshot.module_count(),
+        setup.snapshot.stencil_count(),
+        setup.config.workers,
+    );
+    let recorder = ShardedRecorder::handle();
+    let report = parbor_serve::run(
+        setup.snapshot,
+        &setup.config,
+        setup.engine,
+        &setup.load,
+        RecorderHandle::from(recorder.clone()),
+    );
+    print!("{}", parbor_repro::servecli::summary(&report));
+    if let Some(path) = args.flags.get("status-out") {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            }
+        }
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(path, json + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        println!("status written   : {path}");
+    }
+    if !report.clean_shutdown {
+        return Err(format!(
+            "{} accepted request(s) never produced a reply",
+            report.unexplained_drops
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_fleet(argv: &[String]) -> Result<(), String> {
     let Some(sub) = argv.first() else {
         return Err("fleet needs a subcommand: run, resume, status, show, or top".into());
@@ -642,12 +681,23 @@ fn cmd_fleet(argv: &[String]) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: parbor <detect|census|compare|profile|dcref|fleet|obs> [--flag value]...
+    "usage: parbor <detect|census|compare|profile|dcref|serve|fleet|obs> [--flag value]...
   detect   run the full PARBOR pipeline on a simulated module
   census   device-side cell-class census (ground truth)
   compare  PARBOR vs equal-budget random-pattern testing
   profile  RAIDR-style retention-interval ladder
   dcref    refresh-policy performance comparison
+  serve    thread-per-core profile-query service under synthetic load:
+             serve [--vendors A,B,C] [--modules N] [--chips N] [--rows N]
+                   [--cols N] [--seed N] [--store DIR] [--workers N]
+                   [--queue-capacity N] [--engine inline|threads]
+                   [--mode open|closed] [--rate R] [--inflight N]
+                   [--seconds S] [--rescan-every N] [--stats-every N]
+                   [--measure-latency true|false] [--status-out FILE]
+             --store points at a fleet store (e.g. results/fleet/store) to
+             serve only profiled rows; without it every row is compiled
+             (ground truth). Prints a grep-stable `serve OK:` verdict and
+             optionally writes the full JSON report to --status-out.
   fleet    sharded scan campaigns with checkpoint/resume:
              fleet run    --dir D [--vendors A,B,C] [--modules N] [--chips N]
                           [--rows N] [--cols N] [--seed N] [--workers N]
@@ -708,6 +758,7 @@ fn main() -> ExitCode {
                 "compare" => cmd_compare(&args),
                 "profile" => cmd_profile(&args),
                 "dcref" => cmd_dcref(&args),
+                "serve" => cmd_serve(&args),
                 other => Err(format!("unknown command {other}")),
             },
         }

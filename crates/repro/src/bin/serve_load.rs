@@ -1,0 +1,87 @@
+//! # serve_load — standalone load generator for the profile-query service
+//!
+//! Drives `parbor-serve` with the same flag schema as `parbor serve` (see
+//! `parbor_repro::servecli`), prints the grep-stable two-line summary, and
+//! writes the full JSON [`LoadReport`](parbor_serve::LoadReport) to `--out`
+//! (default `results/serve_load.json`).
+//!
+//! ```text
+//! serve_load [--vendors A,B] [--modules N] [--rows N] [--cols N]
+//!            [--store DIR] [--workers N] [--engine inline|threads]
+//!            [--mode open|closed] [--rate R] [--inflight N] [--seconds S]
+//!            [--out FILE]
+//! ```
+//!
+//! Exit status is non-zero if any accepted request vanished without a reply
+//! (`unexplained_drops > 0`), so CI can gate on the ledger balancing.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use parbor_obs::{RecorderHandle, ShardedRecorder};
+
+fn parse_flags(argv: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument {arg} (expected --flag value)"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("--{name} needs a value"));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn run(flags: &HashMap<String, String>) -> Result<bool, String> {
+    let setup = parbor_repro::servecli::setup(flags)?;
+    eprintln!(
+        "serve_load: {} module(s), {} stencil(s), {} worker(s), {:?} engine",
+        setup.snapshot.module_count(),
+        setup.snapshot.stencil_count(),
+        setup.config.workers,
+        setup.engine,
+    );
+    let recorder = ShardedRecorder::handle();
+    let report = parbor_serve::run(
+        setup.snapshot,
+        &setup.config,
+        setup.engine,
+        &setup.load,
+        RecorderHandle::from(recorder.clone()),
+    );
+    print!("{}", parbor_repro::servecli::summary(&report));
+    let out = flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("results/serve_load.json");
+    if let Some(parent) = std::path::Path::new(out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+    }
+    let mut json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    json.push('\n');
+    std::fs::write(out, json).map_err(|e| e.to_string())?;
+    println!("report written   : {out}");
+    Ok(report.clean_shutdown)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_flags(&argv).and_then(|flags| run(&flags)) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("serve_load: ledger imbalance — accepted requests vanished");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("serve_load: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

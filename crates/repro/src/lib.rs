@@ -16,6 +16,8 @@ use parbor_dram::{BitAddr, ChipGeometry, DramError, DramModule, ModuleConfig, Mo
 use parbor_obs::metrics;
 use parbor_obs::{InMemoryRecorder, Recorder, RecorderHandle, SpanId};
 
+pub mod servecli;
+
 /// A failing bit observed through a module test port: (chip, address).
 pub type FailBit = (u32, BitAddr);
 

@@ -378,6 +378,115 @@ fn obs_report_prints_stage_table_and_writes_folded_stacks() {
 }
 
 #[test]
+fn help_documents_the_serve_subcommand() {
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("serve"), "{text}");
+    assert!(text.contains("--engine inline|threads"), "{text}");
+    assert!(text.contains("--mode open|closed"), "{text}");
+}
+
+#[test]
+fn serve_closed_loop_balances_the_ledger_and_writes_status() {
+    let cwd = scratch_cwd("serve-closed");
+    let out = run_in(
+        &cwd,
+        &[
+            "serve",
+            "--rows",
+            "8",
+            "--cols",
+            "1024",
+            "--seconds",
+            "0.05",
+            "--status-out",
+            "results/serve_status.json",
+        ],
+    );
+    assert!(out.status.success(), "serve failed: {out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("serve OK:"), "{text}");
+    assert!(text.contains("unexplained=0"), "{text}");
+    let status =
+        fs::read_to_string(cwd.join("results/serve_status.json")).expect("status JSON written");
+    assert!(status.contains("\"clean_shutdown\": true"), "{status}");
+    assert!(status.contains("\"per_worker\""), "{status}");
+    fs::remove_dir_all(&cwd).ok();
+}
+
+#[test]
+fn serve_from_fleet_store_restricts_to_profiled_rows() {
+    let cwd = scratch_cwd("serve-store");
+    let dir = cwd.join("fleet").display().to_string();
+    let ran = run_in(
+        &cwd,
+        &[
+            "fleet",
+            "run",
+            "--dir",
+            &dir,
+            "--vendors",
+            "A",
+            "--modules",
+            "1",
+            "--rows",
+            "32",
+            "--cols",
+            "1024",
+            "--workers",
+            "1",
+        ],
+    );
+    assert!(ran.status.success(), "fleet run failed: {ran:?}");
+
+    let store = format!("{dir}/store");
+    // 1024 columns keeps the fault population sparse enough that some rows
+    // have no failing cell — the profiled scope must shrink below the
+    // ground-truth row count.
+    let common = &[
+        "--vendors",
+        "A",
+        "--modules",
+        "1",
+        "--rows",
+        "32",
+        "--cols",
+        "1024",
+        "--seconds",
+        "0.05",
+    ][..];
+    let stencils = |out: &Output| -> u64 {
+        stdout(out)
+            .lines()
+            .find(|l| l.starts_with("serve:"))
+            .and_then(|l| l.split_whitespace().nth(3))
+            .and_then(|n| n.parse().ok())
+            .expect("serve header with stencil count")
+    };
+
+    let mut args = vec!["serve"];
+    args.extend_from_slice(common);
+    let ground_truth = run_in(&cwd, &args);
+    assert!(ground_truth.status.success(), "{ground_truth:?}");
+    assert_eq!(
+        stencils(&ground_truth),
+        32,
+        "ground truth compiles every row"
+    );
+
+    args.extend_from_slice(&["--store", &store]);
+    let profiled = run_in(&cwd, &args);
+    assert!(profiled.status.success(), "{profiled:?}");
+    assert!(stdout(&profiled).contains("serve OK:"), "{profiled:?}");
+    assert!(
+        stencils(&profiled) < 32,
+        "store-backed scope must track fewer rows than ground truth"
+    );
+    fs::remove_dir_all(&cwd).ok();
+}
+
+#[test]
 fn fleet_top_once_renders_the_status_surface() {
     let cwd = scratch_cwd("fleet-top");
     let dir = cwd.join("fleet").display().to_string();

@@ -1,0 +1,52 @@
+//! `parbor-serve`: a thread-per-core profile-query service answering
+//! DC-REF content checks at memory-system rates.
+//!
+//! PARBOR's detection pipeline (scans, profiles, the fleet store) is
+//! batch work; its *payoff* is online — DC-REF must ask "is this row's
+//! current content a worst-case coupling pattern?" on the live access
+//! path, millions of times per second. This crate is that serving layer:
+//!
+//! - **Typed schema** ([`Request`]/[`Response`]): `ContentCheck` (the hot
+//!   path), `RescanQuery` (scan scheduling), `StoreStats` (telemetry).
+//! - **Shard-by-module routing**: worker `m % workers` owns module `m`'s
+//!   compiled stencils; nothing on the hot path crosses cores or takes a
+//!   contended lock.
+//! - **Bounded SPSC queues** ([`SpscRing`]) with explicit drop
+//!   accounting: a full ring rejects the request and the rejection is
+//!   counted — backpressure without blocking and without unbounded
+//!   memory.
+//! - **Immutable snapshots** ([`ServeSnapshot`]): all stencil
+//!   compilation and scrambler-LUT construction happens before the first
+//!   request; the hot path is one table lookup plus one word-parallel
+//!   [`CouplingStencil`] evaluation into an arena-pooled buffer — zero
+//!   per-request allocation, asserted by the arena hit-rate counter.
+//! - **Load generation** ([`run`] + [`LoadConfig`]): open-loop Poisson
+//!   arrivals with coordinated-omission-correct latency, and a
+//!   closed-loop saturation
+//!   mode; both report through the PR 6 log-linear histograms as
+//!   p50/p99/p999.
+//!
+//! Two engines: [`Server`] spawns one thread per worker (the daemon
+//! shape); [`InlineServer`] lets one thread pump the workers directly —
+//! on a 1-core host that is the honest measurement configuration, since
+//! timesharing injector and worker threads on one core buries
+//! microsecond latencies in scheduler quanta.
+//!
+//! [`CouplingStencil`]: parbor_dram::CouplingStencil
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod loadgen;
+mod queue;
+mod request;
+mod server;
+mod snapshot;
+mod worker;
+
+pub use loadgen::{run, Engine, LoadConfig, LoadMode, LoadReport};
+pub use queue::SpscRing;
+pub use request::{Envelope, Reply, Request, Response};
+pub use server::{Connection, InlineServer, SendOutcome, ServeConfig, ServeReport, Server};
+pub use snapshot::{ServeSnapshot, Target};
+pub use worker::WorkerStats;

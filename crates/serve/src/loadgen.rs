@@ -1,0 +1,602 @@
+//! Synthetic load generation: open-loop Poisson arrivals and closed-loop
+//! saturation, over either server engine.
+//!
+//! The open-loop generator models independent callers: arrivals follow a
+//! Poisson process at a target rate, each request's latency is measured
+//! from its *scheduled* arrival, and a backed-up server keeps receiving
+//! arrivals it must drop — so reported percentiles are
+//! coordinated-omission-correct and drops are part of the result, not an
+//! error. The closed-loop generator keeps a fixed number of requests in
+//! flight and measures how fast the server can drain them — the
+//! saturation throughput that sizes the open-loop experiments.
+//!
+//! Determinism: all content images and target choices come from a seeded
+//! xorshift generator, so two runs at the same seed issue the same
+//! request sequence (timing, of course, is the host's).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parbor_dram::RowBits;
+use parbor_obs::RecorderHandle;
+use serde::{Deserialize, Serialize};
+
+use crate::server::{Connection, InlineServer, SendOutcome, ServeConfig, ServeReport, Server};
+use crate::snapshot::{ServeSnapshot, Target};
+use crate::{Reply, Request, Response};
+
+/// How long the drain phase may take before undelivered requests are
+/// reported as unexplained (they would indicate lost work — a bug).
+const DRAIN_LIMIT: Duration = Duration::from_secs(5);
+
+/// Which server engine carries the load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Single thread pumping the workers in-line — the honest 1-core
+    /// measurement configuration (see [`InlineServer`]).
+    Inline,
+    /// Spawned worker threads plus one client thread per worker — the
+    /// daemon shape, and the multi-core scaling configuration.
+    Threads,
+}
+
+impl Engine {
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Inline => "inline",
+            Engine::Threads => "threads",
+        }
+    }
+}
+
+/// Arrival discipline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Poisson arrivals at `rate_per_s`, latency measured from the
+    /// schedule.
+    Open {
+        /// Target offered rate, requests per second.
+        rate_per_s: f64,
+    },
+    /// A fixed number of requests kept in flight (saturation).
+    Closed {
+        /// In-flight target (clamped to the queue capacity).
+        inflight: usize,
+    },
+}
+
+impl LoadMode {
+    fn name(self) -> &'static str {
+        match self {
+            LoadMode::Open { .. } => "open",
+            LoadMode::Closed { .. } => "closed",
+        }
+    }
+}
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Arrival discipline.
+    pub mode: LoadMode,
+    /// Send window in seconds (drain time comes on top).
+    pub seconds: f64,
+    /// Seed for targets, content images, and arrival jitter.
+    pub seed: u64,
+    /// Every `n`th request is a `RescanQuery` (`0` = never).
+    pub rescan_every: u64,
+    /// Every `n`th request is a `StoreStats` probe (`0` = never).
+    pub stats_every: u64,
+    /// Whether workers record per-request latency (skip for pure
+    /// saturation throughput runs).
+    pub measure_latency: bool,
+    /// Distinct prebuilt content images per row width.
+    pub images: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            mode: LoadMode::Closed { inflight: 256 },
+            seconds: 1.0,
+            seed: 1,
+            rescan_every: 0,
+            stats_every: 0,
+            measure_latency: false,
+            images: 8,
+        }
+    }
+}
+
+/// The load generator's result: client-side accounting, throughput,
+/// latency percentiles, and the server's own merged report.
+///
+/// The drop ledger must balance: `offered = accepted + dropped + busy`,
+/// and after the drain every accepted request has an answer
+/// (`unexplained_drops == 0`, `clean_shutdown == true`). Anything else
+/// is lost work.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Engine name (`inline` or `threads`).
+    pub engine: String,
+    /// Mode name (`open` or `closed`).
+    pub mode: String,
+    /// Open-loop target rate (`0` for closed runs).
+    pub rate_per_s: f64,
+    /// Closed-loop in-flight target (`0` for open runs).
+    pub inflight: u64,
+    /// Wall-clock seconds of the send window.
+    pub window_s: f64,
+    /// Wall-clock seconds including the drain.
+    pub elapsed_s: f64,
+    /// Requests the generator tried to send.
+    pub offered: u64,
+    /// Requests accepted into a request ring.
+    pub accepted: u64,
+    /// Replies received by the generator.
+    pub answered: u64,
+    /// Requests rejected at full request rings (accounted drops).
+    pub dropped: u64,
+    /// Sends rejected client-side at the in-flight cap (backpressure).
+    pub busy: u64,
+    /// Content checks whose answer was hot.
+    pub hot: u64,
+    /// `dropped / offered` (`0` when nothing was offered).
+    pub drop_rate: f64,
+    /// Content-check answers per second over the send window.
+    pub checks_per_s: f64,
+    /// p50 latency, microseconds (from the server's histogram).
+    pub p50_us: f64,
+    /// p99 latency, microseconds.
+    pub p99_us: f64,
+    /// p99.9 latency, microseconds.
+    pub p999_us: f64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Accepted requests that never produced a reply (must be `0`).
+    pub unexplained_drops: u64,
+    /// Whether the drain completed with nothing unexplained.
+    pub clean_shutdown: bool,
+    /// The server's merged end-of-run report.
+    pub serve: ServeReport,
+}
+
+/// Runs a load experiment: starts a server on `engine`, drives it per
+/// `load`, drains, shuts down, and reports.
+pub fn run(
+    snapshot: ServeSnapshot,
+    cfg: &ServeConfig,
+    engine: Engine,
+    load: &LoadConfig,
+    rec: RecorderHandle,
+) -> LoadReport {
+    match engine {
+        Engine::Inline => run_inline(snapshot, cfg, load, rec),
+        Engine::Threads => run_threaded(snapshot, cfg, load, rec),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic traffic synthesis.
+
+/// xorshift64 — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponential with mean 1 (scale by `1/rate` for inter-arrivals).
+    fn exp(&mut self) -> f64 {
+        let u = self.f64().min(1.0 - 1e-12);
+        -(1.0 - u).ln()
+    }
+}
+
+/// Request synthesis state: the target population, prebuilt content
+/// images per row width, and the request-type rotation.
+struct Traffic {
+    /// Targets paired with their image-group index (one group per
+    /// distinct row width).
+    targets: Vec<(Target, u32)>,
+    groups: Vec<Vec<Arc<RowBits>>>,
+    rng: Rng,
+    rescan_every: u64,
+    stats_every: u64,
+    workers: usize,
+    seq: u64,
+}
+
+impl Traffic {
+    /// Builds traffic over `snapshot`'s tracked rows; `only_worker`
+    /// restricts targets to one shard (per-client traffic in threaded
+    /// runs).
+    fn new(
+        snapshot: &ServeSnapshot,
+        load: &LoadConfig,
+        workers: usize,
+        only_worker: Option<usize>,
+    ) -> Traffic {
+        let mut rng = Rng::new(load.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut groups: Vec<Vec<Arc<RowBits>>> = Vec::new();
+        let mut group_of: BTreeMap<usize, u32> = BTreeMap::new();
+        let mut targets = Vec::new();
+        for t in snapshot.targets() {
+            if only_worker.is_some_and(|w| t.module as usize % workers != w) {
+                continue;
+            }
+            let len = snapshot.module(t.module).map_or(0, |m| m.row_len());
+            if len == 0 {
+                continue;
+            }
+            let group = *group_of.entry(len).or_insert_with(|| {
+                let count = load.images.max(1);
+                groups.push(
+                    (0..count)
+                        .map(|_| Arc::new(RowBits::from_fn(len, |_| rng.next() & 1 == 1)))
+                        .collect(),
+                );
+                (groups.len() - 1) as u32
+            });
+            targets.push((t, group));
+        }
+        Traffic {
+            targets,
+            groups,
+            rng,
+            rescan_every: load.rescan_every,
+            stats_every: load.stats_every,
+            workers,
+            seq: 0,
+        }
+    }
+
+    /// Sends the next request in the deterministic sequence.
+    fn send_next(&mut self, conn: &mut Connection, due: Option<Instant>) -> SendOutcome {
+        self.seq += 1;
+        let seq = self.seq;
+        if self.rescan_every > 0 && seq.is_multiple_of(self.rescan_every) {
+            let worker = (seq / self.rescan_every) as usize % self.workers;
+            return conn.send_to(worker, Request::RescanQuery, due);
+        }
+        if self.stats_every > 0 && seq.is_multiple_of(self.stats_every) {
+            let worker = (seq / self.stats_every) as usize % self.workers;
+            return conn.send_to(worker, Request::StoreStats, due);
+        }
+        if self.targets.is_empty() {
+            // Nothing to content-check (empty snapshot): probe instead.
+            return conn.send_to(seq as usize % self.workers, Request::StoreStats, due);
+        }
+        let (t, group) = self.targets[(self.rng.next() % self.targets.len() as u64) as usize];
+        let imgs = &self.groups[group as usize];
+        let img = &imgs[(self.rng.next() % imgs.len() as u64) as usize];
+        conn.send_content_check(t.module, t.unit, t.row, img, due)
+    }
+}
+
+/// Client-side ledger.
+#[derive(Debug, Default, Clone, Copy)]
+struct Counts {
+    offered: u64,
+    accepted: u64,
+    answered: u64,
+    dropped: u64,
+    busy: u64,
+    hot: u64,
+    content_answers: u64,
+}
+
+impl Counts {
+    fn note_send(&mut self, outcome: SendOutcome) {
+        self.offered += 1;
+        match outcome {
+            SendOutcome::Sent => self.accepted += 1,
+            SendOutcome::Dropped => self.dropped += 1,
+            SendOutcome::Busy => self.busy += 1,
+        }
+    }
+
+    fn absorb(&mut self, conn: &Connection, reply: Reply) {
+        self.answered += 1;
+        if let Response::ContentCheck { hot, .. } = &reply.response {
+            self.content_answers += 1;
+            if *hot {
+                self.hot += 1;
+            }
+        }
+        conn.recycle(reply);
+    }
+
+    fn add(&mut self, other: &Counts) {
+        self.offered += other.offered;
+        self.accepted += other.accepted;
+        self.answered += other.answered;
+        self.dropped += other.dropped;
+        self.busy += other.busy;
+        self.hot += other.hot;
+        self.content_answers += other.content_answers;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Inline engine.
+
+fn run_inline(
+    snapshot: ServeSnapshot,
+    cfg: &ServeConfig,
+    load: &LoadConfig,
+    rec: RecorderHandle,
+) -> LoadReport {
+    let mut srv = InlineServer::start(snapshot, cfg.clone(), rec);
+    let mut traffic = Traffic::new(srv.snapshot(), load, srv.workers(), None);
+    let mut conn = srv.connect();
+    let mut counts = Counts::default();
+    let start = Instant::now();
+    let dur = Duration::from_secs_f64(load.seconds);
+    let window_checks: u64;
+    let window_s: f64;
+
+    match load.mode {
+        LoadMode::Open { rate_per_s } => {
+            let rate = rate_per_s.max(1.0);
+            let mut sched = traffic.rng.exp() / rate;
+            loop {
+                let now = start.elapsed();
+                if now >= dur {
+                    break;
+                }
+                let now_s = now.as_secs_f64();
+                while sched <= now_s {
+                    let due = load
+                        .measure_latency
+                        .then(|| start + Duration::from_secs_f64(sched));
+                    let outcome = traffic.send_next(&mut conn, due);
+                    counts.note_send(outcome);
+                    sched += traffic.rng.exp() / rate;
+                }
+                srv.pump();
+                while let Some(reply) = conn.try_recv() {
+                    counts.absorb(&conn, reply);
+                }
+            }
+            window_checks = counts.content_answers;
+            window_s = start.elapsed().as_secs_f64();
+        }
+        LoadMode::Closed { inflight } => {
+            let cap = cfg.workers.max(1) * cfg.queue_capacity;
+            let inflight = inflight.clamp(1, cap);
+            loop {
+                if start.elapsed() >= dur {
+                    break;
+                }
+                while conn.outstanding() < inflight {
+                    let due = load.measure_latency.then(Instant::now);
+                    let outcome = traffic.send_next(&mut conn, due);
+                    counts.note_send(outcome);
+                    if outcome != SendOutcome::Sent {
+                        break;
+                    }
+                }
+                srv.pump();
+                while let Some(reply) = conn.try_recv() {
+                    counts.absorb(&conn, reply);
+                }
+            }
+            window_checks = counts.content_answers;
+            window_s = start.elapsed().as_secs_f64();
+        }
+    }
+
+    // Drain: every accepted request must produce a reply.
+    let drain_deadline = Instant::now() + DRAIN_LIMIT;
+    while counts.answered < counts.accepted && Instant::now() < drain_deadline {
+        srv.pump();
+        while let Some(reply) = conn.try_recv() {
+            counts.absorb(&conn, reply);
+        }
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let serve = srv.shutdown();
+    drop(conn);
+    finish_report(
+        Engine::Inline,
+        load,
+        counts,
+        window_checks,
+        window_s,
+        elapsed_s,
+        serve,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Threaded engine.
+
+fn run_threaded(
+    snapshot: ServeSnapshot,
+    cfg: &ServeConfig,
+    load: &LoadConfig,
+    rec: RecorderHandle,
+) -> LoadReport {
+    let srv = Server::start(snapshot, cfg.clone(), rec);
+    let workers = srv.workers();
+    let start = Instant::now();
+    let mut counts = Counts::default();
+    let mut window_checks = 0u64;
+    let mut window_s: f64 = 0.0;
+    std::thread::scope(|s| {
+        let srv = &srv;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut conn = srv.connect();
+                    let mut traffic = Traffic::new(srv.snapshot(), load, workers, Some(w));
+                    client_loop(&mut conn, &mut traffic, load, workers, w)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (c, checks, secs) = h.join().expect("load client panicked");
+            counts.add(&c);
+            window_checks += checks;
+            window_s = window_s.max(secs);
+        }
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let serve = srv.shutdown();
+    finish_report(
+        Engine::Threads,
+        load,
+        counts,
+        window_checks,
+        window_s,
+        elapsed_s,
+        serve,
+    )
+}
+
+/// One client thread's send/receive loop (threaded engine).
+fn client_loop(
+    conn: &mut Connection,
+    traffic: &mut Traffic,
+    load: &LoadConfig,
+    workers: usize,
+    _worker: usize,
+) -> (Counts, u64, f64) {
+    let mut counts = Counts::default();
+    let start = Instant::now();
+    let dur = Duration::from_secs_f64(load.seconds);
+    match load.mode {
+        LoadMode::Open { rate_per_s } => {
+            // Each client carries an equal share of the offered rate.
+            let rate = (rate_per_s / workers as f64).max(1.0);
+            let mut sched = traffic.rng.exp() / rate;
+            loop {
+                let now = start.elapsed();
+                if now >= dur {
+                    break;
+                }
+                let now_s = now.as_secs_f64();
+                while sched <= now_s {
+                    let due = load
+                        .measure_latency
+                        .then(|| start + Duration::from_secs_f64(sched));
+                    let outcome = traffic.send_next(conn, due);
+                    counts.note_send(outcome);
+                    sched += traffic.rng.exp() / rate;
+                }
+                let mut got = 0;
+                while let Some(reply) = conn.try_recv() {
+                    counts.absorb(conn, reply);
+                    got += 1;
+                }
+                if got == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        LoadMode::Closed { inflight } => {
+            let inflight = (inflight / workers.max(1)).max(1);
+            loop {
+                if start.elapsed() >= dur {
+                    break;
+                }
+                while conn.outstanding() < inflight {
+                    let due = load.measure_latency.then(Instant::now);
+                    let outcome = traffic.send_next(conn, due);
+                    counts.note_send(outcome);
+                    if outcome != SendOutcome::Sent {
+                        break;
+                    }
+                }
+                let mut got = 0;
+                while let Some(reply) = conn.try_recv() {
+                    counts.absorb(conn, reply);
+                    got += 1;
+                }
+                if got == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    let window_checks = counts.content_answers;
+    let window_s = start.elapsed().as_secs_f64();
+    // Drain this client's outstanding requests.
+    let drain_deadline = Instant::now() + DRAIN_LIMIT;
+    while counts.answered < counts.accepted && Instant::now() < drain_deadline {
+        match conn.try_recv() {
+            Some(reply) => counts.absorb(conn, reply),
+            None => std::thread::yield_now(),
+        }
+    }
+    (counts, window_checks, window_s)
+}
+
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn finish_report(
+    engine: Engine,
+    load: &LoadConfig,
+    counts: Counts,
+    window_checks: u64,
+    window_s: f64,
+    elapsed_s: f64,
+    serve: ServeReport,
+) -> LoadReport {
+    let (rate_per_s, inflight) = match load.mode {
+        LoadMode::Open { rate_per_s } => (rate_per_s, 0),
+        LoadMode::Closed { inflight } => (0.0, inflight as u64),
+    };
+    let unexplained = counts.accepted.saturating_sub(counts.answered);
+    let checks_per_s = if window_s > 0.0 {
+        window_checks as f64 / window_s
+    } else {
+        0.0
+    };
+    let drop_rate = if counts.offered > 0 {
+        counts.dropped as f64 / counts.offered as f64
+    } else {
+        0.0
+    };
+    LoadReport {
+        engine: engine.name().to_string(),
+        mode: load.mode.name().to_string(),
+        rate_per_s,
+        inflight,
+        window_s,
+        elapsed_s,
+        offered: counts.offered,
+        accepted: counts.accepted,
+        answered: counts.answered,
+        dropped: counts.dropped,
+        busy: counts.busy,
+        hot: counts.hot,
+        drop_rate,
+        checks_per_s,
+        p50_us: serve.latency.p50() as f64 / 1e3,
+        p99_us: serve.latency.p99() as f64 / 1e3,
+        p999_us: serve.latency.p999() as f64 / 1e3,
+        mean_us: serve.latency.mean() / 1e3,
+        unexplained_drops: unexplained,
+        clean_shutdown: unexplained == 0,
+        serve,
+    }
+}

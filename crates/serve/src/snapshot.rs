@@ -1,0 +1,152 @@
+//! The fleet-wide serving snapshot: every module's compiled stencils,
+//! frozen and shareable.
+//!
+//! A [`ServeSnapshot`] is built once at daemon startup — from module
+//! specs alone (ground-truth scope) or from specs plus the fleet's
+//! [`ProfileStore`] (production scope, stencils only for profiled rows) —
+//! then shared immutably by every worker. Workers never lock it: routing
+//! is `module % workers`, so each worker answers for a disjoint set of
+//! modules and the snapshot itself is read-only.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parbor_core::StencilSnapshot;
+use parbor_dram::{DramModule, RowId};
+use parbor_fleet::{FleetError, ProfileStore};
+
+/// One tracked `(module, unit, row)` coordinate — the load generator's
+/// target population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Target {
+    /// Module index in the snapshot.
+    pub module: u32,
+    /// Chip (unit) index within the module.
+    pub unit: u32,
+    /// Row address.
+    pub row: RowId,
+}
+
+/// The immutable set of per-module [`StencilSnapshot`]s a server serves
+/// from. See the module docs for the two build scopes.
+#[derive(Debug, Clone)]
+pub struct ServeSnapshot {
+    modules: Vec<Arc<StencilSnapshot>>,
+    names: BTreeMap<String, u32>,
+    /// Whether each module was compiled from a stored profile (`false`
+    /// means ground-truth scope or missing from the store — either way
+    /// the module is flagged for rescan).
+    profiled: Vec<bool>,
+}
+
+impl ServeSnapshot {
+    /// Ground-truth scope: compiles stencils for **every row** of every
+    /// module. Used by benchmarks and bit-identity tests; keep geometries
+    /// modest.
+    pub fn compile(modules: &[DramModule]) -> ServeSnapshot {
+        Self::assemble(
+            modules
+                .iter()
+                .map(|m| (StencilSnapshot::compile(m), false))
+                .collect(),
+        )
+    }
+
+    /// Production scope: for each module with a profile in `store`,
+    /// compiles stencils only for the profiled rows; modules missing
+    /// from the store get an empty (untracked, rescan-flagged) entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store read errors ([`ProfileStore::get`]).
+    pub fn compile_with_store(
+        modules: &[DramModule],
+        store: &ProfileStore,
+    ) -> Result<ServeSnapshot, FleetError> {
+        let mut entries = Vec::with_capacity(modules.len());
+        for module in modules {
+            let name = module.name();
+            if store.contains(&name) {
+                let stored = store.get(&name)?;
+                entries.push((
+                    StencilSnapshot::compile_filtered(module, &stored.profile),
+                    true,
+                ));
+            } else {
+                // No profile: track nothing, flag for rescan.
+                let empty = parbor_core::FailureProfile {
+                    victim_count: 0,
+                    discovery_rounds: 0,
+                    tests_per_level: Vec::new(),
+                    recursion_tests: 0,
+                    distances: Vec::new(),
+                    chipwide_rounds: 0,
+                    failures: Vec::new(),
+                };
+                entries.push((StencilSnapshot::compile_filtered(module, &empty), false));
+            }
+        }
+        Ok(Self::assemble(entries))
+    }
+
+    fn assemble(entries: Vec<(StencilSnapshot, bool)>) -> ServeSnapshot {
+        let mut modules = Vec::with_capacity(entries.len());
+        let mut names = BTreeMap::new();
+        let mut profiled = Vec::with_capacity(entries.len());
+        for (idx, (snap, has_profile)) in entries.into_iter().enumerate() {
+            names.insert(snap.name().to_string(), idx as u32);
+            modules.push(Arc::new(snap));
+            profiled.push(has_profile);
+        }
+        ServeSnapshot {
+            modules,
+            names,
+            profiled,
+        }
+    }
+
+    /// Number of modules served.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Total compiled stencils across modules.
+    pub fn stencil_count(&self) -> usize {
+        self.modules.iter().map(|m| m.stencil_count()).sum()
+    }
+
+    /// The module index serving `name`, if present.
+    pub fn module_id(&self, name: &str) -> Option<u32> {
+        self.names.get(name).copied()
+    }
+
+    /// The compiled snapshot of module `id`.
+    pub fn module(&self, id: u32) -> Option<&Arc<StencilSnapshot>> {
+        self.modules.get(id as usize)
+    }
+
+    /// Whether module `id` was compiled from a stored profile.
+    pub fn profiled(&self, id: u32) -> bool {
+        self.profiled.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// Module names in index order.
+    pub fn names(&self) -> Vec<&str> {
+        self.modules.iter().map(|m| m.name()).collect()
+    }
+
+    /// Every tracked `(module, unit, row)` coordinate.
+    pub fn targets(&self) -> Vec<Target> {
+        let mut out = Vec::new();
+        for (idx, module) in self.modules.iter().enumerate() {
+            for (unit, row) in module.tracked_rows() {
+                out.push(Target {
+                    module: idx as u32,
+                    unit,
+                    row,
+                });
+            }
+        }
+        out
+    }
+}

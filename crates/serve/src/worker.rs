@@ -1,0 +1,328 @@
+//! The per-core worker: owns its shard's modules, drains its request
+//! rings, and answers with zero hot-path allocation.
+//!
+//! Sharding is `module % workers`: each worker is the only thread that
+//! ever serves (or counts hot checks for) its modules, so the hot path
+//! takes no locks beyond the always-uncontended SPSC slot mutexes. All
+//! accounting — request counts, hot rows, the latency histogram, arena
+//! counters — is worker-local and merged once at shutdown; a saturated
+//! worker costs the shared recorder nothing per request.
+//!
+//! Connections arrive out-of-band: the server parks new channels in the
+//! worker's [`Inbox`] and flips a dirty flag; the worker re-syncs its
+//! channel list only when the flag is set, so registration never touches
+//! the steady-state path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use parbor_hal::RoundArena;
+use parbor_obs::hist::HdrHistogram;
+use parbor_obs::HistogramSnapshot;
+use serde::{Deserialize, Serialize};
+
+use crate::queue::SpscRing;
+use crate::request::{Envelope, Reply, Request, Response};
+use crate::server::ServeConfig;
+use crate::snapshot::ServeSnapshot;
+
+/// One client↔worker channel pair: a bounded request ring and a bounded
+/// reply ring, plus the channel's drop accounting.
+#[derive(Debug)]
+pub(crate) struct Channel {
+    /// Client → worker requests.
+    pub req: SpscRing<Envelope>,
+    /// Worker → client replies.
+    pub resp: SpscRing<Reply>,
+    /// Requests rejected at a full `req` ring (counted by the client at
+    /// the send site — the explicit drop ledger).
+    pub dropped: AtomicU64,
+    /// Set when the client disconnects; the worker stops retrying reply
+    /// pushes and discards instead.
+    pub closed: AtomicBool,
+}
+
+impl Channel {
+    pub(crate) fn new(capacity: usize) -> Channel {
+        Channel {
+            req: SpscRing::new(capacity),
+            // The reply ring holds twice the request ring. The client's
+            // in-flight cap equals *reply* capacity, so worker reply
+            // pushes always fit — while the request ring can still
+            // genuinely overflow under open-loop overload, keeping the
+            // accounted-drop path reachable instead of shadowed by the
+            // client-side `Busy` cap.
+            resp: SpscRing::new(capacity.saturating_mul(2).max(2)),
+            dropped: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A worker's registration mailbox: the server parks freshly connected
+/// channels here; the worker adopts them at its next poll.
+#[derive(Debug, Default)]
+pub(crate) struct Inbox {
+    pub dirty: AtomicBool,
+    pub pending: Mutex<Vec<Arc<Channel>>>,
+}
+
+/// A worker's merged counters and latency histogram — the payload of
+/// [`Response::Stats`] and the per-worker section of the final report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// Worker index (shard id).
+    pub worker: usize,
+    /// Requests answered, all types.
+    pub answered: u64,
+    /// `ContentCheck` requests answered.
+    pub content_checks: u64,
+    /// `RescanQuery` requests answered.
+    pub rescan_queries: u64,
+    /// `StoreStats` requests answered.
+    pub store_stats: u64,
+    /// Content checks that matched a worst-case pattern.
+    pub hot_rows: u64,
+    /// Requests rejected at this worker's full request rings.
+    pub dropped: u64,
+    /// Replies discarded because the client vanished mid-flight.
+    pub resp_dropped: u64,
+    /// Worker-arena buffers served from the pool.
+    pub arena_hits: u64,
+    /// Worker-arena buffers that allocated fresh.
+    pub arena_misses: u64,
+    /// Worker-arena buffers returned to the pool.
+    pub arena_recycled: u64,
+    /// Request latency (nanoseconds from scheduled arrival to answer).
+    pub latency: HistogramSnapshot,
+}
+
+/// The per-core serving state. Thread-per-core mode gives each spawned
+/// worker thread one core; inline mode pumps the cores from a single
+/// thread (the 1-core measurement configuration).
+#[derive(Debug)]
+pub(crate) struct WorkerCore {
+    idx: u32,
+    workers: u32,
+    batch: usize,
+    rescan_threshold: u64,
+    snapshot: Arc<ServeSnapshot>,
+    inbox: Arc<Inbox>,
+    channels: Vec<Arc<Channel>>,
+    arena: RoundArena,
+    hist: HdrHistogram,
+    hot_counts: Vec<u64>,
+    answered: u64,
+    content_checks: u64,
+    rescan_queries: u64,
+    store_stats: u64,
+    hot_rows: u64,
+    resp_dropped: u64,
+}
+
+impl WorkerCore {
+    pub(crate) fn new(
+        idx: usize,
+        workers: usize,
+        snapshot: Arc<ServeSnapshot>,
+        inbox: Arc<Inbox>,
+        arena: RoundArena,
+        cfg: &ServeConfig,
+    ) -> WorkerCore {
+        // Seed the pool so steady-state content checks never allocate;
+        // the prewarm itself is not counted as traffic.
+        arena.prewarm_indices(cfg.prewarm, 64);
+        let hot_counts = vec![0u64; snapshot.module_count()];
+        WorkerCore {
+            idx: idx as u32,
+            workers: workers as u32,
+            batch: cfg.batch.max(1),
+            rescan_threshold: cfg.rescan_hot_threshold,
+            snapshot,
+            inbox,
+            channels: Vec::new(),
+            arena,
+            hist: HdrHistogram::new(),
+            hot_counts,
+            answered: 0,
+            content_checks: 0,
+            rescan_queries: 0,
+            store_stats: 0,
+            hot_rows: 0,
+            resp_dropped: 0,
+        }
+    }
+
+    /// Adopts any channels parked in the inbox, then serves up to `batch`
+    /// requests from each channel. Returns the number served.
+    pub(crate) fn poll(&mut self) -> usize {
+        self.sync_channels();
+        // Move the channel list out so serving can borrow `self` mutably.
+        let channels = std::mem::take(&mut self.channels);
+        let mut served = 0;
+        for ch in &channels {
+            for _ in 0..self.batch {
+                let Some(env) = ch.req.pop() else { break };
+                let reply = self.serve(env);
+                self.push_reply(ch, reply);
+                served += 1;
+            }
+        }
+        self.channels = channels;
+        served
+    }
+
+    /// Serves until every adopted ring is empty (graceful shutdown: all
+    /// accepted in-flight requests get answers before the worker exits).
+    pub(crate) fn drain(&mut self) {
+        while self.poll() > 0 {}
+    }
+
+    /// The worker's current counters and latency histogram.
+    pub(crate) fn stats(&self) -> WorkerStats {
+        let (arena_hits, arena_misses, arena_recycled) = self.arena.counters();
+        WorkerStats {
+            worker: self.idx as usize,
+            answered: self.answered,
+            content_checks: self.content_checks,
+            rescan_queries: self.rescan_queries,
+            store_stats: self.store_stats,
+            hot_rows: self.hot_rows,
+            dropped: self
+                .channels
+                .iter()
+                .map(|c| c.dropped.load(Ordering::Relaxed))
+                .sum(),
+            resp_dropped: self.resp_dropped,
+            arena_hits,
+            arena_misses,
+            arena_recycled,
+            latency: self.hist.snapshot(),
+        }
+    }
+
+    fn sync_channels(&mut self) {
+        if !self.inbox.dirty.load(Ordering::Relaxed) {
+            return;
+        }
+        if self.inbox.dirty.swap(false, Ordering::AcqRel) {
+            let mut pending = lock(&self.inbox.pending);
+            self.channels.extend(pending.drain(..));
+        }
+    }
+
+    fn serve(&mut self, env: Envelope) -> Reply {
+        let response = match env.req {
+            Request::ContentCheck {
+                module,
+                unit,
+                row,
+                content,
+            } => {
+                self.content_checks += 1;
+                let mut fails = self.arena.indices();
+                let tracked = match self.snapshot.module(module) {
+                    Some(m) => m.eval_into(unit, row, &content, &mut fails),
+                    None => {
+                        fails.clear();
+                        false
+                    }
+                };
+                let hot = !fails.is_empty();
+                if hot {
+                    self.hot_rows += 1;
+                    if let Some(c) = self.hot_counts.get_mut(module as usize) {
+                        *c += 1;
+                    }
+                }
+                Response::ContentCheck {
+                    tracked,
+                    hot,
+                    fails,
+                }
+            }
+            Request::RescanQuery => {
+                self.rescan_queries += 1;
+                let mut stale = self.arena.indices();
+                for m in 0..self.snapshot.module_count() as u32 {
+                    if m % self.workers != self.idx {
+                        continue;
+                    }
+                    let hot = self.hot_counts[m as usize];
+                    if !self.snapshot.profiled(m) || hot >= self.rescan_threshold {
+                        stale.push(m);
+                    }
+                }
+                Response::Rescan {
+                    stale_modules: stale,
+                }
+            }
+            Request::StoreStats => {
+                self.store_stats += 1;
+                Response::Stats(Box::new(self.stats()))
+            }
+        };
+        self.answered += 1;
+        let latency_ns = match env.due {
+            Some(due) => {
+                let ns = due.elapsed().as_nanos() as u64;
+                self.hist.record(ns);
+                ns
+            }
+            None => 0,
+        };
+        Reply {
+            id: env.id,
+            worker: self.idx,
+            latency_ns,
+            response,
+        }
+    }
+
+    /// Pushes a reply, spinning briefly on a full ring. The connection
+    /// caps its in-flight requests at the reply ring's capacity, so in
+    /// the normal protocol this push succeeds on the first try; the spin
+    /// and discard paths only fire for vanished or stalled clients, and
+    /// every discard is accounted.
+    fn push_reply(&mut self, ch: &Channel, reply: Reply) {
+        let mut reply = reply;
+        let mut spins = 0u32;
+        loop {
+            if ch.closed.load(Ordering::Acquire) {
+                self.discard(reply);
+                self.resp_dropped += 1;
+                return;
+            }
+            match ch.resp.try_push(reply) {
+                Ok(()) => return,
+                Err(back) => {
+                    reply = back;
+                    spins += 1;
+                    if spins > 100_000 {
+                        self.discard(reply);
+                        self.resp_dropped += 1;
+                        return;
+                    }
+                    if spins.is_multiple_of(64) {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns a discarded reply's pooled buffers to the arena.
+    fn discard(&mut self, reply: Reply) {
+        match reply.response {
+            Response::ContentCheck { fails, .. } => self.arena.recycle_indices(fails),
+            Response::Rescan { stale_modules } => self.arena.recycle_indices(stale_modules),
+            Response::Stats(_) => {}
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}

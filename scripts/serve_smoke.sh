@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Profile-query service smoke: drive the serve subcommand over both
+# engines and both load disciplines, serve from a freshly scanned fleet
+# store, and run the standalone load generator. Every run must report a
+# balanced ledger (serve OK, unexplained=0).
+# Run from the repo root after `cargo build --release`.
+set -euo pipefail
+
+BIN=target/release/parbor
+LOAD=target/release/serve_load
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+check() {
+    local label=$1
+    shift
+    local out
+    out=$("$@")
+    echo "$out" | grep -q "serve OK:" || {
+        echo "$label: missing 'serve OK:' verdict"
+        echo "$out"
+        exit 1
+    }
+    echo "$out" | grep -q "unexplained=0" || {
+        echo "$label: ledger did not balance"
+        echo "$out"
+        exit 1
+    }
+    echo "$label OK"
+}
+
+common=(--vendors A,B --modules 2 --rows 32 --cols 1024 --seconds 0.1)
+
+echo "-- inline engine, closed loop --"
+check "inline/closed" "$BIN" serve "${common[@]}" \
+    --status-out "$work/status.json"
+grep -q '"clean_shutdown": true' "$work/status.json" || {
+    echo "status JSON missing clean_shutdown"
+    exit 1
+}
+
+echo "-- threaded engine, open loop --"
+check "threads/open" "$BIN" serve "${common[@]}" \
+    --engine threads --workers 2 --mode open --rate 50000
+
+echo "-- store-backed scope from a fleet scan --"
+"$BIN" fleet run --dir "$work/fleet" "${common[@]::6}" --workers 1 >/dev/null
+check "store-backed" "$BIN" serve "${common[@]}" --store "$work/fleet/store"
+
+echo "-- standalone load generator --"
+check "serve_load" "$LOAD" "${common[@]}" --mode open --rate 50000 \
+    --out "$work/serve_load.json"
+grep -q '"clean_shutdown": true' "$work/serve_load.json" || {
+    echo "serve_load report missing clean_shutdown"
+    exit 1
+}
+
+echo "serve smoke OK: all four configurations balanced their ledgers"
