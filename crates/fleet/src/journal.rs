@@ -23,9 +23,9 @@ use serde::{Deserialize, Serialize};
 use parbor_core::ScanState;
 use parbor_obs::{metrics, RecorderHandle};
 
-use crate::hash::fnv1a64;
 use crate::job::ScanJob;
 use crate::FleetError;
+use parbor_store::fnv1a64;
 
 /// File magic: identifies a parbor-fleet WAL, version 1.
 pub const MAGIC: &[u8; 8] = b"PBFLTWA1";

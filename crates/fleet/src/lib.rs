@@ -16,9 +16,12 @@
 //!   recovery). A killed process resumes mid-scan — device rebuilt from
 //!   spec, round clock fast-forwarded — and produces a **byte-identical**
 //!   profile to an uninterrupted run.
-//! * Finished profiles land in a versioned on-disk [`ProfileStore`] (one
-//!   JSONL segment per module plus an index with content hashes) that the
-//!   DC-REF/mitigation path and the `parbor fleet` CLI read back.
+//! * Finished profiles land in the columnar, generational
+//!   [`ProfileStore`] (the `parbor-store` crate: checksummed `PBSTSEG1`
+//!   segments, a 16-way sharded index, crash-safe compaction) that the
+//!   DC-REF/mitigation path and the `parbor fleet`/`parbor store` CLIs
+//!   read back. Stores written by the old single-`index.json` JSONL
+//!   format open transparently and migrate on first compaction.
 //!
 //! Progress is observable through the `fleet.*` counters and spans named in
 //! [`parbor_obs::metrics::fleet`].
@@ -28,26 +31,26 @@
 //! ```text
 //! <root>/
 //!   journal/<job>.wal            in-flight jobs only; removed on completion
-//!   store/index.json             store version + per-segment content hashes
-//!   store/segments/<job>.jsonl   header, profile summary, one failure/line
+//!   store/manifest.json          store version, epoch, compacted generations
+//!   store/index-<shard>.json     sharded module index with content hashes
+//!   store/segments/*.pbs         columnar profile segments (L0 + generations)
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod hash;
 mod job;
 mod journal;
 mod orchestrator;
-mod store;
 
-pub use hash::{fnv1a64, format_hash};
 pub use job::ScanJob;
 pub use journal::{Journal, JournalRecord, RecoveredJournal};
 pub use orchestrator::{
     Fleet, FleetConfig, FleetReport, JobReport, JobState, JobStatus, PortFactory, CRASH_EXIT_CODE,
 };
-pub use store::{ProfileStore, SegmentMeta, StoredProfile, STORE_VERSION};
+pub use parbor_store::{
+    fnv1a64, format_hash, ProfileStore, SegmentMeta, StoreError, StoredProfile, STORE_VERSION,
+};
 
 use std::fmt;
 use std::path::PathBuf;
@@ -122,5 +125,16 @@ impl From<parbor_dram::DramError> for FleetError {
 impl From<serde_json::Error> for FleetError {
     fn from(e: serde_json::Error) -> Self {
         FleetError::Serde(e.0)
+    }
+}
+
+impl From<StoreError> for FleetError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(e) => FleetError::Io(e),
+            StoreError::Corrupt { path, detail } => FleetError::Corrupt { path, detail },
+            StoreError::Serde(msg) => FleetError::Serde(msg),
+            StoreError::InvalidConfig(msg) => FleetError::InvalidConfig(msg),
+        }
     }
 }

@@ -28,8 +28,8 @@ use parbor_obs::{metrics, span, FleetStatus, RecorderHandle};
 
 use crate::job::ScanJob;
 use crate::journal::{Journal, JournalRecord};
-use crate::store::ProfileStore;
 use crate::FleetError;
+use parbor_store::ProfileStore;
 
 /// Exit code used by the `crash_after_checkpoints` test hook, so harnesses
 /// can tell a deliberate mid-scan kill from a real failure.
@@ -429,14 +429,14 @@ impl Fleet {
         }
         let journal_dir = self.journal_dir();
         fs::create_dir_all(&journal_dir)?;
-        let store = ProfileStore::open(self.store_dir())?.with_recorder(self.rec.clone());
+        let store = ProfileStore::open_with_recorder(self.store_dir(), self.rec.clone())?;
 
         let mut reports = Vec::new();
         let mut pending = VecDeque::new();
         for job in jobs {
             let wal = journal_dir.join(format!("{}.wal", job.name));
             if store.contains(&job.name) && !wal.exists() {
-                let meta = store.meta(&job.name).expect("contains implies meta");
+                let meta = store.meta(&job.name)?.expect("contains implies meta");
                 reports.push(JobReport {
                     skipped: true,
                     profile_hash: Some(meta.hash.clone()),
@@ -550,12 +550,12 @@ impl Fleet {
     ///
     /// Store or journal I/O and corruption errors.
     pub fn status(&self) -> Result<Vec<JobStatus>, FleetError> {
-        let store = ProfileStore::open(self.store_dir())?.with_recorder(self.rec.clone());
+        let store = ProfileStore::open_with_recorder(self.store_dir(), self.rec.clone())?;
         let mut out = Vec::new();
-        for name in store.modules() {
-            let stored = store.get(name)?;
+        for name in store.modules()? {
+            let stored = store.get(&name)?;
             out.push(JobStatus {
-                name: name.to_string(),
+                name,
                 state: JobState::Done,
                 stage: "done".into(),
                 rounds: stored.profile.total_rounds() as u64,
@@ -623,7 +623,7 @@ impl Fleet {
                 // Crashed between store publication and journal removal:
                 // the profile is safe, just finish the cleanup.
                 let guard = store.lock();
-                let meta = guard.meta(&job.name).expect("store contains job");
+                let meta = guard.meta(&job.name)?.expect("store contains job");
                 let report = JobReport {
                     resumed: true,
                     skipped: true,

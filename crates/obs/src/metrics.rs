@@ -209,6 +209,39 @@ pub mod serve {
     pub const WORKERS: &str = "serve.workers";
 }
 
+/// Names recorded by the `parbor-store` columnar profile storage engine.
+pub mod store {
+    /// Counter: live records folded into streaming aggregation.
+    pub const AGG_RECORDS: &str = "store.agg_records";
+    /// Counter: segment files streamed during aggregation.
+    pub const AGG_SEGMENTS: &str = "store.agg_segments";
+    /// Span: one generational compaction end to end.
+    pub const COMPACT_SPAN: &str = "store.compact";
+    /// Counter: bytes written into compacted generations.
+    pub const COMPACT_BYTES: &str = "store.compact_bytes";
+    /// Counter: records written into compacted generations.
+    pub const COMPACT_RECORDS: &str = "store.compact_records";
+    /// Counter: compactions completed (the manifest swap landed and the
+    /// index was rewritten).
+    pub const COMPACTIONS: &str = "store.compactions";
+    /// Counter: stale files collected — retired compaction inputs, orphan
+    /// chunks from a crashed compaction, leftover temp files.
+    pub const GC_FILES: &str = "store.gc_files";
+    /// Counter: reads served from v1 JSONL segments awaiting migration.
+    pub const LEGACY_READS: &str = "store.legacy_reads";
+    /// Counter: bytes written through `put`/`stage` (magic and framing
+    /// included).
+    pub const PUT_BYTES: &str = "store.put_bytes";
+    /// Counter: profiles written through `put`/`stage`.
+    pub const PUTS: &str = "store.puts";
+    /// Counter: profile reads served (columnar and legacy).
+    pub const READS: &str = "store.reads";
+    /// Counter: recovery events — a record needed salvage, a torn manifest
+    /// was rebuilt from segments, or a crashed compaction was rolled
+    /// forward.
+    pub const RECOVERY: &str = "store.recovery";
+}
+
 /// Every registered name, in ASCII order (checked by a test) so
 /// [`is_registered`] can binary-search and the slice doubles as
 /// documentation.
@@ -281,6 +314,18 @@ pub const ALL: &[&str] = &[
     serve::RUN,
     serve::STORE_STATS,
     serve::WORKERS,
+    store::AGG_RECORDS,
+    store::AGG_SEGMENTS,
+    store::COMPACT_SPAN,
+    store::COMPACT_BYTES,
+    store::COMPACT_RECORDS,
+    store::COMPACTIONS,
+    store::GC_FILES,
+    store::LEGACY_READS,
+    store::PUT_BYTES,
+    store::PUTS,
+    store::READS,
+    store::RECOVERY,
 ];
 
 /// Whether `name` is a registered metric or span name.

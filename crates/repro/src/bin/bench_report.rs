@@ -26,7 +26,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use parbor_core::{Parbor, ParborConfig, ParborReport};
+use parbor_core::{FailingCell, FailureProfile, Parbor, ParborConfig, ParborReport};
 use parbor_dram::{
     ChipGeometry, CouplingStencil, DramModule, ModuleConfig, ModuleId, ModuleSpec, PatternKind,
     RetentionModel, RowBits, RowFaultMap, RowId, Scrambler, ScramblerLut, Vendor,
@@ -40,6 +40,7 @@ use parbor_serve::{
     Engine, InlineServer, LoadConfig, LoadMode, LoadReport, Response, SendOutcome, ServeConfig,
     ServeSnapshot,
 };
+use parbor_store::{legacy, ProfileStore};
 use serde::Serialize;
 
 const OUT: &str = "results/BENCH_pipeline.json";
@@ -295,6 +296,46 @@ struct ServeBench {
     scaling_skipped: Option<String>,
 }
 
+/// Columnar profile-store benchmark (`parbor-store`): bulk ingest of
+/// synthetic module profiles, generational compaction, cold-query latency
+/// from a fresh process image, and a JSONL-to-columnar migration identity
+/// check.
+#[derive(Debug, Serialize)]
+struct StoreBench {
+    /// Synthetic module profiles ingested (CI gate: at least 100 000).
+    store_modules: usize,
+    /// Wall-clock of the staged ingest (`stage` loop + one `flush`), ms.
+    store_ingest_ms: f64,
+    /// Ingest throughput over the staged path (CI gate).
+    store_writes_per_s: f64,
+    /// L0 segments on disk after the ingest (one per module).
+    store_l0_segments: usize,
+    /// Wall-clock of compacting every L0 into generation 1, ms.
+    store_compact_ms: f64,
+    /// Compaction throughput in input records per second (CI gate).
+    store_compact_records_per_s: f64,
+    /// Compaction throughput in output megabytes per second.
+    store_compact_mb_per_s: f64,
+    /// Sorted generation chunks the compaction produced.
+    store_gen_segments: usize,
+    /// Live segment bytes after compaction.
+    store_segment_bytes: u64,
+    /// Mean bytes per module after compaction (columnar + varint packing).
+    store_bytes_per_module: f64,
+    /// Mean cold-query latency, µs: a fresh [`ProfileStore::open`] plus one
+    /// `get`, so every sample pays the manifest read, one shard load, and
+    /// one segment frame decode (CI gate).
+    store_cold_query_us: f64,
+    /// Worst cold-query sample, µs.
+    store_cold_query_max_us: f64,
+    /// Whether the stats ledger balanced after ingest + compaction
+    /// (`live + dead + corrupt` accounts for every decoded record).
+    store_ledger_balanced: bool,
+    /// Whether a legacy JSONL store decodes to the same profiles before and
+    /// after migration through `compact` (CI gate: must be `true`).
+    migration_identical: bool,
+}
+
 /// The full benchmark document written to `results/BENCH_pipeline.json`.
 #[derive(Debug, Serialize)]
 struct BenchDoc {
@@ -311,6 +352,7 @@ struct BenchDoc {
     hal: HalBench,
     dataplane: DataplaneBench,
     serve: ServeBench,
+    store: StoreBench,
     summary: RunSummary,
 }
 
@@ -644,6 +686,142 @@ fn fleet_bench() -> Result<FleetBench, String> {
         checkpoint_overhead_pct: (checkpointed_ms / baseline_ms - 1.0) * 100.0,
         checkpoint_bytes,
         stores_identical,
+    })
+}
+
+/// A small deterministic failure profile for store benchmarking; `i` seeds
+/// an xorshift stream, so the fixture set is identical on every host.
+fn synth_profile(i: u64) -> FailureProfile {
+    let mut s = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let n_cells = 1 + (next() % 6) as usize;
+    let mut failures: Vec<FailingCell> = (0..n_cells)
+        .map(|_| FailingCell {
+            unit: (next() % 4) as u32,
+            bank: (next() % 8) as u32,
+            row: (next() % 4096) as u32,
+            col: (next() % COLS as u64) as u32,
+            value: next() % 2 == 0,
+        })
+        .collect();
+    failures.sort();
+    failures.dedup();
+    let n_dist = 1 + (next() % 3) as usize;
+    let distances: Vec<i64> = (0..n_dist).map(|_| (next() % 7) as i64 - 3).collect();
+    FailureProfile {
+        victim_count: n_cells,
+        discovery_rounds: 10,
+        tests_per_level: vec![2, 4, (next() % 16) as usize],
+        recursion_tests: (next() % 64) as usize,
+        distances,
+        chipwide_rounds: 2 + (next() % 4) as usize,
+        failures,
+    }
+}
+
+/// Benchmarks the `parbor-store` engine itself, without a fleet on top:
+/// stages `MODULES` synthetic profiles into L0 segments (one durable
+/// append each) and flushes the sharded index once, compacts everything
+/// into generation 1, then measures cold queries — each sample opens the
+/// store fresh so nothing is warm except the page cache. A separate small
+/// fixture written in the legacy single-`index.json` JSONL format is read
+/// back and compacted to prove migration changes no profile.
+fn store_bench() -> Result<StoreBench, String> {
+    const MODULES: usize = 100_000;
+    const COLD_SAMPLES: usize = 32;
+    const LEGACY_MODULES: usize = 512;
+    let scratch = std::env::temp_dir().join(format!("parbor-bench-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    let root = scratch.join("store");
+    let name_of = |i: usize| format!("{}{i:06}", ["A", "B", "C"][i % 3]);
+
+    // Bulk ingest: stage() writes each L0 segment durably but defers the
+    // index shards; one flush() settles all 16.
+    let mut store = ProfileStore::open(&root).map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    for i in 0..MODULES {
+        store
+            .stage(&name_of(i), &synth_profile(i as u64))
+            .map_err(|e| e.to_string())?;
+    }
+    store.flush().map_err(|e| e.to_string())?;
+    let ingest_ms = start.elapsed().as_secs_f64() * 1e3;
+    let before = store.stats().map_err(|e| e.to_string())?;
+
+    let start = Instant::now();
+    let report = store.compact().map_err(|e| e.to_string())?;
+    let compact_ms = start.elapsed().as_secs_f64() * 1e3;
+    if report.aborted || report.output_records != MODULES {
+        return Err(format!("store bench compaction went wrong: {report:?}"));
+    }
+    let after = store.stats().map_err(|e| e.to_string())?;
+    if !after.ledger_balanced || after.modules != MODULES {
+        return Err(format!("store bench ledger unbalanced: {after:?}"));
+    }
+    drop(store);
+
+    // Cold queries: open + get, deterministic sample spread over the name
+    // space (and therefore over index shards and generation chunks).
+    let mut cold_total_us = 0.0;
+    let mut cold_max_us: f64 = 0.0;
+    for k in 0..COLD_SAMPLES {
+        let name = name_of(k * (MODULES / COLD_SAMPLES) + k % 7);
+        let start = Instant::now();
+        let cold = ProfileStore::open(&root).map_err(|e| e.to_string())?;
+        let got = cold.get(&name).map_err(|e| e.to_string())?;
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        if !got.complete || got.recovered {
+            return Err(format!("store bench cold query degraded for {name}"));
+        }
+        cold_total_us += us;
+        cold_max_us = cold_max_us.max(us);
+    }
+
+    // Migration identity: a store written in the v1 JSONL layout must read
+    // back the same profiles through the new engine, and compacting it
+    // (which rewrites everything columnar) must change none of them.
+    let legacy_root = scratch.join("legacy");
+    let fixture: Vec<(String, FailureProfile)> = (0..LEGACY_MODULES)
+        .map(|i| (name_of(i), synth_profile(0xC0FFEE + i as u64)))
+        .collect();
+    legacy::write_legacy_store(&legacy_root, &fixture).map_err(|e| e.to_string())?;
+    let mut expected: Vec<(String, FailureProfile)> = fixture;
+    expected.sort_by(|a, b| a.0.cmp(&b.0));
+    let as_profiles = |store: &ProfileStore| -> Result<Vec<(String, FailureProfile)>, String> {
+        Ok(store
+            .load_all()
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(|(name, stored)| (name, stored.profile))
+            .collect())
+    };
+    let mut migrated = ProfileStore::open(&legacy_root).map_err(|e| e.to_string())?;
+    let mut migration_identical = as_profiles(&migrated)? == expected;
+    migrated.compact().map_err(|e| e.to_string())?;
+    migration_identical &= as_profiles(&migrated)? == expected;
+
+    std::fs::remove_dir_all(&scratch).ok();
+    let gen_segments = after.generation_segments.iter().map(|(_, n)| n).sum();
+    Ok(StoreBench {
+        store_modules: MODULES,
+        store_ingest_ms: ingest_ms,
+        store_writes_per_s: MODULES as f64 / (ingest_ms / 1e3),
+        store_l0_segments: before.l0_segments,
+        store_compact_ms: compact_ms,
+        store_compact_records_per_s: report.input_records as f64 / (compact_ms / 1e3),
+        store_compact_mb_per_s: report.output_bytes as f64 / 1e6 / (compact_ms / 1e3),
+        store_gen_segments: gen_segments,
+        store_segment_bytes: after.segment_bytes,
+        store_bytes_per_module: after.segment_bytes as f64 / MODULES as f64,
+        store_cold_query_us: cold_total_us / COLD_SAMPLES as f64,
+        store_cold_query_max_us: cold_max_us,
+        store_ledger_balanced: after.ledger_balanced,
+        migration_identical,
     })
 }
 
@@ -1197,6 +1375,7 @@ fn run() -> Result<BenchDoc, String> {
     let fleet = fleet_bench()?;
     let (hal, dataplane) = hal_bench()?;
     let serve = serve_bench(threads_available)?;
+    let store = store_bench()?;
 
     println!(
         "pipeline: {} victims, distances {:?}, {} failures, {} rounds",
@@ -1296,6 +1475,23 @@ fn run() -> Result<BenchDoc, String> {
             None => "scaling skipped (threads_available=1)".to_string(),
         },
     );
+    println!(
+        "store ({} modules): ingest {:.0} ms ({:.0} writes/s), compact {:.0} ms \
+         ({:.0} records/s, {:.1} MB/s, {} L0 -> {} gen chunks, {:.1} B/module), \
+         cold query {:.0} us mean / {:.0} us max, migration identical: {}",
+        store.store_modules,
+        store.store_ingest_ms,
+        store.store_writes_per_s,
+        store.store_compact_ms,
+        store.store_compact_records_per_s,
+        store.store_compact_mb_per_s,
+        store.store_l0_segments,
+        store.store_gen_segments,
+        store.store_bytes_per_module,
+        store.store_cold_query_us,
+        store.store_cold_query_max_us,
+        store.migration_identical,
+    );
 
     Ok(BenchDoc {
         multi_chip: MultiChipBench {
@@ -1316,6 +1512,7 @@ fn run() -> Result<BenchDoc, String> {
         hal,
         dataplane,
         serve,
+        store,
         summary: opt_summary,
     })
 }

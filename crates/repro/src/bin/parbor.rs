@@ -7,6 +7,7 @@
 //! parbor profile [--vendor A|B|C] [--seed N] [--rows N] [--base-interval S]
 //! parbor dcref   [--cycles N] [--mixes N] [--density 8|16|32]
 //! parbor fleet   <run|resume|status|show|top> [--dir D] [--flag value]...
+//! parbor store   <stats|compact|aggregate> [--dir D] [--flag value]...
 //! parbor serve   [--store D] [--workers N] [--engine inline|threads]
 //!                [--mode open|closed] [--rate R] [--inflight N] [--seconds S]
 //! parbor obs     report [--trace F] [--out F]
@@ -29,7 +30,7 @@ use parbor_dram::{
     CellCensus, Celsius, ChipGeometry, ModuleConfig, ModuleId, ModuleSpec, RetentionProfiler,
     RowId, Seconds, Vendor,
 };
-use parbor_fleet::{Fleet, FleetConfig, ProfileStore, ScanJob};
+use parbor_fleet::{Fleet, FleetConfig, ProfileStore, ScanJob, CRASH_EXIT_CODE};
 use parbor_hal::{
     FaultInjectingPort, InjectionConfig, KernelMode, ParallelMode, RecordingPort, ReplayPort,
     TestPort, TranscriptFormat,
@@ -39,6 +40,7 @@ use parbor_obs::{
     folded_stacks, trace, FleetStatus, InMemoryRecorder, Profile, RecorderHandle, RunSummary,
     ShardedRecorder, Trace,
 };
+use parbor_store::CompactPhase;
 use parbor_workloads::paper_mixes;
 
 struct Args {
@@ -680,8 +682,122 @@ fn cmd_fleet(argv: &[String]) -> Result<(), String> {
     }
 }
 
+fn cmd_store(argv: &[String]) -> Result<(), String> {
+    let Some(sub) = argv.first() else {
+        return Err("store needs a subcommand: stats, compact, or aggregate".into());
+    };
+    let args = Args::parse(&argv[1..])?;
+    let dir = args
+        .flags
+        .get("dir")
+        .cloned()
+        .unwrap_or_else(|| "results/fleet/store".to_string());
+    let recorder = InMemoryRecorder::handle();
+    let rec = RecorderHandle::from(recorder.clone());
+    match sub.as_str() {
+        "stats" => {
+            let store = ProfileStore::open_with_recorder(&dir, rec).map_err(|e| e.to_string())?;
+            let stats = store.stats().map_err(|e| e.to_string())?;
+            println!("store            : {dir}");
+            println!("modules          : {}", stats.modules);
+            println!("legacy modules   : {}", stats.legacy_modules);
+            println!("l0 segments      : {}", stats.l0_segments);
+            for (gen, chunks) in &stats.generation_segments {
+                println!("generation {gen:>2}    : {chunks} chunk file(s)");
+            }
+            println!("index shards     : {}", stats.index_shards);
+            println!("live records     : {}", stats.live_records);
+            println!("dead records     : {}", stats.dead_records);
+            println!("corrupt records  : {}", stats.corrupt_records);
+            println!("total failures   : {}", stats.total_failures);
+            println!("segment bytes    : {}", stats.segment_bytes);
+            println!(
+                "recovery events  : {}",
+                recorder.counter(parbor_obs::metrics::store::RECOVERY)
+            );
+            println!("ledger balanced  : {}", stats.ledger_balanced);
+            if !stats.ledger_balanced {
+                return Err("store ledger does not balance".into());
+            }
+            Ok(())
+        }
+        "compact" => {
+            let crash_phase = match args.flags.get("crash-after-phase").map(String::as_str) {
+                None => None,
+                Some("1") => Some(CompactPhase::Segments),
+                Some("2") => Some(CompactPhase::Manifest),
+                Some("3") => Some(CompactPhase::Cleanup),
+                Some(other) => {
+                    return Err(format!(
+                        "--crash-after-phase must be 1, 2, or 3 (got {other})"
+                    ))
+                }
+            };
+            let mut store =
+                ProfileStore::open_with_recorder(&dir, rec).map_err(|e| e.to_string())?;
+            let report = store
+                .compact_with_abort(crash_phase)
+                .map_err(|e| e.to_string())?;
+            if report.aborted {
+                // Model a hard kill mid-compaction for the recovery smoke:
+                // the on-disk state stays exactly as the crash left it.
+                eprintln!("compaction crashed after phase (simulated)");
+                std::process::exit(CRASH_EXIT_CODE);
+            }
+            println!("store            : {dir}");
+            println!(
+                "compacted        : {} record(s) from {} segment(s)",
+                report.input_records, report.input_segments
+            );
+            println!(
+                "generation {:>2}    : {} record(s) in {} chunk file(s), {} bytes",
+                report.gen, report.output_records, report.output_segments, report.output_bytes
+            );
+            if report.salvaged > 0 || report.dropped > 0 {
+                println!(
+                    "recovered        : {} salvaged, {} dropped",
+                    report.salvaged, report.dropped
+                );
+            }
+            Ok(())
+        }
+        "aggregate" => {
+            let store = ProfileStore::open_with_recorder(&dir, rec).map_err(|e| e.to_string())?;
+            let agg = store.aggregate().map_err(|e| e.to_string())?;
+            println!("store            : {dir}");
+            println!("modules          : {}", agg.modules);
+            println!("total failures   : {}", agg.total_failures);
+            println!("distinct dists   : {}", agg.distinct_distances);
+            for (distance, count) in &agg.distance_counts {
+                println!("  distance {distance:>4}  : {count} module(s)");
+            }
+            println!(
+                "failures/module  : mean {:.2}  p50 {}  p99 {}",
+                agg.failures_per_module.mean,
+                agg.failures_per_module.p50,
+                agg.failures_per_module.p99
+            );
+            for (vendor, rollup) in &agg.vendors {
+                println!(
+                    "  vendor {vendor:<6}  : {} module(s), {} failure(s), {:.2} mean",
+                    rollup.modules, rollup.failures, rollup.mean_failures
+                );
+            }
+            if let Some(path) = args.flags.get("out") {
+                let json = serde_json::to_string_pretty(&agg).map_err(|e| e.to_string())?;
+                std::fs::write(path, json + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+                println!("aggregate written: {path}");
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown store subcommand {other} (use stats, compact, or aggregate)"
+        )),
+    }
+}
+
 const USAGE: &str =
-    "usage: parbor <detect|census|compare|profile|dcref|serve|fleet|obs> [--flag value]...
+    "usage: parbor <detect|census|compare|profile|dcref|serve|fleet|store|obs> [--flag value]...
   detect   run the full PARBOR pipeline on a simulated module
   census   device-side cell-class census (ground truth)
   compare  PARBOR vs equal-budget random-pattern testing
@@ -708,6 +824,19 @@ const USAGE: &str =
              fleet top    --dir D [--once] [--interval-ms N]
                           live campaign panel from status.json; --once prints
                           a single snapshot and exits
+  store    columnar profile-store maintenance and rollups:
+             store stats     --dir D    segment/index ledger; non-zero exit
+                                        when the ledger does not balance
+             store compact   --dir D [--crash-after-phase 1|2|3]
+                                        merge L0 appends, older generations,
+                                        and legacy JSONL into one sorted
+                                        deduplicated generation; the crash
+                                        flag simulates a mid-compaction kill
+                                        (exits 42) for recovery testing
+             store aggregate --dir D [--out FILE]
+                                        streaming fleet-wide rollups: distance
+                                        histogram, per-vendor failure rates
+             --dir defaults to results/fleet/store
   obs      telemetry post-processing:
              obs report   [--trace results/trace.jsonl]
                           [--out results/profile.folded]
@@ -747,6 +876,8 @@ fn main() -> ExitCode {
     let cmd = &argv[0];
     let result = if cmd == "fleet" {
         cmd_fleet(&argv[1..])
+    } else if cmd == "store" {
+        cmd_store(&argv[1..])
     } else if cmd == "obs" {
         cmd_obs(&argv[1..])
     } else {

@@ -1,9 +1,11 @@
-//! Content hashing for journal records and store segments.
+//! Content hashing for segments, frames, and index shards.
 //!
 //! FNV-1a (64-bit) — not cryptographic, but exactly what torn-write and
 //! bit-rot *detection* needs: fast, dependency-free, and stable across
 //! platforms and processes (the store's byte-identity checks compare these
-//! hashes between independent runs).
+//! hashes between independent runs). The same function doubles as the
+//! shard router: `fnv1a64(module) % SHARD_COUNT` places every module in a
+//! stable index shard.
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;

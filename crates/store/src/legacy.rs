@@ -1,0 +1,222 @@
+//! The v1 JSONL store format, kept readable for transparent migration.
+//!
+//! Version 1 stored one JSONL segment per module (`segments/<name>.jsonl`:
+//! header line, profile summary line, one failing cell per line) under a
+//! single `index.json`. [`ProfileStore`](crate::ProfileStore) opens such a
+//! store in place: reads fall through to these parsers until the first
+//! [`compact`](crate::ProfileStore::compact) rewrites everything columnar
+//! and retires the v1 files.
+//!
+//! The writer half only exists for migration tests and the bench harness —
+//! production code has no reason to create new v1 stores.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use parbor_core::{FailingCell, FailureProfile};
+
+use crate::hash::{fnv1a64, format_hash};
+use crate::store::write_atomic;
+use crate::StoreError;
+
+/// The store format version the v1 layout recorded in `index.json`.
+pub const LEGACY_VERSION: u32 = 1;
+
+/// v1 index entry for one JSONL segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LegacyMeta {
+    /// Segment file name, relative to `segments/`.
+    pub file: String,
+    /// Content hash of the whole segment file (`fnv64:…`).
+    pub hash: String,
+    /// Number of failing cells the segment records.
+    pub failures: usize,
+    /// Segment file size in bytes.
+    pub bytes: u64,
+}
+
+/// First line of every v1 segment file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SegmentHeader {
+    segment_version: u32,
+    module: String,
+    failures: usize,
+}
+
+/// The v1 `index.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct IndexDoc {
+    version: u32,
+    segments: BTreeMap<String, LegacyMeta>,
+}
+
+/// Loads a v1 `index.json`, checking its version.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] on an unparseable or wrong-version index; I/O
+/// errors.
+pub fn load_index(path: &Path) -> Result<BTreeMap<String, LegacyMeta>, StoreError> {
+    let text = fs::read_to_string(path)?;
+    let doc: IndexDoc = serde_json::from_str(&text).map_err(|e| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        detail: format!("legacy index does not parse: {}", e.0),
+    })?;
+    if doc.version != LEGACY_VERSION {
+        return Err(StoreError::Corrupt {
+            path: path.to_path_buf(),
+            detail: format!(
+                "legacy store version {} unsupported (expected {LEGACY_VERSION})",
+                doc.version
+            ),
+        });
+    }
+    Ok(doc.segments)
+}
+
+/// Reads a v1 segment back, verifying its content hash against `meta`.
+/// Returns `(profile, complete, intact)`: on hash mismatch the valid line
+/// prefix is salvaged rather than failing the lookup.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] when even the header/summary lines are
+/// unreadable; I/O errors.
+pub fn read_segment(
+    seg_path: &Path,
+    name: &str,
+    meta: &LegacyMeta,
+) -> Result<(FailureProfile, bool, bool), StoreError> {
+    let bytes = fs::read(seg_path)?;
+    let intact = format_hash(fnv1a64(&bytes)) == meta.hash;
+    let text = String::from_utf8_lossy(&bytes);
+    let (profile, complete) = parse_segment(seg_path, name, &text, intact)?;
+    Ok((profile, complete, intact))
+}
+
+/// Renders the v1 segment body: header line, summary line, one cell per
+/// line.
+///
+/// # Errors
+///
+/// Serialization errors.
+pub fn render_segment(name: &str, profile: &FailureProfile) -> Result<String, StoreError> {
+    let header = SegmentHeader {
+        segment_version: LEGACY_VERSION,
+        module: name.to_string(),
+        failures: profile.failures.len(),
+    };
+    let summary = FailureProfile {
+        failures: Vec::new(),
+        ..profile.clone()
+    };
+    let mut body = String::new();
+    body.push_str(&serde_json::to_string(&header)?);
+    body.push('\n');
+    body.push_str(&serde_json::to_string(&summary)?);
+    body.push('\n');
+    for cell in &profile.failures {
+        body.push_str(&serde_json::to_string(cell)?);
+        body.push('\n');
+    }
+    Ok(body)
+}
+
+/// Parses a v1 segment body. With `strict` (hash verified) any malformed
+/// line is corruption; without it, cell parsing stops at the first bad
+/// line and the prefix is salvaged. Returns the profile and whether it is
+/// complete.
+fn parse_segment(
+    path: &Path,
+    name: &str,
+    text: &str,
+    strict: bool,
+) -> Result<(FailureProfile, bool), StoreError> {
+    let corrupt = |detail: String| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        detail,
+    };
+    let mut lines = text.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| corrupt("empty segment".into()))?;
+    let header: SegmentHeader = serde_json::from_str(header_line)
+        .map_err(|e| corrupt(format!("segment header does not parse: {}", e.0)))?;
+    if header.segment_version != LEGACY_VERSION {
+        return Err(corrupt(format!(
+            "segment version {} unsupported (expected {LEGACY_VERSION})",
+            header.segment_version
+        )));
+    }
+    if header.module != name {
+        return Err(corrupt(format!(
+            "segment claims module '{}' but is indexed as '{name}'",
+            header.module
+        )));
+    }
+    let summary_line = lines
+        .next()
+        .ok_or_else(|| corrupt("segment has no summary line".into()))?;
+    let mut profile: FailureProfile = serde_json::from_str(summary_line)
+        .map_err(|e| corrupt(format!("segment summary does not parse: {}", e.0)))?;
+    let mut cells: Vec<FailingCell> = Vec::new();
+    for line in lines {
+        match serde_json::from_str(line) {
+            Ok(cell) => cells.push(cell),
+            Err(e) if strict => {
+                return Err(corrupt(format!(
+                    "failing-cell line does not parse: {}",
+                    e.0
+                )))
+            }
+            Err(_) => break, // salvage: keep the valid prefix
+        }
+    }
+    if strict && cells.len() != header.failures {
+        return Err(corrupt(format!(
+            "segment promises {} failures but records {}",
+            header.failures,
+            cells.len()
+        )));
+    }
+    let complete = cells.len() == header.failures;
+    profile.failures = cells;
+    Ok((profile, complete))
+}
+
+/// Creates a complete v1 store at `root` — the fixture generator for
+/// migration tests and the bench harness's `migration_identical` gate.
+///
+/// # Errors
+///
+/// I/O and serialization errors.
+pub fn write_legacy_store(
+    root: &Path,
+    entries: &[(String, FailureProfile)],
+) -> Result<(), StoreError> {
+    fs::create_dir_all(root.join("segments"))?;
+    let mut segments = BTreeMap::new();
+    for (name, profile) in entries {
+        let body = render_segment(name, profile)?;
+        let file = format!("{name}.jsonl");
+        write_atomic(&root.join("segments").join(&file), body.as_bytes())?;
+        segments.insert(
+            name.clone(),
+            LegacyMeta {
+                file,
+                hash: format_hash(fnv1a64(body.as_bytes())),
+                failures: profile.failures.len(),
+                bytes: body.len() as u64,
+            },
+        );
+    }
+    let doc = IndexDoc {
+        version: LEGACY_VERSION,
+        segments,
+    };
+    let text = serde_json::to_string_pretty(&doc)?;
+    write_atomic(&root.join("index.json"), text.as_bytes())
+}

@@ -1,0 +1,92 @@
+//! LEB128 varints and zigzag coding for the columnar segment payloads.
+//!
+//! Same wire convention as the `PBHALTB1` binary transcripts: 7 bits per
+//! byte, low group first, high bit set on continuation bytes. Signed
+//! quantities (coupling distances, row deltas) go through zigzag first so
+//! small magnitudes of either sign stay one byte.
+
+/// Appends `v` as an LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint at `*pos`, advancing it. `None` on truncation or
+/// a shift past 64 bits (corrupt continuation run).
+pub fn get_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed value onto the unsigned varint space (0, -1, 1, -2, …).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverts [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_varint_is_none() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf[..buf.len() - 1], &mut pos), None);
+    }
+
+    #[test]
+    fn runaway_continuation_is_none() {
+        let buf = vec![0x80u8; 16];
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 8, -8, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

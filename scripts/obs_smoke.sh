@@ -25,7 +25,7 @@ fi
 echo "-- fleet top after kill --"
 top_out=$("$BIN" fleet top --dir "$work/fleet" --once)
 echo "$top_out"
-echo "$top_out" | grep -q "fleet running" \
+grep -q "fleet running" <<<"$top_out" \
     || { echo "status surface must still say running after a crash"; exit 1; }
 
 "$BIN" fleet resume --dir "$work/fleet" --workers 2 --checkpoint-every 16 >/dev/null
@@ -33,9 +33,9 @@ echo "$top_out" | grep -q "fleet running" \
 echo "-- fleet top after resume --"
 top_out=$("$BIN" fleet top --dir "$work/fleet" --once)
 echo "$top_out"
-echo "$top_out" | grep -q "fleet done" \
+grep -q "fleet done" <<<"$top_out" \
     || { echo "status surface must say done after resume"; exit 1; }
-echo "$top_out" | grep -q "3/3 jobs done" \
+grep -q "3/3 jobs done" <<<"$top_out" \
     || { echo "status surface must count all three jobs done"; exit 1; }
 
 # -- span-tree profiling from a detection trace --
@@ -45,7 +45,7 @@ report_out=$(cd "$work/detect" && "$BIN" obs report)
 echo "-- obs report --"
 echo "$report_out"
 for stage in pipeline.discover pipeline.recursion pipeline.chipwide; do
-    echo "$report_out" | grep -q "$stage" \
+    grep -q "$stage" <<<"$report_out" \
         || { echo "obs report must list $stage"; exit 1; }
 done
 grep -q "^pipeline.run;pipeline.discover " "$work/detect/results/profile.folded" \

@@ -16,12 +16,12 @@ check() {
     shift
     local out
     out=$("$@")
-    echo "$out" | grep -q "serve OK:" || {
+    grep -q "serve OK:" <<<"$out" || {
         echo "$label: missing 'serve OK:' verdict"
         echo "$out"
         exit 1
     }
-    echo "$out" | grep -q "unexplained=0" || {
+    grep -q "unexplained=0" <<<"$out" || {
         echo "$label: ledger did not balance"
         echo "$out"
         exit 1

@@ -339,15 +339,21 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Copy one UTF-8 scalar verbatim.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| Error("invalid UTF-8".into()))?;
-                    let c = s
-                        .chars()
-                        .next()
-                        .ok_or_else(|| Error("empty string".into()))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Copy the whole run up to the next quote or escape in
+                    // one go, validating only those bytes (validating from
+                    // the cursor to the end of input per character made
+                    // parsing quadratic). Multi-byte UTF-8 units are all
+                    // >= 0x80, so they can never split on '"' or '\\'.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error("invalid UTF-8".into()))?;
+                    out.push_str(s);
                 }
             }
         }

@@ -1,13 +1,15 @@
-//! The metric-name registry test: run the real pipeline and a real fleet
-//! campaign, then assert every emitted counter, gauge, histogram, and span
-//! name is declared in `parbor_obs::metrics`. A typo'd name at a recording
+//! The metric-name registry test: run the real pipeline, a real fleet
+//! campaign, and a store compact + aggregate pass, then assert every
+//! emitted counter, gauge, histogram, and span name is declared in
+//! `parbor_obs::metrics`. A typo'd name at a recording
 //! site records silently and dashboards never see it — this test turns that
 //! silence into a failure.
 
-use parbor_core::{Parbor, ParborConfig};
+use parbor_core::{FailingCell, FailureProfile, Parbor, ParborConfig};
 use parbor_dram::{ChipGeometry, DramChip, ModuleSpec, Vendor};
 use parbor_fleet::{Fleet, FleetConfig, ScanJob};
 use parbor_obs::{metrics, InMemoryRecorder, ObsSnapshot, RecorderHandle, ShardedRecorder};
+use parbor_store::ProfileStore;
 
 fn assert_all_registered(snapshot: &ObsSnapshot, context: &str) {
     let unregistered: Vec<String> = snapshot
@@ -64,6 +66,48 @@ fn every_fleet_metric_is_registered() {
     let snapshot = rec.snapshot();
     assert!(snapshot.counter(metrics::fleet::JOBS_DONE) > 0);
     assert_all_registered(&snapshot, "fleet campaign");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn every_store_metric_is_registered() {
+    let root = std::env::temp_dir().join(format!("parbor-metrics-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let rec = ShardedRecorder::handle();
+    let mut store =
+        ProfileStore::open_with_recorder(&root, RecorderHandle::from(rec.clone())).unwrap();
+    for i in 0..8u32 {
+        let profile = FailureProfile {
+            victim_count: 1,
+            discovery_rounds: 10,
+            tests_per_level: vec![2, 4],
+            recursion_tests: 6,
+            distances: vec![-8, 8],
+            chipwide_rounds: 3,
+            failures: vec![FailingCell {
+                unit: 0,
+                bank: 0,
+                row: i,
+                col: i,
+                value: true,
+            }],
+        };
+        store.put(&format!("reg{i}"), &profile).unwrap();
+    }
+    let report = store.compact().unwrap();
+    assert_eq!(report.output_records, 8);
+    let agg = store.aggregate().unwrap();
+    assert_eq!(agg.modules, 8);
+    store.get("reg0").unwrap();
+
+    let snapshot = rec.snapshot();
+    assert!(snapshot.counter(metrics::store::PUTS) > 0);
+    assert!(snapshot.counter(metrics::store::COMPACTIONS) > 0);
+    assert!(snapshot.counter(metrics::store::AGG_RECORDS) > 0);
+    assert!(snapshot.counter(metrics::store::READS) > 0);
+    assert_all_registered(&snapshot, "store compact + aggregate");
 
     std::fs::remove_dir_all(&root).ok();
 }
