@@ -8,9 +8,11 @@ use parbor_obs::RecorderHandle;
 
 use crate::cell::{marginal_fails, vrt_leaky, CellClass, FaultKind, FaultRates, RowFaultMap};
 use crate::config::{Celsius, Seconds};
+use crate::mechanism::CouplingMechanism;
 use crate::noise::NoiseModel;
 use crate::retention::RetentionModel;
 use crate::scrambler::{Scrambler, ScramblerLut};
+use parbor_hal::{unit_stack_flips, FailureMechanism};
 use parbor_hal::{BitAddr, BitFlip, ChipGeometry, DramError, RowBits, RowId};
 use parbor_hal::{KernelMode, RoundArena};
 
@@ -65,17 +67,17 @@ pub const DEFAULT_EVAL_CACHE_CAPACITY: usize = 512;
 #[derive(Debug)]
 pub struct DramChip {
     geometry: ChipGeometry,
-    scrambler: Arc<dyn Scrambler>,
-    // The scrambler compiled into dense tables at construction; the stencil
-    // (shipped) kernel builds fault maps through it, the reference kernel
-    // keeps the arithmetic path as the measurement baseline.
-    lut: Arc<ScramblerLut>,
-    seed: u64,
-    rates: FaultRates,
-    retention: RetentionModel,
+    // The paper's data-dependent failure model (seed, scrambler + LUT,
+    // fault rates, retention physics) as one composable mechanism. The
+    // chip's cached fast path (fault maps, stencils, eval memoization)
+    // evaluates through it.
+    coupling: CouplingMechanism,
+    // Additional mechanisms (RowHammer, RowPress, retention drift, …)
+    // composed on top of the coupling model; evaluated once per round over
+    // the round's write set, after the base model.
+    extras: Vec<Arc<dyn FailureMechanism>>,
     temperature: Celsius,
     refresh_interval: Seconds,
-    theta_shift: f64,
     noise: NoiseModel,
     rows: HashMap<RowId, RowBits>,
     fault_maps: HashMap<RowId, RowFaultMap>,
@@ -144,23 +146,21 @@ impl DramChip {
                 geometry.cols_per_row
             )));
         }
-        rates.validate()?;
-        let lut = Arc::new(ScramblerLut::build(&*scrambler));
-        let theta_shift = retention.kappa
-            * retention
-                .stress_factor(refresh_interval, temperature)
-                .log2();
-        let noise = NoiseModel::new(rates.soft_per_bit_per_round);
-        Ok(DramChip {
-            geometry,
-            scrambler,
-            lut,
+        let coupling = CouplingMechanism::new(
             seed,
+            scrambler,
             rates,
             retention,
             temperature,
             refresh_interval,
-            theta_shift,
+        )?;
+        let noise = NoiseModel::new(rates.soft_per_bit_per_round);
+        Ok(DramChip {
+            geometry,
+            coupling,
+            extras: Vec::new(),
+            temperature,
+            refresh_interval,
             noise,
             rows: HashMap::new(),
             fault_maps: HashMap::new(),
@@ -201,12 +201,30 @@ impl DramChip {
 
     /// The chip's scrambler (shared, read-only).
     pub fn scrambler(&self) -> &Arc<dyn Scrambler> {
-        &self.scrambler
+        self.coupling.scrambler()
     }
 
     /// The scrambler compiled into dense lookup tables at construction.
     pub fn scrambler_lut(&self) -> &Arc<ScramblerLut> {
-        &self.lut
+        self.coupling.lut()
+    }
+
+    /// The chip's base failure model as a mechanism.
+    pub fn coupling(&self) -> &CouplingMechanism {
+        &self.coupling
+    }
+
+    /// The extra mechanisms composed on top of the coupling model.
+    pub fn mechanisms(&self) -> &[Arc<dyn FailureMechanism>] {
+        &self.extras
+    }
+
+    /// Replaces the extra-mechanism stack. Mechanisms observe each round's
+    /// write set (activations, open time, neighbor content) and add their
+    /// flips after the base model; inert mechanisms are kept but never
+    /// consulted on the hot path.
+    pub fn set_mechanisms(&mut self, mechanisms: Vec<Arc<dyn FailureMechanism>>) {
+        self.extras = mechanisms;
     }
 
     /// Replaces the chip's buffer pool with a shared handle, so row images
@@ -223,7 +241,7 @@ impl DramChip {
 
     /// The fault seed.
     pub fn seed(&self) -> u64 {
-        self.seed
+        self.coupling.seed()
     }
 
     /// Number of refresh-interval waits executed so far.
@@ -233,7 +251,7 @@ impl DramChip {
 
     /// Current effective margin shift (`κ · log2(stress factor)`).
     pub fn theta_shift(&self) -> f64 {
-        self.theta_shift
+        self.coupling.theta_shift()
     }
 
     /// The coupling kernel the chip evaluates reads with.
@@ -300,11 +318,7 @@ impl DramChip {
     pub fn set_conditions(&mut self, temperature: Celsius, refresh_interval: Seconds) {
         self.temperature = temperature;
         self.refresh_interval = refresh_interval;
-        self.theta_shift = self.retention.kappa
-            * self
-                .retention
-                .stress_factor(refresh_interval, temperature)
-                .log2();
+        self.coupling.set_conditions(temperature, refresh_interval);
         self.eval_cache.clear();
         self.eval_order.clear();
         // Stencils are compiled against the margin shift, so they are stale
@@ -419,14 +433,61 @@ impl DramChip {
             self.write_row(row, data)?;
         }
         self.advance_round();
-        if row_threads <= 1 || rows.len() <= 1 {
+        let mut flips = if row_threads <= 1 || rows.len() <= 1 {
             let mut flips = Vec::new();
-            for row in rows {
+            for &row in &rows {
                 flips.extend(self.row_flips(row)?);
             }
-            return Ok(flips);
+            flips
+        } else {
+            self.row_flips_batch(&rows, row_threads)?
+        };
+        // Extra mechanisms observe the round's write set as a whole (they
+        // need neighbor activations, not just this row), so they evaluate
+        // once per round after the base model — serially, in stack order,
+        // identically under any `row_threads`.
+        if !self.extras.is_empty() {
+            self.merge_extra_flips(&mut flips, &rows);
         }
-        self.row_flips_batch(rows, row_threads)
+        Ok(flips)
+    }
+
+    /// Evaluates the extra-mechanism stack over the round's write set and
+    /// merges its flips into the base model's, deduplicating by address
+    /// (the base model wins; a mechanism re-flipping the same bit would
+    /// cancel the observation, which no physical mechanism does).
+    fn merge_extra_flips(&mut self, flips: &mut Vec<BitFlip>, rows: &[RowId]) {
+        let extra = {
+            let writes: Vec<(RowId, &RowBits)> =
+                rows.iter().map(|&row| (row, &self.rows[&row])).collect();
+            // `advance_round` already ran: `round - 1` is this round's
+            // 0-based index, matching `MechanismInjectingPort`'s keying, and
+            // the elapsed clock lands at the round's end.
+            unit_stack_flips(
+                &self.extras,
+                &writes,
+                0,
+                self.round - 1,
+                self.round as f64 * self.refresh_interval.0,
+            )
+        };
+        self.rec.incr(metrics::mech::ROUNDS, 1);
+        let mut added = 0u64;
+        let mut suppressed = 0u64;
+        for flip in extra {
+            if flips.iter().any(|f| f.addr == flip.addr) {
+                suppressed += 1;
+            } else {
+                flips.push(flip);
+                added += 1;
+            }
+        }
+        if added > 0 {
+            self.rec.incr(metrics::mech::FLIPS, added);
+        }
+        if suppressed > 0 {
+            self.rec.incr(metrics::mech::SUPPRESSED, suppressed);
+        }
     }
 
     /// Evaluates a round's read set across scoped threads; see
@@ -434,14 +495,14 @@ impl DramChip {
     /// argument.
     fn row_flips_batch(
         &mut self,
-        rows: Vec<RowId>,
+        rows: &[RowId],
         row_threads: usize,
     ) -> Result<Vec<BitFlip>, DramError> {
         // Unique rows in first-occurrence order; duplicates re-read the same
         // final content and reuse the first occurrence's result.
         let mut unique: Vec<RowId> = Vec::with_capacity(rows.len());
         let mut seen: HashSet<RowId> = HashSet::with_capacity(rows.len());
-        for &row in &rows {
+        for &row in rows {
             if seen.insert(row) {
                 unique.push(row);
             }
@@ -476,7 +537,10 @@ impl DramChip {
                                     .map(|&row| {
                                         let map = this.build_fault_map(row);
                                         let st = (this.kernel == KernelMode::Stencil).then(|| {
-                                            CouplingStencil::compile(&map, this.theta_shift)
+                                            CouplingStencil::compile(
+                                                &map,
+                                                this.coupling.theta_shift(),
+                                            )
                                         });
                                         (row, map, st)
                                     })
@@ -568,7 +632,7 @@ impl DramChip {
             }
         }
         let mut out = Vec::new();
-        for row in &rows {
+        for row in rows {
             out.extend(per_row[row].iter().copied());
         }
         Ok(out)
@@ -591,7 +655,9 @@ impl DramChip {
                     self.stencils[&row].eval_into(data, &mut out);
                     out
                 }
-                KernelMode::Reference => map.coupling_fail_indices(data, self.theta_shift),
+                KernelMode::Reference => {
+                    map.coupling_fail_indices(data, self.coupling.theta_shift())
+                }
             };
             let flips = self.assemble_flips(map, data, &coupled, row);
             (flips, Some(coupled))
@@ -637,7 +703,9 @@ impl DramChip {
                         self.stencils[&row].eval_into(data, &mut out);
                         out
                     }
-                    KernelMode::Reference => map.coupling_fail_indices(data, self.theta_shift),
+                    KernelMode::Reference => {
+                        map.coupling_fail_indices(data, self.coupling.theta_shift())
+                    }
                 };
                 let flips = self.assemble_flips(map, data, &coupled, row);
                 let copy = data.clone_into_words(self.arena.take_words());
@@ -707,16 +775,16 @@ impl DramChip {
                 }
                 FaultKind::Marginal { fail_prob } => {
                     data.get(e.sys as usize) != e.anti
-                        && marginal_fails(self.seed, row, e.sys, self.round, *fail_prob)
+                        && marginal_fails(self.coupling.seed(), row, e.sys, self.round, *fail_prob)
                 }
                 FaultKind::Vrt => {
                     data.get(e.sys as usize) != e.anti
                         && vrt_leaky(
-                            self.seed,
+                            self.coupling.seed(),
                             row,
                             e.sys,
                             self.round,
-                            self.rates.vrt_epoch_rounds,
+                            self.coupling.rates().vrt_epoch_rounds,
                         )
                 }
             };
@@ -728,7 +796,7 @@ impl DramChip {
             }
         }
         if let Some(col) = self.noise.soft_flip(
-            self.seed,
+            self.coupling.seed(),
             row,
             self.round,
             self.geometry.cols_per_row as usize,
@@ -757,26 +825,15 @@ impl DramChip {
     /// result is bit-identical to the stencil the chip itself would serve
     /// from its cache for the same row at current conditions.
     pub fn compile_stencil(&self, row: RowId) -> CouplingStencil {
-        let map = RowFaultMap::build(self.seed, row, &*self.lut, &self.rates, &self.retention);
-        CouplingStencil::compile(&map, self.theta_shift)
+        self.coupling.compile_stencil(row)
     }
 
     /// Ground-truth oracle: every data-dependent cell of a row with its
     /// class at current conditions. For validation and coverage accounting
     /// only — PARBOR itself never calls this.
     pub fn oracle_data_dependent(&mut self, row: RowId) -> Vec<(u32, CellClass)> {
-        let shift = self.theta_shift;
-        self.fault_map(row)
-            .entries
-            .iter()
-            .filter_map(|e| match &e.kind {
-                FaultKind::Coupling(p) => {
-                    let c = p.classify(shift);
-                    c.is_data_dependent().then_some((e.sys, c))
-                }
-                _ => None,
-            })
-            .collect()
+        let shift = self.coupling.theta_shift();
+        crate::mechanism::oracle_cells(self.fault_map(row), shift)
     }
 
     fn ensure_fault_map(&mut self, row: RowId) {
@@ -796,18 +853,7 @@ impl DramChip {
     /// Both produce identical maps: the LUT's tables are filled from the
     /// same scrambler.
     fn build_fault_map(&self, row: RowId) -> RowFaultMap {
-        match self.kernel {
-            KernelMode::Stencil => {
-                RowFaultMap::build(self.seed, row, &*self.lut, &self.rates, &self.retention)
-            }
-            KernelMode::Reference => RowFaultMap::build_reference(
-                self.seed,
-                row,
-                &*self.scrambler,
-                &self.rates,
-                &self.retention,
-            ),
-        }
+        self.coupling.build_fault_map(row, self.kernel)
     }
 
     /// Caches a built fault map with FIFO eviction and build accounting.
@@ -837,7 +883,7 @@ impl DramChip {
             return;
         }
         let map = self.fault_maps.get(&row).expect("fault map built first");
-        let st = CouplingStencil::compile(map, self.theta_shift);
+        let st = CouplingStencil::compile(map, self.coupling.theta_shift());
         self.stencils.insert(row, st);
     }
 

@@ -11,6 +11,7 @@ use crate::scrambler::Scrambler;
 use crate::vendor::Vendor;
 use parbor_hal::ChipGeometry;
 use parbor_hal::DramError;
+use parbor_hal::MechanismSpec;
 
 /// A temperature in degrees Celsius.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
@@ -67,6 +68,7 @@ pub struct ModuleConfig {
     temperature: Celsius,
     refresh_interval: Seconds,
     scrambler: Option<Arc<dyn Scrambler>>,
+    mechanisms: Vec<MechanismSpec>,
 }
 
 impl ModuleConfig {
@@ -83,6 +85,7 @@ impl ModuleConfig {
             temperature: Celsius(45.0),
             refresh_interval: Seconds(4.0),
             scrambler: None,
+            mechanisms: Vec::new(),
         }
     }
 
@@ -144,6 +147,15 @@ impl ModuleConfig {
         self
     }
 
+    /// Composes extra failure mechanisms (RowHammer, RowPress, retention
+    /// drift, …) on top of the vendor's coupling model. Every chip gets the
+    /// same stack; an empty stack (the default) leaves the simulator
+    /// bit-identical to a mechanism-free build.
+    pub fn mechanisms(mut self, specs: Vec<MechanismSpec>) -> Self {
+        self.mechanisms = specs;
+        self
+    }
+
     /// Builds the module.
     ///
     /// # Errors
@@ -169,7 +181,7 @@ impl ModuleConfig {
                 self.geometry.cols_per_row
             )));
         }
-        DramModule::assemble(
+        let mut module = DramModule::assemble(
             self.module_id,
             self.vendor,
             self.geometry,
@@ -180,7 +192,11 @@ impl ModuleConfig {
             self.temperature,
             self.refresh_interval,
             scrambler,
-        )
+        )?;
+        if !self.mechanisms.is_empty() {
+            module.set_mechanisms(MechanismSpec::build_stack(&self.mechanisms));
+        }
+        Ok(module)
     }
 }
 
@@ -213,6 +229,10 @@ pub struct ModuleSpec {
     pub temperature: Celsius,
     /// Refresh interval between write and read of each round.
     pub refresh_interval: Seconds,
+    /// Extra failure mechanisms composed on top of the coupling model.
+    /// `None` (and the missing-field form older journals serialized)
+    /// means none.
+    pub mechanisms: Option<Vec<MechanismSpec>>,
 }
 
 impl ModuleSpec {
@@ -228,6 +248,7 @@ impl ModuleSpec {
             retention: None,
             temperature: Celsius(45.0),
             refresh_interval: Seconds(4.0),
+            mechanisms: None,
         }
     }
 
@@ -249,6 +270,9 @@ impl ModuleSpec {
         }
         if let Some(retention) = self.retention {
             config = config.retention(retention);
+        }
+        if let Some(mechanisms) = &self.mechanisms {
+            config = config.mechanisms(mechanisms.clone());
         }
         config.build()
     }

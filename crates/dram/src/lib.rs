@@ -51,6 +51,7 @@ mod chip;
 mod config;
 pub mod ecc;
 mod hash;
+mod mechanism;
 mod module;
 mod noise;
 mod pattern;
@@ -75,6 +76,7 @@ pub use cell::{CellClass, CellFault, CellProfile, CellRef, FaultKind, FaultRates
 pub use census::CellCensus;
 pub use chip::{DramChip, DEFAULT_EVAL_CACHE_CAPACITY, DEFAULT_FAULT_MAP_CAPACITY};
 pub use config::{Celsius, ModuleConfig, ModuleSpec, Seconds};
+pub use mechanism::{oracle_cells, CouplingMechanism};
 pub use module::{DramModule, ModuleId};
 pub use noise::NoiseModel;
 pub use pattern::{PatternKind, PatternSet};

@@ -25,6 +25,7 @@ use crate::pattern::PatternKind;
 use crate::retention::RetentionModel;
 use crate::scrambler::Scrambler;
 use crate::vendor::Vendor;
+use parbor_hal::FailureMechanism;
 
 /// Identifier of a module within an experiment population (e.g. the paper's
 /// A₁ is vendor A, module index 1).
@@ -266,6 +267,21 @@ impl DramModule {
         for c in &mut self.chips {
             c.set_conditions(temperature, refresh_interval);
         }
+    }
+
+    /// Installs the same extra-mechanism stack on every chip (shared
+    /// handles — mechanisms are stateless, seeded by cell coordinates, so
+    /// chips distinguish themselves by bank/row addressing, not by
+    /// mechanism instance).
+    pub fn set_mechanisms(&mut self, mechanisms: Vec<Arc<dyn FailureMechanism>>) {
+        for c in &mut self.chips {
+            c.set_mechanisms(mechanisms.clone());
+        }
+    }
+
+    /// The extra-mechanism stack (every chip holds the same one).
+    pub fn mechanisms(&self) -> &[Arc<dyn FailureMechanism>] {
+        self.chips.first().map_or(&[], |c| c.mechanisms())
     }
 
     /// The coupling kernel the module's chips evaluate reads with.

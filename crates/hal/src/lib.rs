@@ -45,6 +45,7 @@ mod geometry;
 mod hash;
 mod inject;
 mod loopback;
+mod mechanism;
 mod port;
 mod transcript;
 
@@ -53,8 +54,12 @@ pub use bits::RowBits;
 pub use engine::{RoundExecutor, RoundPlan};
 pub use error::DramError;
 pub use geometry::{BitAddr, ChipGeometry, RowId};
-pub use inject::{FaultInjectingPort, InjectionConfig};
+pub use inject::{FaultInjectingPort, InjectionConfig, MechanismInjectingPort};
 pub use loopback::LoopbackPort;
+pub use mechanism::{
+    stack_flips, unit_stack_flips, DriftMechanism, FailureMechanism, HammerMechanism,
+    MechanismSpec, NeighborView, PressMechanism, RowView, ROW_OPEN_NS_PER_ACT,
+};
 pub use port::{BitFlip, Flip, KernelMode, ParallelMode, RowWrite, TestPort};
 pub use transcript::{
     RecordingPort, ReplayPort, TranscriptFormat, TranscriptInfo, TRANSCRIPT_MAGIC,

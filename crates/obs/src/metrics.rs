@@ -98,6 +98,20 @@ pub mod dram {
     pub const PORT_ROUND_FLIPS: &str = "dram.port_round_flips";
 }
 
+/// Names recorded by the `parbor efficacy` harness
+/// (`crates/parbor/src/efficacy.rs`): per-cell detection quality of the
+/// pipeline against each failure mechanism.
+pub mod efficacy {
+    /// Counter: truth cells the pipeline missed, summed over runs.
+    pub const FALSE_NEGATIVES: &str = "efficacy.false_negatives";
+    /// Counter: detected cells outside the mechanism truth set.
+    pub const FALSE_POSITIVES: &str = "efficacy.false_positives";
+    /// Counter: mechanism × vendor pipeline runs executed.
+    pub const RUNS: &str = "efficacy.runs";
+    /// Counter: truth cells the pipeline detected.
+    pub const TRUE_POSITIVES: &str = "efficacy.true_positives";
+}
+
 /// Names recorded by the HAL round executor (`crates/hal`).
 pub mod engine {
     /// Counter: rounds executed through the engine.
@@ -116,6 +130,19 @@ pub mod engine {
     pub const ROUND_FLIPS: &str = "engine.round_flips";
     /// Histogram: rounds per submitted batch.
     pub const BATCH_ROUNDS: &str = "engine.batch_rounds";
+}
+
+/// Names recorded by the composable failure-mechanism layer — the chip's
+/// extra-mechanism stack (`crates/dram`) and the mechanism-backed port
+/// injector (`crates/hal/src/inject.rs`).
+pub mod mech {
+    /// Counter: mechanism flips merged into round results.
+    pub const FLIPS: &str = "mech.flips";
+    /// Counter: rounds evaluated against a non-empty mechanism stack.
+    pub const ROUNDS: &str = "mech.rounds";
+    /// Counter: mechanism flips dropped because the base model (or inner
+    /// port) already flipped the same bit.
+    pub const SUPPRESSED: &str = "mech.suppressed";
 }
 
 /// Names recorded by the memory-controller simulator (`crates/memsim`).
@@ -268,6 +295,10 @@ pub const ALL: &[&str] = &[
     dram::ROW_WRITES,
     dram::SCRAMBLER_LUT_LOOKUPS,
     dram::SCRAMBLER_TRANSLATIONS,
+    efficacy::FALSE_NEGATIVES,
+    efficacy::FALSE_POSITIVES,
+    efficacy::RUNS,
+    efficacy::TRUE_POSITIVES,
     engine::ARENA_HITS,
     engine::ARENA_MISSES,
     engine::ARENA_RECYCLED,
@@ -287,6 +318,9 @@ pub const ALL: &[&str] = &[
     fleet::JOBS_RUNNING,
     fleet::RECOVERY,
     fleet::RESUMES,
+    mech::FLIPS,
+    mech::ROUNDS,
+    mech::SUPPRESSED,
     memsim::DCREF_FAST_TO_SLOW,
     memsim::DCREF_SLOW_TO_FAST,
     memsim::REFRESH_WINDOWS,
@@ -348,7 +382,10 @@ mod tests {
     fn lookup_finds_registered_names_only() {
         assert!(is_registered(pipeline::RUN));
         assert!(is_registered(fleet::JOB_US));
+        assert!(is_registered(mech::FLIPS));
+        assert!(is_registered(efficacy::TRUE_POSITIVES));
         assert!(!is_registered("pipeline.runn"));
+        assert!(!is_registered("mech.flipss"));
         assert!(!is_registered(""));
     }
 

@@ -48,6 +48,7 @@ mod aggregate;
 mod baseline;
 mod chipwide;
 mod content;
+mod efficacy;
 mod error;
 mod mitigation;
 mod online;
@@ -66,6 +67,7 @@ pub use baseline::{
 };
 pub use chipwide::{ChipwideOutcome, ChipwideTest, RoundSchedule};
 pub use content::{DcRefMonitor, VulnerableCell};
+pub use efficacy::{run_efficacy, EfficacyConfig, EfficacyReport, MechanismScore};
 pub use error::ParborError;
 pub use mitigation::{FailureDirectory, MitigationPlan};
 pub use online::{OnlinePhase, OnlineProgress, OnlineTester};

@@ -33,6 +33,7 @@ use parbor_dram::{
 };
 use parbor_fleet::{Fleet, FleetConfig, ScanJob};
 use parbor_hal::{KernelMode, ParallelMode, RecordingPort, ReplayPort, TestPort, TranscriptFormat};
+use parbor_memsim::{Density, RefreshPolicyKind, Simulation, SystemConfig};
 use parbor_obs::{
     metrics, null_recorder, InMemoryRecorder, RecorderHandle, RunSummary, ShardedRecorder,
 };
@@ -41,6 +42,7 @@ use parbor_serve::{
     ServeSnapshot,
 };
 use parbor_store::{legacy, ProfileStore};
+use parbor_workloads::paper_mixes;
 use serde::Serialize;
 
 const OUT: &str = "results/BENCH_pipeline.json";
@@ -336,6 +338,59 @@ struct StoreBench {
     migration_identical: bool,
 }
 
+/// One density point of the memory-system benchmark: refresh work and
+/// weighted speedup under the three refresh policies, summed over the
+/// fixed workload mixes.
+#[derive(Debug, Serialize)]
+struct MemsimDensityBench {
+    /// Chip density in gigabits.
+    density_gb: u32,
+    /// Refresh work relative to uniform-64 ms, averaged over mixes
+    /// (uniform is 1.0 by construction).
+    uniform_refresh_work: f64,
+    /// Same, under RAIDR's 4-bin schedule.
+    raidr_refresh_work: f64,
+    /// Same, under DC-REF's content-aware schedule.
+    dcref_refresh_work: f64,
+    /// Rank-cycles blocked on refresh, summed over mixes, uniform policy.
+    uniform_refresh_busy_cycles: u64,
+    /// Same, RAIDR.
+    raidr_refresh_busy_cycles: u64,
+    /// Same, DC-REF.
+    dcref_refresh_busy_cycles: u64,
+    /// Weighted speedup vs. alone-on-baseline IPCs, summed over mixes.
+    uniform_ws: f64,
+    /// Same, RAIDR.
+    raidr_ws: f64,
+    /// Same, DC-REF.
+    dcref_ws: f64,
+    /// `dcref_ws / raidr_ws` (at or above 1.0 when the trend holds).
+    dcref_ws_over_raidr: f64,
+}
+
+/// Memory-system simulation benchmark (`parbor-memsim`): a fixed-seed,
+/// small-cycle-budget sweep over density × refresh policy. CI gates the
+/// *trend* booleans only — refresh work DC-REF < RAIDR < uniform and
+/// weighted speedup DC-REF ≥ RAIDR at every density — never the absolute
+/// numbers, which shift with workload and model calibration.
+#[derive(Debug, Serialize)]
+struct MemsimBench {
+    /// Memory cycles simulated per run.
+    mem_cycles: u64,
+    /// Workload mixes per density (fixed generator seed).
+    mixes: usize,
+    /// Cores per mix.
+    cores: usize,
+    /// Per-density refresh and speedup numbers.
+    densities: Vec<MemsimDensityBench>,
+    /// Whether DC-REF did less refresh work than RAIDR, and RAIDR less
+    /// than uniform, at every density (CI gate: must be `true`).
+    refresh_trend_holds: bool,
+    /// Whether DC-REF's weighted speedup was at or above RAIDR's at every
+    /// density (CI gate: must be `true`).
+    speedup_trend_holds: bool,
+}
+
 /// The full benchmark document written to `results/BENCH_pipeline.json`.
 #[derive(Debug, Serialize)]
 struct BenchDoc {
@@ -353,6 +408,7 @@ struct BenchDoc {
     dataplane: DataplaneBench,
     serve: ServeBench,
     store: StoreBench,
+    memsim: MemsimBench,
     summary: RunSummary,
 }
 
@@ -1257,6 +1313,86 @@ fn serve_bench(threads_available: usize) -> Result<ServeBench, String> {
     })
 }
 
+/// Memory-system sweep: three densities × three refresh policies over the
+/// same fixed-seed workload mixes. Everything here is deterministic (the
+/// simulator is cycle-exact and seeded), so the section carries no best-of
+/// machinery; the cycle budget is kept small because CI gates only the
+/// policy ordering, which a short run already resolves.
+fn memsim_bench() -> Result<MemsimBench, String> {
+    const MEM_CYCLES: u64 = 150_000;
+    const MIXES: usize = 2;
+    const CORES: u32 = 4;
+    const POLICIES: [RefreshPolicyKind; 3] = [
+        RefreshPolicyKind::Uniform64,
+        RefreshPolicyKind::Raidr,
+        RefreshPolicyKind::DcRef,
+    ];
+    let mixes = paper_mixes(MIXES, CORES as usize, 2016);
+    let mut densities = Vec::new();
+    let mut refresh_trend_holds = true;
+    let mut speedup_trend_holds = true;
+    for (density_gb, density) in [(8, Density::Gb8), (16, Density::Gb16), (32, Density::Gb32)] {
+        let config = SystemConfig {
+            density,
+            cores: CORES,
+            ..SystemConfig::paper()
+        };
+        // Alone IPCs per distinct app on the *baseline* policy — the common
+        // weighted-speedup denominator, so policy gains stay visible.
+        let mut alone: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
+        for mix in &mixes {
+            for app in &mix.apps {
+                if !alone.contains_key(app.name) {
+                    let ipc = Simulation::alone_ipc(
+                        config,
+                        RefreshPolicyKind::Uniform64,
+                        app,
+                        0xA10E,
+                        MEM_CYCLES,
+                    );
+                    alone.insert(app.name, ipc);
+                }
+            }
+        }
+        let mut work = [0.0f64; 3];
+        let mut busy = [0u64; 3];
+        let mut ws = [0.0f64; 3];
+        for mix in &mixes {
+            let alone_ipcs: Vec<f64> = mix.apps.iter().map(|a| alone[a.name]).collect();
+            for (pi, policy) in POLICIES.into_iter().enumerate() {
+                let report = Simulation::new(config, policy, mix, 9).run(MEM_CYCLES);
+                work[pi] += report.refresh_work_fraction;
+                busy[pi] += report.refresh_busy_cycles;
+                ws[pi] += parbor_memsim::weighted_speedup(&report.ipcs(), &alone_ipcs);
+            }
+        }
+        let n = MIXES as f64;
+        refresh_trend_holds &= work[2] < work[1] && work[1] < work[0];
+        speedup_trend_holds &= ws[2] >= ws[1];
+        densities.push(MemsimDensityBench {
+            density_gb,
+            uniform_refresh_work: work[0] / n,
+            raidr_refresh_work: work[1] / n,
+            dcref_refresh_work: work[2] / n,
+            uniform_refresh_busy_cycles: busy[0],
+            raidr_refresh_busy_cycles: busy[1],
+            dcref_refresh_busy_cycles: busy[2],
+            uniform_ws: ws[0],
+            raidr_ws: ws[1],
+            dcref_ws: ws[2],
+            dcref_ws_over_raidr: if ws[1] > 0.0 { ws[2] / ws[1] } else { 0.0 },
+        });
+    }
+    Ok(MemsimBench {
+        mem_cycles: MEM_CYCLES,
+        mixes: MIXES,
+        cores: CORES as usize,
+        densities,
+        refresh_trend_holds,
+        speedup_trend_holds,
+    })
+}
+
 fn lower_quartile(mut xs: Vec<f64>) -> f64 {
     assert!(!xs.is_empty(), "quartile of an empty sample set");
     xs.sort_by(|a, b| a.partial_cmp(b).expect("sample values are finite"));
@@ -1376,6 +1512,7 @@ fn run() -> Result<BenchDoc, String> {
     let (hal, dataplane) = hal_bench()?;
     let serve = serve_bench(threads_available)?;
     let store = store_bench()?;
+    let memsim = memsim_bench()?;
 
     println!(
         "pipeline: {} victims, distances {:?}, {} failures, {} rounds",
@@ -1492,6 +1629,25 @@ fn run() -> Result<BenchDoc, String> {
         store.store_cold_query_max_us,
         store.migration_identical,
     );
+    for d in &memsim.densities {
+        println!(
+            "memsim @ {} Gb ({} mixes x {} cycles): refresh work uniform {:.3} -> RAIDR {:.3} \
+             -> DC-REF {:.3}; weighted speedup RAIDR {:.3} vs DC-REF {:.3} ({:.3}x)",
+            d.density_gb,
+            memsim.mixes,
+            memsim.mem_cycles,
+            d.uniform_refresh_work,
+            d.raidr_refresh_work,
+            d.dcref_refresh_work,
+            d.raidr_ws,
+            d.dcref_ws,
+            d.dcref_ws_over_raidr,
+        );
+    }
+    println!(
+        "memsim trends: refresh DC-REF < RAIDR < uniform: {}; speedup DC-REF >= RAIDR: {}",
+        memsim.refresh_trend_holds, memsim.speedup_trend_holds,
+    );
 
     Ok(BenchDoc {
         multi_chip: MultiChipBench {
@@ -1513,6 +1669,7 @@ fn run() -> Result<BenchDoc, String> {
         dataplane,
         serve,
         store,
+        memsim,
         summary: opt_summary,
     })
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! parbor detect  [--vendor A|B|C] [--seed N] [--rows N] [--chips N]
+//! parbor efficacy [--vendors A,B,C] [--mechanisms SPEC] [--out FILE]
 //! parbor census  [--vendor A|B|C] [--seed N] [--rows N]
 //! parbor compare [--vendor A|B|C] [--seed N] [--rows N]
 //! parbor profile [--vendor A|B|C] [--seed N] [--rows N] [--base-interval S]
@@ -25,15 +26,15 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use parbor_core::{random_pattern_test, Parbor, ParborConfig};
+use parbor_core::{random_pattern_test, run_efficacy, EfficacyConfig, Parbor, ParborConfig};
 use parbor_dram::{
     CellCensus, Celsius, ChipGeometry, ModuleConfig, ModuleId, ModuleSpec, RetentionProfiler,
     RowId, Seconds, Vendor,
 };
 use parbor_fleet::{Fleet, FleetConfig, ProfileStore, ScanJob, CRASH_EXIT_CODE};
 use parbor_hal::{
-    FaultInjectingPort, InjectionConfig, KernelMode, ParallelMode, RecordingPort, ReplayPort,
-    TestPort, TranscriptFormat,
+    FaultInjectingPort, InjectionConfig, KernelMode, MechanismSpec, ParallelMode, RecordingPort,
+    ReplayPort, TestPort, TranscriptFormat,
 };
 use parbor_memsim::{Density, RefreshPolicyKind, Simulation, SystemConfig};
 use parbor_obs::{
@@ -135,6 +136,15 @@ impl Args {
                 .map_err(|e| e.to_string()),
         }
     }
+
+    /// The `--mechanisms` stack (`hammer=thresh:50k,seed:7;press;drift`),
+    /// empty when the flag is absent.
+    fn mechanisms(&self) -> Result<Vec<MechanismSpec>, String> {
+        match self.flags.get("mechanisms") {
+            None => Ok(Vec::new()),
+            Some(spec) => MechanismSpec::parse_stack(spec).map_err(|e| e.to_string()),
+        }
+    }
 }
 
 /// Which [`TestPort`] implementation backs a run.
@@ -153,6 +163,7 @@ fn build(args: &Args, default_chips: u64) -> Result<parbor_dram::DramModule, Str
         .chips(args.u64_or("chips", default_chips)? as usize)
         .seed(args.u64_or("seed", 1)?)
         .module_id(ModuleId(1))
+        .mechanisms(args.mechanisms()?)
         .build()
         .map_err(|e| e.to_string())?;
     module.set_parallel_mode(args.parallel_mode()?);
@@ -211,6 +222,74 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
         println!("trace rotated    : {trace_path}.1");
     }
     println!("trace written    : {trace_path}");
+    Ok(())
+}
+
+/// `parbor efficacy` — run the full pipeline against every mechanism ×
+/// vendor family and score the chip-wide detection set per cell.
+fn cmd_efficacy(args: &Args) -> Result<(), String> {
+    let vendors = parse_vendors(
+        args.flags
+            .get("vendors")
+            .map(String::as_str)
+            .unwrap_or("A,B,C"),
+    )?;
+    let rows = args.u64_or("rows", 128)? as u32;
+    let cols = args.u64_or("cols", 1024)? as u32;
+    let extras = match args.flags.get("mechanisms") {
+        None => MechanismSpec::parse_stack("hammer;press;drift").map_err(|e| e.to_string())?,
+        Some(spec) => MechanismSpec::parse_stack(spec).map_err(|e| e.to_string())?,
+    };
+    let config = EfficacyConfig {
+        vendors,
+        geometry: ChipGeometry::new(1, rows, cols).map_err(|e| e.to_string())?,
+        chips: args.u64_or("chips", 1)? as usize,
+        seed: args.u64_or("seed", 5)?,
+        extras,
+        parbor: ParborConfig::default(),
+    };
+    let recorder = InMemoryRecorder::handle();
+    let report = run_efficacy(&config, &RecorderHandle::from(recorder.clone()))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{:<8} {:<10} {:>7} {:>9} {:>5} {:>5} {:>5} {:>10} {:>7}",
+        "vendor", "mechanism", "truth", "detected", "tp", "fp", "fn", "precision", "recall"
+    );
+    for s in &report.scores {
+        println!(
+            "{:<8} {:<10} {:>7} {:>9} {:>5} {:>5} {:>5} {:>10.3} {:>7.3}{}",
+            s.vendor,
+            s.mechanism,
+            s.truth_cells,
+            s.detected_cells,
+            s.true_positives,
+            s.false_positives,
+            s.false_negatives,
+            s.precision,
+            s.recall,
+            s.error
+                .as_deref()
+                .map(|e| format!("  [pipeline: {e}]"))
+                .unwrap_or_default()
+        );
+    }
+    println!(
+        "\nruns: {}  tp: {}  fp: {}  fn: {}",
+        recorder.counter("efficacy.runs"),
+        recorder.counter("efficacy.true_positives"),
+        recorder.counter("efficacy.false_positives"),
+        recorder.counter("efficacy.false_negatives"),
+    );
+    if let Some(path) = args.flags.get("out") {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| format!("creating {path}: {e}"))?;
+            }
+        }
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("report written: {path}");
+    }
     Ok(())
 }
 
@@ -389,6 +468,8 @@ fn fleet_jobs(args: &Args) -> Result<Vec<ScanJob>, String> {
     let cols = args.u64_or("cols", 8192)? as u32;
     let base_seed = args.u64_or("seed", 1)?;
     let geometry = ChipGeometry::new(1, rows, cols).map_err(|e| e.to_string())?;
+    let mechanisms = args.mechanisms()?;
+    let mechanisms = (!mechanisms.is_empty()).then_some(mechanisms);
     let mut jobs = Vec::new();
     for vendor in vendors {
         let vendor_code = match vendor {
@@ -401,6 +482,7 @@ fn fleet_jobs(args: &Args) -> Result<Vec<ScanJob>, String> {
                 chips,
                 geometry,
                 seed: base_seed + idx * 997 + vendor_code * 131_071,
+                mechanisms: mechanisms.clone(),
                 ..ModuleSpec::new(vendor)
             };
             jobs.push(ScanJob::new(format!("{vendor}{idx}"), spec));
@@ -797,8 +879,15 @@ fn cmd_store(argv: &[String]) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: parbor <detect|census|compare|profile|dcref|serve|fleet|store|obs> [--flag value]...
+    "usage: parbor <detect|census|compare|profile|dcref|efficacy|serve|fleet|store|obs> [--flag value]...
   detect   run the full PARBOR pipeline on a simulated module
+  efficacy score pipeline detection against mechanism ground truth:
+             efficacy [--vendors A,B,C] [--rows N] [--cols N] [--chips N]
+                      [--seed N] [--mechanisms SPEC] [--out FILE]
+             runs the full pipeline once per (vendor, mechanism) cell —
+             the coupling model plus each extra mechanism in isolation —
+             and reports per-cell precision/recall against the mechanism's
+             truth set; --out writes the matrix as JSON
   census   device-side cell-class census (ground truth)
   compare  PARBOR vs equal-budget random-pattern testing
   profile  RAIDR-style retention-interval ladder
@@ -857,6 +946,11 @@ backend flags (detect, fleet run/resume):
               --inject rate=P,seed=S[,intermittent=Q]
                                              decorate the port with seeded
                                              random + intermittent bit flips
+              --mechanisms SPEC              compose extra failure mechanisms
+                                             into the simulated device, e.g.
+                                             hammer=thresh:50k,rate:1e-3;press;
+                                             drift=rate:1e-3,period:120
+                                             (also: efficacy's matrix)
 dcref flags : --cycles N  --mixes N  --density 8|16|32
 help        : parbor --help (or -h) prints this message";
 
@@ -885,6 +979,7 @@ fn main() -> ExitCode {
             Err(e) => Err(e),
             Ok(args) => match cmd.as_str() {
                 "detect" => cmd_detect(&args),
+                "efficacy" => cmd_efficacy(&args),
                 "census" => cmd_census(&args),
                 "compare" => cmd_compare(&args),
                 "profile" => cmd_profile(&args),

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Mechanism-efficacy smoke: run `parbor efficacy` over a small mechanism ×
+# vendor matrix, check the JSON report parses and covers every cell, and
+# fail if the coupling mechanism's recall drops below 1.0 anywhere — the
+# pipeline's whole job is to find coupling failures, so anything less is a
+# detection regression, not noise. Also runs one `detect` with a live
+# mechanism stack to prove the `--mechanisms` plumbing reaches the device.
+# Run from the repo root after `cargo build --release`.
+set -euo pipefail
+
+BIN=$(pwd)/target/release/parbor
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "-- efficacy matrix (A,B,C x coupling,hammer,press,drift) --"
+"$BIN" efficacy --vendors A,B,C --rows 64 --seed 5 \
+  --mechanisms "hammer;press;drift" --out "$work/efficacy.json" \
+  | tee "$work/efficacy.out"
+
+python3 - "$work/efficacy.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+scores = report["scores"]
+cells = {(s["vendor"], s["mechanism"]) for s in scores}
+want = {(v, m) for v in "ABC" for m in ["coupling", "hammer", "press", "drift"]}
+missing = want - cells
+if missing:
+    sys.exit(f"efficacy report is missing cells: {sorted(missing)}")
+for s in scores:
+    if s["mechanism"] == "coupling":
+        if s["truth_cells"] == 0:
+            sys.exit(f"vendor {s['vendor']}: coupling truth set is empty")
+        if s["error"] is not None:
+            sys.exit(f"vendor {s['vendor']}: coupling run errored: {s['error']}")
+        if s["recall"] < 1.0:
+            sys.exit(
+                f"vendor {s['vendor']}: coupling recall {s['recall']} "
+                f"({s['false_negatives']} missed of {s['truth_cells']})"
+            )
+print(f"efficacy smoke OK: {len(scores)} cells, coupling recall 1.0 on every vendor")
+EOF
+
+echo "-- detect with a live mechanism stack --"
+"$BIN" detect --vendor B --rows 48 --chips 1 \
+  --mechanisms "hammer=thresh:100k,rate:2e-3" > "$work/detect.out"
+grep -q "victims" "$work/detect.out" || {
+  echo "detect with --mechanisms produced no report"
+  exit 1
+}
+echo "efficacy smoke OK: detect ran with a live mechanism stack"
